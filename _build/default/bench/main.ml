@@ -1,0 +1,731 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§4) on this reproduction.
+
+   Usage:
+     dune exec bench/main.exe                      # everything, medium sizes
+     dune exec bench/main.exe -- table2            # one section
+     dune exec bench/main.exe -- fig16 --full      # paper-scale sizes (slow)
+     dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
+
+   Sections: table1 table2 fig16 fig17 fig18 compile-time ablation planar
+   magic micro all.
+
+   Absolute numbers differ from the paper (different host, regenerated
+   benchmark netlists, re-implemented baseline); the claims under test are
+   the orderings and rough factors — see EXPERIMENTS.md. *)
+
+module S = Autobraid.Scheduler
+module IL = Autobraid.Initial_layout
+module GP = Gp_baseline
+module C = Qec_circuit.Circuit
+module B = Qec_benchmarks
+module TP = Qec_util.Tableprint
+module T = Qec_surface.Timing
+
+let timing33 = T.make ~d:T.default_d ()
+
+let sp_options = { S.default_options with variant = S.Sp }
+
+(* autobraid-full with the paper's p sweep, trimmed for compile time. *)
+let run_full ?(grid_points = [ 0.0; 0.2; 0.4 ]) timing c =
+  fst (S.run_best_p ~grid_points ~parallel:true timing c)
+
+let header title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let us r = S.time_us timing33 r
+let cp_us r = S.critical_path_us timing33 r
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: impact of LLG-driven initial-layout optimization            *)
+
+let table1_benchmarks ~full =
+  [
+    ("qft16", B.Qft.circuit 16);
+    ("qft50", B.Qft.circuit 50);
+    ("urf2", B.Building_blocks.by_name "urf2_277");
+    ("IM16", B.Ising.circuit ~steps:8 16);
+    ("IM10", B.Ising.circuit ~steps:13 10);
+    ( "Shors",
+      if full then B.Shor.circuit ~multipliers:149 ~bits:234 ()
+      else B.Shor.circuit ~multipliers:40 ~bits:48 () );
+    ("BTW", B.Bwt.circuit ~height:6 ());
+    ("Sqrt8", B.Building_blocks.by_name "sqrt8_260");
+  ]
+
+let table1 ~full () =
+  header "Table 1: Impact of LLGs' sizes (initial-layout optimization)";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("Benchmark", TP.Left);
+          ("#LLG>3 after", TP.Right);
+          ("time after (us)", TP.Right);
+          ("#LLG>3 before", TP.Right);
+          ("time before (us)", TP.Right);
+          ("Speedup", TP.Right);
+        ]
+  in
+  List.iter
+    (fun (name, circuit) ->
+      let lowered = Qec_circuit.Decompose.to_scheduler_gates circuit in
+      let n = C.num_qubits lowered in
+      let grid =
+        Qec_lattice.Grid.create
+          (max 1 (Qec_surface.Resources.lattice_side ~num_logical:n))
+      in
+      let census method_ =
+        IL.oversize_census lowered (IL.place ~method_ lowered grid)
+      in
+      let run_with initial =
+        S.run ~options:{ sp_options with initial } timing33 lowered
+      in
+      let before = run_with IL.Bisected in
+      let after = run_with IL.Annealed in
+      TP.add_row t
+        [
+          name;
+          string_of_int (census IL.Annealed);
+          TP.si_cell (us after);
+          string_of_int (census IL.Bisected);
+          TP.si_cell (us before);
+          Printf.sprintf "%.2f"
+            (float_of_int before.S.total_cycles
+            /. float_of_int after.S.total_cycles);
+        ])
+    (table1_benchmarks ~full);
+  TP.print t;
+  print_endline
+    "(before = plain bisection; after = + degree-2 snake + LLG annealing)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: overview — CP vs baseline vs autobraid-full                 *)
+
+type t2_row = { category : string; label : string; circuit : C.t }
+
+let table2_rows ~full =
+  let bb name label = { category = "BuildingBlocks"; label; circuit = B.Building_blocks.by_name name } in
+  let app label circuit = { category = "RealWorld"; label; circuit } in
+  List.concat
+    [
+      [
+        bb "4gt11_8" "4gt11_8";
+        bb "4gt5_75" "4gt5_75";
+        bb "alu-v0_26" "alu-v0_26";
+        bb "rd32-v0" "rd32-v0";
+        bb "sqrt8_260" "sqrt8_260";
+        bb "squar5_261" "squar5_261";
+        bb "squar7" "squar7";
+        bb "urf2_277" "urf2_277";
+        bb "urf5_280" "urf5_280";
+      ];
+      (if full then [ bb "urf1_278" "urf1_278"; bb "urf5_158" "urf5_158" ]
+       else []);
+      [
+        app "QFT-50" (B.Qft.circuit 50);
+        app "QFT-100" (B.Qft.circuit 100);
+        app "QFT-200" (B.Qft.circuit 200);
+      ];
+      (if full then
+         [ app "QFT-400" (B.Qft.circuit 400); app "QFT-500" (B.Qft.circuit 500) ]
+       else []);
+      [
+        app "BV-100" (B.Bv.circuit 100);
+        app "BV-150" (B.Bv.circuit 150);
+        app "BV-200" (B.Bv.circuit 200);
+        app "CC-100" (B.Cc.circuit 100);
+        app "CC-200" (B.Cc.circuit 200);
+        app "CC-300" (B.Cc.circuit 300);
+        app "IM-10" (B.Ising.circuit ~steps:13 10);
+        app "IM-500" (B.Ising.circuit ~steps:3 500);
+      ];
+      (if full then [ app "IM-1000" (B.Ising.circuit ~steps:3 1000) ] else []);
+      [
+        app "BWT-127" (B.Bwt.circuit ~height:6 ());
+        app "BWT-255" (B.Bwt.circuit ~height:7 ());
+        app "QAOA-100" (B.Qaoa.circuit 100);
+        app "QAOA-200" (B.Qaoa.circuit 200);
+      ];
+      (if full then
+         [
+           app "QAOA-300" (B.Qaoa.circuit 300);
+           app "Shor-471" (B.Shor.circuit ~multipliers:149 ~bits:234 ());
+         ]
+       else [ app "Shor-99" (B.Shor.circuit ~multipliers:40 ~bits:48 ()) ]);
+    ]
+
+let table2 ~full () =
+  header "Table 2: Overview of experiment results (d = 33)";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("Type", TP.Left);
+          ("Name", TP.Left);
+          ("#qubit", TP.Right);
+          ("#gate", TP.Right);
+          ("CP (us)", TP.Right);
+          ("GP w initM (us)", TP.Right);
+          ("AutoBraid (us)", TP.Right);
+          ("Speedup", TP.Right);
+          ("vs CP", TP.Right);
+        ]
+  in
+  let last_category = ref "" in
+  List.iter
+    (fun { category; label; circuit } ->
+      if category <> !last_category && !last_category <> "" then
+        TP.add_separator t;
+      last_category := category;
+      let base = GP.run timing33 circuit in
+      let auto = run_full timing33 circuit in
+      TP.add_row t
+        [
+          category;
+          label;
+          string_of_int auto.S.num_qubits;
+          TP.si_cell (float_of_int auto.S.num_gates);
+          TP.si_cell (cp_us auto);
+          TP.si_cell (us base);
+          TP.si_cell (us auto);
+          Printf.sprintf "%.2f"
+            (float_of_int base.S.total_cycles
+            /. float_of_int auto.S.total_cycles);
+          Printf.sprintf "%.2f"
+            (float_of_int auto.S.total_cycles
+            /. float_of_int (max 1 auto.S.critical_path_cycles));
+        ])
+    (table2_rows ~full);
+  TP.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 16 & 17: scalability sweep over computation size 1/P_L         *)
+
+type sweep_point = {
+  family : string;
+  n : int;
+  inv_pl : float;
+  d : int;
+  base_r : S.result;
+  sp_r : S.result;
+  full_r : S.result;
+}
+
+let sweep_families ~full =
+  [
+    ( "QFT",
+      (fun n -> B.Qft.circuit n),
+      if full then [ 50; 100; 200; 300; 400 ] else [ 50; 100; 150; 200 ] );
+    ( "IM",
+      (fun n -> B.Ising.circuit ~steps:3 n),
+      if full then [ 100; 250; 500; 1000 ] else [ 100; 200; 400 ] );
+    ( "QAOA",
+      (fun n -> B.Qaoa.circuit n),
+      if full then [ 60; 100; 200; 300 ] else [ 60; 100; 160; 200 ] );
+  ]
+
+let run_sweep ~full () =
+  List.concat_map
+    (fun (family, gen, sizes) ->
+      List.map
+        (fun n ->
+          let circuit = gen n in
+          let lowered = Qec_circuit.Decompose.to_scheduler_gates circuit in
+          (* "circuit size is inversely proportional to P_L": target one
+             logical fault over the circuit's logical volume. *)
+          let volume =
+            float_of_int (C.length lowered) *. float_of_int (C.num_qubits lowered)
+          in
+          let d = Qec_surface.Error_model.distance_for_volume ~volume () in
+          let timing = T.make ~d () in
+          let base_r = GP.run timing circuit in
+          let sp_r = S.run ~options:sp_options timing circuit in
+          let full_r = run_full ~grid_points:[ 0.0; 0.3 ] timing circuit in
+          { family; n; inv_pl = volume; d; base_r; sp_r; full_r })
+        sizes)
+    (sweep_families ~full)
+
+let fig16 points =
+  header "Fig. 16: execution time (s) vs computation size 1/P_L";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("family", TP.Left);
+          ("n", TP.Right);
+          ("1/P_L", TP.Right);
+          ("d", TP.Right);
+          ("baseline (s)", TP.Right);
+          ("autobraid-sp (s)", TP.Right);
+          ("autobraid-full (s)", TP.Right);
+          ("CP (s)", TP.Right);
+        ]
+  in
+  let last = ref "" in
+  List.iter
+    (fun p ->
+      if p.family <> !last && !last <> "" then TP.add_separator t;
+      last := p.family;
+      let timing = T.make ~d:p.d () in
+      let sec r = T.seconds_of_cycles timing r.S.total_cycles in
+      let cp_sec r = T.seconds_of_cycles timing r.S.critical_path_cycles in
+      TP.add_row t
+        [
+          p.family;
+          string_of_int p.n;
+          Printf.sprintf "%.2e" p.inv_pl;
+          string_of_int p.d;
+          Printf.sprintf "%.4f" (sec p.base_r);
+          Printf.sprintf "%.4f" (sec p.sp_r);
+          Printf.sprintf "%.4f" (sec p.full_r);
+          Printf.sprintf "%.4f" (cp_sec p.full_r);
+        ])
+    points;
+  TP.print t
+
+let fig17 points =
+  header "Fig. 17: routing-resource utilization (%) vs computation size";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("family", TP.Left);
+          ("n", TP.Right);
+          ("1/P_L", TP.Right);
+          ("baseline avg%", TP.Right);
+          ("autobraid avg%", TP.Right);
+          ("baseline peak%", TP.Right);
+          ("autobraid peak%", TP.Right);
+        ]
+  in
+  let last = ref "" in
+  List.iter
+    (fun p ->
+      if p.family <> !last && !last <> "" then TP.add_separator t;
+      last := p.family;
+      let pct v = Printf.sprintf "%.1f" (100. *. v) in
+      TP.add_row t
+        [
+          p.family;
+          string_of_int p.n;
+          Printf.sprintf "%.2e" p.inv_pl;
+          pct p.base_r.S.avg_utilization;
+          pct p.full_r.S.avg_utilization;
+          pct p.base_r.S.peak_utilization;
+          pct p.full_r.S.peak_utilization;
+        ])
+    points;
+  TP.print t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 18: p-sensitivity                                               *)
+
+let fig18 ~full () =
+  header "Fig. 18: p-sensitivity (time normalized to p = 0)";
+  let cases =
+    if full then
+      [ ("QFT-1000", B.Qft.circuit 1000); ("QAOA-1000", B.Qaoa.circuit 1000) ]
+    else [ ("QFT-100", B.Qft.circuit 100); ("QAOA-100", B.Qaoa.circuit 100) ]
+  in
+  let t =
+    TP.create
+      ~headers:
+        ([ ("p", TP.Right) ]
+        @ List.map (fun (name, _) -> (name, TP.Right)) cases)
+  in
+  let curves =
+    List.map (fun (_, c) -> snd (S.run_best_p ~parallel:true timing33 c)) cases
+  in
+  let ps = List.map fst (List.hd curves) in
+  List.iteri
+    (fun i p ->
+      let cells =
+        List.map
+          (fun curve ->
+            let _, first = List.hd curve in
+            let _, r = List.nth curve i in
+            Printf.sprintf "%.3f"
+              (float_of_int r.S.total_cycles
+              /. float_of_int first.S.total_cycles))
+          curves
+      in
+      TP.add_row t (Printf.sprintf "%.1f" p :: cells))
+    ps;
+  TP.print t
+
+(* ------------------------------------------------------------------ *)
+(* Compilation-time analysis (§4.2)                                     *)
+
+let compile_time () =
+  header "Compilation time vs physical execution time";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("benchmark", TP.Left);
+          ("compile (s)", TP.Right);
+          ("execution (s)", TP.Right);
+          ("ratio", TP.Right);
+        ]
+  in
+  List.iter
+    (fun (name, c) ->
+      let lowered = Qec_circuit.Decompose.to_scheduler_gates c in
+      let volume =
+        float_of_int (C.length lowered) *. float_of_int (C.num_qubits lowered)
+      in
+      let d = Qec_surface.Error_model.distance_for_volume ~volume () in
+      let timing = T.make ~d () in
+      let r = S.run timing c in
+      let exec_s = T.seconds_of_cycles timing r.S.total_cycles in
+      TP.add_row t
+        [
+          name;
+          Printf.sprintf "%.3f" r.S.compile_time_s;
+          Printf.sprintf "%.3f" exec_s;
+          Printf.sprintf "%.1f%%" (100. *. r.S.compile_time_s /. exec_s);
+        ])
+    [
+      ("qft100", B.Qft.circuit 100);
+      ("bv100", B.Bv.circuit 100);
+      ("im200", B.Ising.circuit ~steps:3 200);
+      ("qaoa100", B.Qaoa.circuit 100);
+      ("urf2_277", B.Building_blocks.by_name "urf2_277");
+    ];
+  TP.print t;
+  print_endline
+    "(the paper reports ~1-2%; ratios depend on the host CPU and d)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (design choices called out in DESIGN.md)                   *)
+
+let ablation () =
+  header "Ablations";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("study", TP.Left);
+          ("configuration", TP.Left);
+          ("time (us)", TP.Right);
+          ("vs best", TP.Right);
+        ]
+  in
+  let block study rows =
+    let best =
+      List.fold_left (fun acc (_, r) -> min acc r.S.total_cycles) max_int rows
+    in
+    List.iteri
+      (fun i (cfg, r) ->
+        TP.add_row t
+          [
+            (if i = 0 then study else "");
+            cfg;
+            TP.si_cell (us r);
+            Printf.sprintf "%.2fx"
+              (float_of_int r.S.total_cycles /. float_of_int best);
+          ])
+      rows;
+    TP.add_separator t
+  in
+  (* 1. Baseline router: dimension-ordered (braidflash) vs A* *)
+  let qft = B.Qft.circuit 100 in
+  block "baseline router (qft100)"
+    [
+      ("dimension-ordered (paper)", GP.run timing33 qft);
+      ( "A* (detouring)",
+        GP.run ~options:{ GP.default_options with router = GP.Astar } timing33
+          qft );
+    ];
+  (* 2. Initial placement on autobraid-sp *)
+  let qaoa = B.Qaoa.circuit 100 in
+  block "initial placement (qaoa100, sp)"
+    (List.map
+       (fun (name, m) ->
+         (name, S.run ~options:{ sp_options with initial = m } timing33 qaoa))
+       [
+         ("identity", IL.Identity);
+         ("metis (bisection)", IL.Partitioned);
+         ("metis + LLG anneal", IL.Annealed);
+       ]);
+  (* 3. Failed-first retry pass *)
+  block "retry pass (qft100, sp)"
+    [
+      ("retry on (default)", S.run ~options:sp_options timing33 qft);
+      ( "retry off (bare Fig. 13)",
+        S.run ~options:{ sp_options with retry = false } timing33 qft );
+    ];
+  (* 4. LLG confinement (Theorems 1-2) *)
+  block "LLG confinement (qft100, sp)"
+    [
+      ("confined (default)", S.run ~options:sp_options timing33 qft);
+      ( "unconfined",
+        S.run ~options:{ sp_options with confine_llg = false } timing33 qft );
+    ];
+  (* 5. Topological path compaction *)
+  block "path compaction (qft100, sp)"
+    [
+      ("off (default)", S.run ~options:sp_options timing33 qft);
+      ( "on (rip-up & reroute)",
+        S.run ~options:{ sp_options with compaction = true } timing33 qft );
+    ];
+  (* 6. Critical-path lookahead *)
+  block "CP lookahead (qaoa100, sp)"
+    [
+      ("off (default)", S.run ~options:sp_options timing33 qaoa);
+      ( "on (tallest chain first)",
+        S.run ~options:{ sp_options with lookahead = true } timing33 qaoa );
+    ];
+  (* 7. Swap strategy under heavy threshold *)
+  let opts strat =
+    {
+      S.default_options with
+      threshold_p = 0.6;
+      swap_strategy = Some strat;
+    }
+  in
+  block "swap strategy (qft100, p=0.6)"
+    [
+      ("odd-even (Maslov)", S.run ~options:(opts Autobraid.Layout_opt.Odd_even) timing33 qft);
+      ("greedy pairs", S.run ~options:(opts Autobraid.Layout_opt.Greedy) timing33 qft);
+    ];
+  TP.print t
+
+(* ------------------------------------------------------------------ *)
+(* Planar vs double-defect (the paper's closing discussion, vs MICRO'17) *)
+
+let planar () =
+  header "Planar (teleportation) vs double-defect (braiding) - section 5 discussion";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("benchmark", TP.Left);
+          ("scheme", TP.Left);
+          ("time (us)", TP.Right);
+          ("vs planar-stack", TP.Right);
+          ("physical qubits", TP.Right);
+        ]
+  in
+  List.iter
+    (fun (name, c) ->
+      let base = GP.run timing33 c in
+      let auto = run_full ~grid_points:[ 0.0; 0.3 ] timing33 c in
+      let tele_greedy =
+        Qec_planar.Teleport.run
+          ~options:
+            { Qec_planar.Teleport.default_options with
+              ordering = Qec_planar.Teleport.Greedy_shortest }
+          timing33 c
+      in
+      let tele_stack = Qec_planar.Teleport.run timing33 c in
+      let n = auto.S.num_qubits in
+      let braid_qubits =
+        Qec_surface.Resources.total_physical_qubits ~num_logical:n
+          ~d:T.default_d
+      in
+      let planar_qubits =
+        Qec_planar.Teleport.physical_qubits ~num_logical:n ~d:T.default_d ()
+      in
+      let anchor = float_of_int tele_stack.S.total_cycles in
+      let row scheme (r : S.result) qubits =
+        TP.add_row t
+          [
+            name;
+            scheme;
+            TP.si_cell (us r);
+            Printf.sprintf "%.2fx" (float_of_int r.S.total_cycles /. anchor);
+            TP.si_cell (float_of_int qubits);
+          ]
+      in
+      row "braiding, GP baseline" base braid_qubits;
+      row "braiding, autobraid" auto braid_qubits;
+      row "planar, greedy order" tele_greedy planar_qubits;
+      row "planar, stack order" tele_stack planar_qubits;
+      TP.add_separator t)
+    [
+      ("qft100", B.Qft.circuit 100);
+      ("im200", B.Ising.circuit ~steps:3 200);
+      ("qaoa100", B.Qaoa.circuit 100);
+    ];
+  TP.print t;
+  (* Equal-physical-budget comparison: what distance can each code afford
+     for 200 logical qubits within the braiding layout's budget? *)
+  let n = 200 in
+  let budget =
+    Qec_surface.Resources.total_physical_qubits ~num_logical:n ~d:T.default_d
+  in
+  (match
+     Qec_planar.Teleport.distance_for_budget ~num_logical:n ~budget ()
+   with
+  | Some d_planar ->
+    Printf.printf
+      "\nequal budget (%d physical qubits, %d logical): double-defect d = %d \
+       (P_L = %.2e) vs planar d = %d (P_L = %.2e)\n"
+      budget n T.default_d
+      (Qec_surface.Error_model.logical_error_rate ~d:T.default_d ())
+      d_planar
+      (Qec_surface.Error_model.logical_error_rate ~d:d_planar ())
+  | None -> print_endline "planar does not fit the budget at any distance");
+  print_endline
+    "(braiding holds channels 2x longer per CX, but affords a higher code \
+     distance at equal budget; with autobraid closing the congestion gap, \
+     double-defect wins reliability per qubit - the paper's section 5 claim)"
+
+(* ------------------------------------------------------------------ *)
+(* Magic-state supply: cost of the paper's steady-supply assumption     *)
+
+let magic () =
+  header "Magic-state supply: relaxing the steady-supply assumption (4.1)";
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("benchmark", TP.Left);
+          ("supply", TP.Left);
+          ("time (us)", TP.Right);
+          ("vs ideal", TP.Right);
+          ("deliveries", TP.Right);
+          ("stalled rounds", TP.Right);
+        ]
+  in
+  List.iter
+    (fun (name, c) ->
+      let ideal = S.run ~options:sp_options timing33 c in
+      let row label (r : Qec_magic.Factory_model.result) =
+        TP.add_row t
+          [
+            name;
+            label;
+            TP.si_cell (us r.Qec_magic.Factory_model.scheduler);
+            Printf.sprintf "%.2fx"
+              (float_of_int
+                 r.Qec_magic.Factory_model.scheduler.S.total_cycles
+              /. float_of_int ideal.S.total_cycles);
+            string_of_int r.Qec_magic.Factory_model.deliveries;
+            string_of_int r.Qec_magic.Factory_model.stalled_rounds;
+          ]
+      in
+      TP.add_row t
+        [ name; "ideal (paper's assumption)"; TP.si_cell (us ideal); "1.00x";
+          "-"; "-" ];
+      List.iter
+        (fun k ->
+          let options =
+            { (Qec_magic.Factory_model.default_options ()) with
+              Qec_magic.Factory_model.num_factories = k }
+          in
+          row
+            (Printf.sprintf "%d boundary factories" k)
+            (Qec_magic.Factory_model.run ~options timing33 c))
+        [ 1; 2; 4; 8 ];
+      TP.add_separator t)
+    [
+      ("urf2_277", B.Building_blocks.by_name "urf2_277");
+      ("grover6", B.Grover.circuit ~iterations:2 6);
+      ("sqrt8_260", B.Building_blocks.by_name "sqrt8_260");
+    ];
+  TP.print t;
+  print_endline
+    "(T gates fetch magic states over real braiding paths from boundary \
+     distillation factories producing one state per 10d cycles)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure driver     *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one per table/figure, reduced size)";
+  let open Bechamel in
+  let open Toolkit in
+  let qft16 = B.Qft.circuit 16 in
+  let im16 = B.Ising.circuit ~steps:4 16 in
+  let qaoa16 = B.Qaoa.circuit 16 in
+  let grid4 = Qec_lattice.Grid.create 4 in
+  let tests =
+    [
+      Test.make ~name:"table1:llg-census"
+        (Staged.stage (fun () ->
+             IL.oversize_census qft16
+               (IL.place ~method_:IL.Partitioned qft16 grid4)));
+      Test.make ~name:"table2:autobraid-full"
+        (Staged.stage (fun () -> Autobraid.Scheduler.run timing33 qft16));
+      Test.make ~name:"table2:gp-baseline"
+        (Staged.stage (fun () -> GP.run timing33 qft16));
+      Test.make ~name:"fig16:scalability-point"
+        (Staged.stage (fun () -> Autobraid.Scheduler.run ~options:sp_options timing33 im16));
+      Test.make ~name:"fig17:utilization-point"
+        (Staged.stage (fun () ->
+             (Autobraid.Scheduler.run ~options:sp_options timing33 qaoa16).Autobraid.Scheduler.avg_utilization));
+      Test.make ~name:"fig18:p-sweep-point"
+        (Staged.stage (fun () ->
+             Autobraid.Scheduler.run
+               ~options:{ Autobraid.Scheduler.default_options with threshold_p = 0.5 }
+               timing33 qaoa16));
+    ]
+  in
+  let test = Test.make_grouped ~name:"autobraid" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let results = Analyze.merge ols Instance.[ monotonic_clock ] [ results ] in
+  let () =
+    Bechamel_notty.Unit.add Instance.monotonic_clock
+      (Measure.unit Instance.monotonic_clock)
+  in
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.output_image (Notty_unix.eol img)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let sections =
+    List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--")) args
+  in
+  let section = match sections with s :: _ -> s | [] -> "all" in
+  let t0 = Unix.gettimeofday () in
+  (match section with
+  | "table1" -> table1 ~full ()
+  | "table2" -> table2 ~full ()
+  | "fig16" -> fig16 (run_sweep ~full ())
+  | "fig17" -> fig17 (run_sweep ~full ())
+  | "fig18" -> fig18 ~full ()
+  | "compile-time" -> compile_time ()
+  | "ablation" -> ablation ()
+  | "planar" -> planar ()
+  | "magic" -> magic ()
+  | "micro" -> micro ()
+  | "all" ->
+    table1 ~full ();
+    table2 ~full ();
+    let points = run_sweep ~full () in
+    fig16 points;
+    fig17 points;
+    fig18 ~full ();
+    compile_time ();
+    ablation ();
+    planar ();
+    magic ();
+    micro ()
+  | other ->
+    Printf.eprintf
+      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|micro|all)\n"
+      other;
+    exit 2);
+  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

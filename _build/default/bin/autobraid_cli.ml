@@ -1,0 +1,415 @@
+(* autobraid — command-line front end.
+
+   Subcommands:
+     compile    schedule a circuit and report latency/utilization
+     info       static analysis: sizes, depth, parallelism, LLG census
+     resources  surface-code resource estimates for a qubit count / target P_L
+     emit       write a built-in benchmark as OpenQASM 2.0
+     sweep      p-threshold sensitivity sweep (Fig. 18 style)
+
+   Circuits are named either by a built-in benchmark ("qft50", "urf2_277",
+   see `autobraid list`) or by a path to a .qasm / .real file. *)
+
+open Cmdliner
+
+let load_circuit spec =
+  if Sys.file_exists spec then
+    if Filename.check_suffix spec ".real" then
+      Qec_revlib.Real_parser.of_file spec
+    else Qec_qasm.Frontend.of_file spec
+  else
+    match Qec_benchmarks.Registry.build spec with
+    | c -> c
+    | exception Not_found ->
+      Printf.eprintf
+        "unknown circuit %S (not a file, not a benchmark; try `autobraid \
+         list`)\n"
+        spec;
+      exit 2
+
+(* ---------------- common args ---------------- *)
+
+let circuit_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name (e.g. qft50) or file path")
+
+let distance_arg =
+  Arg.(
+    value
+    & opt int Qec_surface.Timing.default_d
+    & info [ "d"; "distance" ] ~docv:"D" ~doc:"Surface code distance")
+
+let seed_arg =
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Random seed")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt float 0.3
+    & info [ "p"; "threshold" ] ~docv:"P"
+        ~doc:"Layout-optimizer trigger threshold in [0,1)")
+
+let scheduler_kind =
+  Arg.enum [ ("full", `Full); ("sp", `Sp); ("baseline", `Baseline) ]
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt scheduler_kind `Full
+    & info [ "s"; "scheduler" ] ~docv:"KIND"
+        ~doc:"Scheduler: full (autobraid), sp (no layout opt), baseline (GP)")
+
+let initial_kind =
+  Arg.enum
+    [
+      ("identity", Autobraid.Initial_layout.Identity);
+      ("bisect", Autobraid.Initial_layout.Bisected);
+      ("metis", Autobraid.Initial_layout.Partitioned);
+      ("anneal", Autobraid.Initial_layout.Annealed);
+    ]
+
+let initial_arg =
+  Arg.(
+    value
+    & opt initial_kind Autobraid.Initial_layout.Annealed
+    & info [ "initial" ] ~docv:"METHOD"
+        ~doc:"Initial placement: identity, metis, anneal")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the peephole optimizer (inverse cancellation, rotation \
+              merging) before scheduling")
+
+let best_p_arg =
+  Arg.(
+    value & flag
+    & info [ "best-p" ]
+        ~doc:"Sweep p over 0.0-0.9 and keep the best (slower)")
+
+(* ---------------- compile ---------------- *)
+
+let print_result timing (r : Autobraid.Scheduler.result) =
+  let t = Qec_util.Tableprint.create
+      ~headers:[ ("metric", Qec_util.Tableprint.Left); ("value", Qec_util.Tableprint.Right) ]
+  in
+  let add k v = Qec_util.Tableprint.add_row t [ k; v ] in
+  add "circuit" r.name;
+  add "logical qubits" (string_of_int r.num_qubits);
+  add "lattice" (Printf.sprintf "%dx%d tiles" r.lattice_side r.lattice_side);
+  add "gates (lowered)" (string_of_int r.num_gates);
+  add "two-qubit gates" (string_of_int r.num_two_qubit);
+  add "rounds" (string_of_int r.rounds);
+  add "braid rounds" (string_of_int r.braid_rounds);
+  add "swap layers" (string_of_int r.swap_layers);
+  add "swaps inserted" (string_of_int r.swaps_inserted);
+  add "total cycles" (string_of_int r.total_cycles);
+  add "execution time"
+    (Printf.sprintf "%s us"
+       (Qec_util.Tableprint.si_cell (Autobraid.Scheduler.time_us timing r)));
+  add "critical path"
+    (Printf.sprintf "%s us"
+       (Qec_util.Tableprint.si_cell
+          (Autobraid.Scheduler.critical_path_us timing r)));
+  add "vs critical path"
+    (Printf.sprintf "%.2fx"
+       (float_of_int r.total_cycles /. float_of_int (max 1 r.critical_path_cycles)));
+  add "avg utilization" (Printf.sprintf "%.1f%%" (100. *. r.avg_utilization));
+  add "peak utilization" (Printf.sprintf "%.1f%%" (100. *. r.peak_utilization));
+  add "compile time" (Printf.sprintf "%.3f s" r.compile_time_s);
+  let exposure = Autobraid.Reliability.exposure_of_result timing r in
+  add "exposure"
+    (Printf.sprintf "%.0f qubit-blocks"
+       (Autobraid.Reliability.total_blocks exposure));
+  add "failure prob."
+    (Printf.sprintf "%.2e"
+       (Autobraid.Reliability.failure_probability ~d:timing.Qec_surface.Timing.d
+          exposure));
+  Qec_util.Tableprint.print t
+
+let compile_cmd =
+  let run spec d seed p sched initial best_p optimize =
+    let timing = Qec_surface.Timing.make ~d () in
+    let c = load_circuit spec in
+    let c =
+      if optimize then begin
+        let c', stats = Qec_circuit.Optimize.peephole c in
+        Printf.printf
+          "peephole: cancelled %d pairs, merged %d rotations (%d -> %d gates)\n"
+          stats.Qec_circuit.Optimize.cancelled_pairs
+          stats.Qec_circuit.Optimize.merged_rotations
+          (Qec_circuit.Circuit.length c)
+          (Qec_circuit.Circuit.length c');
+        c'
+      end
+      else c
+    in
+    let result =
+      match sched with
+      | `Baseline ->
+        Gp_baseline.run ~options:{ Gp_baseline.default_options with seed } timing c
+      | (`Full | `Sp) as v ->
+        let options =
+          {
+            Autobraid.Scheduler.variant =
+              (if v = `Full then Autobraid.Scheduler.Full
+               else Autobraid.Scheduler.Sp);
+            threshold_p = p;
+            initial;
+            swap_strategy = None;
+            retry = true;
+            confine_llg = true;
+            compaction = false;
+            lookahead = false;
+            seed;
+            placement_override = None;
+          }
+        in
+        if best_p && v = `Full then
+          fst (Autobraid.Scheduler.run_best_p ~options timing c)
+        else Autobraid.Scheduler.run ~options timing c
+    in
+    print_result timing result
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Schedule a circuit's braiding paths")
+    Term.(
+      const run $ circuit_arg $ distance_arg $ seed_arg $ threshold_arg
+      $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg)
+
+(* ---------------- info ---------------- *)
+
+let info_cmd =
+  let run spec =
+    let c0 = load_circuit spec in
+    let c = Qec_circuit.Decompose.to_scheduler_gates c0 in
+    let dag = Qec_circuit.Dag.of_circuit c in
+    let coupling = Qec_circuit.Coupling.of_circuit c in
+    let n = Qec_circuit.Circuit.num_qubits c in
+    let side = Qec_surface.Resources.lattice_side ~num_logical:n in
+    let grid = Qec_lattice.Grid.create (max 1 side) in
+    let placement =
+      Autobraid.Initial_layout.place ~method_:Autobraid.Initial_layout.Partitioned
+        c grid
+    in
+    let census = Autobraid.Initial_layout.oversize_census c placement in
+    Printf.printf "circuit            %s\n" (Qec_circuit.Circuit.name c);
+    Printf.printf "qubits             %d\n" n;
+    Printf.printf "gates (raw)        %d\n" (Qec_circuit.Circuit.length c0);
+    Printf.printf "gates (lowered)    %d\n" (Qec_circuit.Circuit.length c);
+    Printf.printf "two-qubit gates    %d\n"
+      (Qec_circuit.Circuit.two_qubit_count c);
+    Printf.printf "dag depth          %d\n" (Qec_circuit.Dag.depth dag);
+    Printf.printf "coupling density   %.3f\n"
+      (Qec_circuit.Coupling.density coupling);
+    Printf.printf "coupling max deg   %d\n"
+      (Qec_circuit.Coupling.max_degree coupling);
+    Printf.printf "degree-2 graph     %b\n"
+      (Qec_circuit.Coupling.is_degree_two coupling);
+    Printf.printf "oversize LLGs      %d (metis layout)\n" census;
+    Printf.printf "CX parallelism     ";
+    List.iter
+      (fun (k, layers) -> Printf.printf "%dx%d " k layers)
+      (Qec_circuit.Dag.two_qubit_layer_histogram dag);
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Static analysis of a circuit")
+    Term.(const run $ circuit_arg)
+
+(* ---------------- resources ---------------- *)
+
+let resources_cmd =
+  let run n target_pl =
+    let d = Qec_surface.Error_model.distance_for_target ~target_pl () in
+    List.iter
+      (fun (k, v) -> Printf.printf "%-24s %s\n" k v)
+      (Qec_surface.Resources.summary ~num_logical:n ~d);
+    Printf.printf "%-24s %.3g\n" "target P_L" target_pl;
+    Printf.printf "%-24s %.3g\n" "achieved P_L"
+      (Qec_surface.Error_model.logical_error_rate ~d ())
+  in
+  let n_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"QUBITS" ~doc:"Logical qubit count")
+  in
+  let pl_arg =
+    Arg.(
+      value & opt float 1e-12
+      & info [ "pl" ] ~docv:"P" ~doc:"Target logical error rate")
+  in
+  Cmd.v
+    (Cmd.info "resources" ~doc:"Surface-code resource estimates")
+    Term.(const run $ n_arg $ pl_arg)
+
+(* ---------------- emit ---------------- *)
+
+let emit_cmd =
+  let run spec out =
+    let c =
+      Qec_circuit.Decompose.lower_mcx (load_circuit spec)
+    in
+    match out with
+    | None -> print_string (Qec_qasm.Printer.to_string c)
+    | Some path -> Qec_qasm.Printer.to_file path c
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout)")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit a circuit as OpenQASM 2.0")
+    Term.(const run $ circuit_arg $ out_arg)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let run spec d =
+    let timing = Qec_surface.Timing.make ~d () in
+    let c = load_circuit spec in
+    let _, curve = Autobraid.Scheduler.run_best_p timing c in
+    Printf.printf "# p  cycles  time_us  normalized\n";
+    match curve with
+    | [] -> ()
+    | (_, first) :: _ ->
+      let base = float_of_int first.Autobraid.Scheduler.total_cycles in
+      List.iter
+        (fun (p, (r : Autobraid.Scheduler.result)) ->
+          Printf.printf "%.1f  %d  %.0f  %.3f\n" p r.total_cycles
+            (Autobraid.Scheduler.time_us timing r)
+            (float_of_int r.total_cycles /. base))
+        curve
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"p-threshold sensitivity sweep (Fig. 18)")
+    Term.(const run $ circuit_arg $ distance_arg)
+
+(* ---------------- export ---------------- *)
+
+let export_cmd =
+  let run spec d fmt out =
+    let timing = Qec_surface.Timing.make ~d () in
+    let c = load_circuit spec in
+    let payload =
+      match fmt with
+      | `Json ->
+        let result, trace = Autobraid.Scheduler.run_traced timing c in
+        Qec_report.Json.to_string ~indent:true
+          (Qec_report.Json.Obj
+             [
+               ("result", Qec_report.Export.result_to_json result);
+               ("trace", Qec_report.Export.trace_to_json ~max_rounds:50 trace);
+               ( "reliability",
+                 Qec_report.Export.exposure_to_json ~d
+                   (Autobraid.Reliability.exposure_of_result timing result) );
+             ])
+      | `Coupling_dot ->
+        let lowered = Qec_circuit.Decompose.to_scheduler_gates c in
+        Qec_report.Export.coupling_to_dot
+          (Qec_circuit.Coupling.of_circuit lowered)
+      | `Csv ->
+        let _, curve = Autobraid.Scheduler.run_best_p timing c in
+        Qec_report.Export.p_curve_to_csv curve
+    in
+    match out with
+    | None -> print_string payload
+    | Some path ->
+      let oc = open_out path in
+      output_string oc payload;
+      close_out oc
+  in
+  let fmt_arg =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("dot", `Coupling_dot); ("csv", `Csv) ]) `Json
+      & info [ "f"; "format" ] ~docv:"FMT"
+          ~doc:"json (result+trace+reliability), dot (coupling graph), csv \
+                (p-sweep)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout)")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export results, traces and graphs (json/dot/csv)")
+    Term.(const run $ circuit_arg $ distance_arg $ fmt_arg $ out_arg)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let run spec d max_rounds svg_prefix =
+    let timing = Qec_surface.Timing.make ~d () in
+    let c = load_circuit spec in
+    let result, trace = Autobraid.Scheduler.run_traced timing c in
+    (match Autobraid.Trace.validate trace with
+    | Ok () -> print_endline "trace: VALID"
+    | Error msg -> Printf.printf "trace: INVALID (%s)\n" msg);
+    Printf.printf "%d rounds, %d cycles, %d swaps\n\n"
+      result.Autobraid.Scheduler.rounds result.Autobraid.Scheduler.total_cycles
+      result.Autobraid.Scheduler.swaps_inserted;
+    let shown = min max_rounds (Autobraid.Trace.num_rounds trace) in
+    for k = 0 to shown - 1 do
+      print_endline (Autobraid.Trace.round_to_string trace k);
+      print_newline ()
+    done;
+    if shown < Autobraid.Trace.num_rounds trace then
+      Printf.printf "... (%d more rounds; raise --rounds to see them)\n"
+        (Autobraid.Trace.num_rounds trace - shown);
+    match svg_prefix with
+    | None -> ()
+    | Some prefix ->
+      for k = 0 to shown - 1 do
+        let file = Printf.sprintf "%s-round%03d.svg" prefix k in
+        Qec_report.Svg.save_round file trace k;
+        Printf.printf "wrote %s\n" file
+      done
+  in
+  let svg_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"PREFIX"
+          ~doc:"Also write each rendered round as PREFIX-roundNNN.svg")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~docv:"N" ~doc:"How many rounds to render")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Record, validate and render a schedule trace")
+    Term.(const run $ circuit_arg $ distance_arg $ rounds_arg $ svg_arg)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "benchmark families (suffix with a size, e.g. qft50):";
+    List.iter
+      (fun (e : Qec_benchmarks.Registry.entry) ->
+        Printf.printf "  %-8s %s\n" (e.name ^ "<n>") e.description)
+      Qec_benchmarks.Registry.families;
+    print_endline "fixed instances:";
+    List.iter
+      (fun (name, _) -> Printf.printf "  %s\n" name)
+      Qec_benchmarks.Registry.fixed
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in benchmarks") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "autobraid" ~version:"1.0.0"
+       ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
+    [ compile_cmd; info_cmd; resources_cmd; emit_cmd; sweep_cmd; trace_cmd;
+       export_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/congestion_rescue.ml: Array Autobraid List Printf Qec_lattice Qec_surface

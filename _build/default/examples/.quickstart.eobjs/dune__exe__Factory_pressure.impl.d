@@ -1,0 +1,1 @@
+examples/factory_pressure.ml: Autobraid List Printf Qec_benchmarks Qec_circuit Qec_magic Qec_report Qec_surface

@@ -1,0 +1,1 @@
+examples/ising_chain.ml: Array Autobraid Printf Qec_benchmarks Qec_circuit Qec_lattice Qec_surface Qec_util Sys

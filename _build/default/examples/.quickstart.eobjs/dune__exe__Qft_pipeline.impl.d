@@ -1,0 +1,1 @@
+examples/qft_pipeline.ml: Array Autobraid Gp_baseline List Printf Qec_benchmarks Qec_circuit Qec_surface Qec_util Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Autobraid Format Printf Qec_circuit Qec_qasm Qec_surface

@@ -1,0 +1,61 @@
+(* Beyond the paper: what does the "steady supply of magic states at the
+   data location" assumption (§4.1) hide, and what does scheduling speed
+   buy in end-to-end reliability?
+
+   This example schedules a T-heavy reversible block under (a) the ideal
+   assumption, (b) explicit boundary distillation factories, and compares
+   the resulting logical failure probabilities; it finishes by exporting
+   the ideal run as JSON.
+
+   Run with:  dune exec examples/factory_pressure.exe *)
+
+module S = Autobraid.Scheduler
+module M = Qec_magic.Factory_model
+module R = Autobraid.Reliability
+
+let () =
+  let d = Qec_surface.Timing.default_d in
+  let timing = Qec_surface.Timing.make ~d () in
+  let circuit = Qec_benchmarks.Building_blocks.by_name "sqrt8_260" in
+  Printf.printf "circuit: %s (%d qubits, %d gates, T-heavy)\n\n"
+    (Qec_circuit.Circuit.name circuit)
+    (Qec_circuit.Circuit.num_qubits circuit)
+    (Qec_circuit.Circuit.length circuit);
+
+  let ideal =
+    S.run ~options:{ S.default_options with variant = S.Sp } timing circuit
+  in
+  Printf.printf "ideal supply (paper's assumption): %8.0f us\n"
+    (S.time_us timing ideal);
+
+  List.iter
+    (fun k ->
+      let options = { (M.default_options ()) with M.num_factories = k } in
+      let r = M.run ~options timing circuit in
+      Printf.printf "%d boundary factories:              %8.0f us (%.2fx, %d stalled rounds)\n"
+        k
+        (S.time_us timing r.M.scheduler)
+        (float_of_int r.M.scheduler.S.total_cycles
+        /. float_of_int ideal.S.total_cycles)
+        r.M.stalled_rounds)
+    [ 1; 2; 4; 8 ];
+
+  (* Reliability: a slower schedule is a less reliable schedule. *)
+  print_newline ();
+  let slow = (M.run ~options:{ (M.default_options ()) with M.num_factories = 1 }
+                timing circuit).M.scheduler
+  in
+  let p_fast = R.failure_probability ~d (R.exposure_of_result timing ideal) in
+  let p_slow = R.failure_probability ~d (R.exposure_of_result timing slow) in
+  Printf.printf "failure probability at d=%d: ideal %.3e vs 1-factory %.3e (%.1fx riskier)\n"
+    d p_fast p_slow (p_slow /. p_fast);
+  Printf.printf "distance needed for 1e-9 failure: ideal d=%d vs 1-factory d=%d\n"
+    (R.distance_for_failure ~target:1e-9 (R.exposure_of_result timing ideal))
+    (R.distance_for_failure ~target:1e-9 (R.exposure_of_result timing slow));
+
+  (* Machine-readable export. *)
+  print_newline ();
+  print_endline "JSON export of the ideal run:";
+  print_endline
+    (Qec_report.Json.to_string ~indent:true
+       (Qec_report.Export.result_to_json ideal))

@@ -1,0 +1,63 @@
+(* The paper's high-parallelism motivating example (Fig. 7): the Ising
+   model circuit has n/2 simultaneous CX gates. With the snake embedding
+   for its degree-2 coupling graph, every LLG has size <= 3, Theorem 1
+   guarantees congestion-free rounds, and AutoBraid runs at exactly the
+   critical path — which this example verifies.
+
+   It also shows what goes wrong with a bad (random) placement: the LLG
+   census degrades and so does the schedule.
+
+   Run with:  dune exec examples/ising_chain.exe [-- n]  (default n = 36) *)
+
+module S = Autobraid.Scheduler
+module IL = Autobraid.Initial_layout
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 36
+  in
+  let circuit = Qec_benchmarks.Ising.circuit ~steps:4 n in
+  let timing = Qec_surface.Timing.make ~d:Qec_surface.Timing.default_d () in
+  let side = Qec_surface.Resources.lattice_side ~num_logical:n in
+  let grid = Qec_lattice.Grid.create side in
+
+  Printf.printf "Ising-%d (4 Trotter steps): %d gates on a %dx%d lattice\n\n"
+    n
+    (Qec_circuit.Circuit.length circuit)
+    side side;
+
+  let coupling = Qec_circuit.Coupling.of_circuit circuit in
+  Printf.printf "coupling graph: max degree %d (degree-2 chain: %b)\n"
+    (Qec_circuit.Coupling.max_degree coupling)
+    (Qec_circuit.Coupling.is_degree_two coupling);
+
+  (* LLG census under the snake embedding vs. a deliberately bad one. *)
+  let snake = IL.place ~method_:IL.Partitioned circuit grid in
+  let shuffled =
+    Qec_lattice.Placement.random (Qec_util.Rng.create 99) grid ~num_qubits:n
+  in
+  Printf.printf "oversize LLGs, snake placement:  %d\n"
+    (IL.oversize_census circuit snake);
+  Printf.printf "oversize LLGs, random placement: %d\n\n"
+    (IL.oversize_census circuit shuffled);
+
+  (* Schedule with the good placement: must hit the critical path. *)
+  let r = S.run timing circuit in
+  Printf.printf "autobraid: %.0f us | critical path: %.0f us | ratio %.2fx\n"
+    (S.time_us timing r)
+    (S.critical_path_us timing r)
+    (float_of_int r.S.total_cycles /. float_of_int r.S.critical_path_cycles);
+  assert (r.S.total_cycles = r.S.critical_path_cycles);
+  print_endline "theorem-1 optimality check passed (schedule = critical path)";
+
+  (* And with identity placement (row-major), which breaks chain locality. *)
+  let r_id =
+    S.run
+      ~options:{ S.default_options with initial = IL.Identity; variant = S.Sp }
+      timing circuit
+  in
+  Printf.printf
+    "\nwith naive row-major placement instead: %.0f us (%.2fx critical path)\n"
+    (S.time_us timing r_id)
+    (float_of_int r_id.S.total_cycles
+    /. float_of_int r_id.S.critical_path_cycles)

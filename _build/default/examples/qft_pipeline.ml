@@ -1,0 +1,73 @@
+(* The paper's headline workload: large QFT circuits, where the greedy
+   baseline congests and AutoBraid's stack-based path finder plus dynamic
+   placement pays off (Table 2 rows QFT-200/400; up to 30x there).
+
+   This example compiles a QFT end-to-end with all three schedulers and
+   prints a small version of the Table 2 comparison.
+
+   Run with:  dune exec examples/qft_pipeline.exe [-- n]  (default n = 64) *)
+
+module S = Autobraid.Scheduler
+module TP = Qec_util.Tableprint
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 64
+  in
+  let circuit = Qec_benchmarks.Qft.circuit n in
+  let timing = Qec_surface.Timing.make ~d:Qec_surface.Timing.default_d () in
+
+  Printf.printf "QFT-%d: %d gates, lattice %dx%d, d = %d\n\n" n
+    (Qec_circuit.Circuit.length circuit)
+    (Qec_surface.Resources.lattice_side ~num_logical:n)
+    (Qec_surface.Resources.lattice_side ~num_logical:n)
+    Qec_surface.Timing.default_d;
+
+  (* Static communication analysis first (stage 1 of the framework). *)
+  let dag = Qec_circuit.Dag.of_circuit circuit in
+  let widths = Qec_circuit.Dag.two_qubit_layer_histogram dag in
+  let max_width = List.fold_left (fun acc (k, _) -> max acc k) 0 widths in
+  Printf.printf "max theoretical CX parallelism: %d concurrent gates\n\n"
+    max_width;
+
+  let baseline = Gp_baseline.run timing circuit in
+  let sp =
+    S.run ~options:{ S.default_options with variant = S.Sp } timing circuit
+  in
+  let full, _curve =
+    S.run_best_p ~grid_points:[ 0.0; 0.2; 0.4 ] timing circuit
+  in
+
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("scheduler", TP.Left);
+          ("time (us)", TP.Right);
+          ("vs CP", TP.Right);
+          ("utilization", TP.Right);
+          ("swaps", TP.Right);
+        ]
+  in
+  let cp = float_of_int full.S.critical_path_cycles in
+  let row name (r : S.result) =
+    TP.add_row t
+      [
+        name;
+        TP.si_cell (S.time_us timing r);
+        Printf.sprintf "%.2fx" (float_of_int r.S.total_cycles /. cp);
+        Printf.sprintf "%.0f%%" (100. *. r.S.avg_utilization);
+        string_of_int r.S.swaps_inserted;
+      ]
+  in
+  TP.add_row t
+    [ "critical path"; TP.si_cell (S.critical_path_us timing full); "1.00x";
+      "-"; "-" ];
+  TP.add_separator t;
+  row "GP w. initM (baseline)" baseline;
+  row "autobraid-sp" sp;
+  row "autobraid-full" full;
+  TP.print t;
+
+  Printf.printf "\nspeedup over baseline: %.2fx\n"
+    (float_of_int baseline.S.total_cycles /. float_of_int full.S.total_cycles)

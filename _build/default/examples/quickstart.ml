@@ -1,0 +1,58 @@
+(* Quickstart: build a circuit with the library API, schedule its braiding
+   paths, and read the report.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let () =
+  (* A 4-qubit GHZ-like circuit followed by a round of pairwise CZs. *)
+  let circuit =
+    C.create ~name:"quickstart" ~num_qubits:4
+      G.[
+          H 0;
+          Cx (0, 1);
+          Cx (1, 2);
+          Cx (2, 3);
+          Cz (0, 2);
+          Cz (1, 3);
+          T 0;
+          T 3;
+          Measure 0;
+          Measure 1;
+          Measure 2;
+          Measure 3;
+        ]
+  in
+  Format.printf "%a@." C.pp circuit;
+
+  (* Pick a code distance from a target logical error rate. *)
+  let d = Qec_surface.Error_model.distance_for_target ~target_pl:1e-10 () in
+  let timing = Qec_surface.Timing.make ~d () in
+  Printf.printf "code distance d = %d (P_L = %.3g)\n\n" d
+    (Qec_surface.Error_model.logical_error_rate ~d ());
+
+  (* Schedule with AutoBraid. *)
+  let result = Autobraid.Scheduler.run timing circuit in
+  Printf.printf "lattice            %dx%d tiles\n" result.lattice_side
+    result.lattice_side;
+  Printf.printf "rounds             %d (%d braid, %d swap)\n" result.rounds
+    result.braid_rounds result.swap_layers;
+  Printf.printf "total time         %.1f us\n"
+    (Autobraid.Scheduler.time_us timing result);
+  Printf.printf "critical path      %.1f us\n"
+    (Autobraid.Scheduler.critical_path_us timing result);
+  Printf.printf "avg utilization    %.1f%%\n"
+    (100. *. result.avg_utilization);
+
+  (* The same circuit can be exported as OpenQASM... *)
+  print_newline ();
+  print_string (Qec_qasm.Printer.to_string circuit);
+
+  (* ...and parsed back. *)
+  let reparsed =
+    Qec_qasm.Frontend.of_string (Qec_qasm.Printer.to_string circuit)
+  in
+  assert (C.gates reparsed = C.gates circuit);
+  print_endline "\nround-trip check passed"

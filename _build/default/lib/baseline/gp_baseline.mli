@@ -1,0 +1,36 @@
+(** Re-implementation of the baseline braiding scheduler — "GP w. initM"
+    (Javadi-Abhari et al., MICRO'17, as characterized in the AutoBraid
+    paper §4.1).
+
+    Greedy policy: each round, sort the ready CX gates by operand distance
+    (shortest first — shortest paths consume minimal routing resources) and
+    A*-route them in that order; gates that fail wait for the next round.
+    The qubit placement comes from the graph partitioner ("initM") and is
+    {e static} for the whole execution — no LLG analysis, no stack
+    ordering, no retry, no SWAP insertion. Latency accounting is identical
+    to {!Autobraid.Scheduler} so the comparison isolates the scheduling
+    policy. *)
+
+type route_kind =
+  | Dimension_ordered
+      (** braidflash-style single-bend routes — the faithful baseline *)
+  | Astar  (** detouring A* — ablation isolating the ordering policy *)
+
+type options = {
+  initial : Autobraid.Initial_layout.method_;
+      (** default [Bisected] — plain "metis" seeding without AutoBraid's
+          degree-2 snake special case; [Identity] gives the unseeded
+          ablation *)
+  router : route_kind;  (** default [Dimension_ordered] *)
+  seed : int;
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  Qec_surface.Timing.t ->
+  Qec_circuit.Circuit.t ->
+  Autobraid.Scheduler.result
+(** Same result record as the main scheduler ([swap_layers] and
+    [swaps_inserted] are always 0). *)

@@ -1,0 +1,1 @@
+lib/benchmarks/arith.ml: Float Printf Qec_circuit

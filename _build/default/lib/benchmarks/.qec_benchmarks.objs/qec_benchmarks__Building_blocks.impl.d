@@ -1,0 +1,1 @@
+lib/benchmarks/building_blocks.ml: List Qec_circuit Qec_util

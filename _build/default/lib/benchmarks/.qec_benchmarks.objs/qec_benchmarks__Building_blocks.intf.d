@@ -1,0 +1,1 @@
+lib/benchmarks/building_blocks.mli: Qec_circuit

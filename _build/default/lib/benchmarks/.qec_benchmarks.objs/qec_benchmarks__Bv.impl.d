@@ -1,0 +1,1 @@
+lib/benchmarks/bv.ml: Array Printf Qec_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/bwt.ml: Array List Option Printf Qec_circuit Qec_util

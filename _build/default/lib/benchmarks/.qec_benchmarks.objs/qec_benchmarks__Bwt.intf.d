@@ -1,0 +1,1 @@
+lib/benchmarks/bwt.mli: Qec_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/cc.ml: Printf Qec_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/cc.mli: Qec_circuit

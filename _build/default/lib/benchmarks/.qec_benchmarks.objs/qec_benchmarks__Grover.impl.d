@@ -1,0 +1,1 @@
+lib/benchmarks/grover.ml: Float List Option Printf Qec_circuit

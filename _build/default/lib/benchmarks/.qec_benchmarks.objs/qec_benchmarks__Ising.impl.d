@@ -1,0 +1,1 @@
+lib/benchmarks/ising.ml: Printf Qec_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/misc_circuits.ml: Option Printf Qec_circuit Qec_util

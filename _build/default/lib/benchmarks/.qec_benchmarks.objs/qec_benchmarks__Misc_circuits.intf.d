@@ -1,0 +1,1 @@
+lib/benchmarks/misc_circuits.mli: Qec_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.ml: Array Hashtbl List Printf Qec_circuit Qec_util

@@ -1,0 +1,1 @@
+lib/benchmarks/qft.ml: Float Printf Qec_circuit

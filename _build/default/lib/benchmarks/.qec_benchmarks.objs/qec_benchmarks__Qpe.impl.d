@@ -1,0 +1,1 @@
+lib/benchmarks/qpe.ml: Float Printf Qec_circuit

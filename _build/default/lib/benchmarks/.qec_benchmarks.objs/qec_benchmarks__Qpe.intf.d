@@ -1,0 +1,1 @@
+lib/benchmarks/qpe.mli: Qec_circuit

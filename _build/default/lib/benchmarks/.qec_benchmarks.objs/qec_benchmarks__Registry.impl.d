@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Arith Building_blocks Bv Bwt Cc Grover Ising List Misc_circuits Qaoa Qec_circuit Qft Qpe Shor String

@@ -1,0 +1,1 @@
+lib/benchmarks/shor.ml: Float Option Printf Qec_circuit

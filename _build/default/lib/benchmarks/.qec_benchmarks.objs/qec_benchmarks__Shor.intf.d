@@ -1,0 +1,1 @@
+lib/benchmarks/shor.mli: Qec_circuit

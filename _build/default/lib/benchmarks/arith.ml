@@ -1,0 +1,77 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let cuccaro_num_qubits ~bits = (2 * bits) + 2
+
+(* Cuccaro, Draper, Kutin & Moulton, "A new quantum ripple-carry addition
+   circuit". Layout: carry-in, then interleaved b_i, a_i pairs, carry-out
+   last. MAJ computes carries forward; UMA uncomputes them backward. *)
+let cuccaro_adder bits =
+  if bits < 1 then invalid_arg "Arith.cuccaro_adder: bits < 1";
+  let n = cuccaro_num_qubits ~bits in
+  let builder =
+    C.Builder.create ~name:(Printf.sprintf "cuccaro%d" bits) ~num_qubits:n ()
+  in
+  let cin = 0 in
+  let b i = 1 + (2 * i) in
+  let a i = 2 + (2 * i) in
+  let cout = n - 1 in
+  let maj x y z =
+    C.Builder.add builder (G.Cx (z, y));
+    C.Builder.add builder (G.Cx (z, x));
+    C.Builder.add builder (G.Ccx (x, y, z))
+  in
+  let uma x y z =
+    C.Builder.add builder (G.Ccx (x, y, z));
+    C.Builder.add builder (G.Cx (z, x));
+    C.Builder.add builder (G.Cx (x, y))
+  in
+  maj cin (b 0) (a 0);
+  for i = 1 to bits - 1 do
+    maj (a (i - 1)) (b i) (a i)
+  done;
+  C.Builder.add builder (G.Cx (a (bits - 1), cout));
+  for i = bits - 1 downto 1 do
+    uma (a (i - 1)) (b i) (a i)
+  done;
+  uma cin (b 0) (a 0);
+  C.Builder.finish builder
+
+let draper_num_qubits ~bits = 2 * bits
+
+(* Draper, "Addition on a quantum computer": QFT the target register, fan
+   controlled phases in from the source register, inverse QFT. *)
+let draper_adder bits =
+  if bits < 1 then invalid_arg "Arith.draper_adder: bits < 1";
+  let n = draper_num_qubits ~bits in
+  let builder =
+    C.Builder.create ~name:(Printf.sprintf "draper%d" bits) ~num_qubits:n ()
+  in
+  let a i = i in
+  let b i = bits + i in
+  let angle k = Float.pi /. float_of_int (1 lsl k) in
+  (* Fourier stage in LSB-last order: after it, qubit b_i carries the
+     phase 2pi (x mod 2^(i+1)) / 2^(i+1), which is linear under addition —
+     the property Draper's phase-space adder needs. (The Qft benchmark
+     module uses the opposite processing order, under which per-qubit
+     phase addition is not linear; see test/test_sim.ml.) *)
+  for i = bits - 1 downto 0 do
+    C.Builder.add builder (G.H (b i));
+    for j = i - 1 downto 0 do
+      C.Builder.add builder (G.Cphase (b j, b i, angle (i - j)))
+    done
+  done;
+  (* phase additions controlled by a: qubit b_i gains 2pi a / 2^(i+1) *)
+  for i = 0 to bits - 1 do
+    for j = 0 to i do
+      C.Builder.add builder (G.Cphase (a j, b i, angle (i - j)))
+    done
+  done;
+  (* inverse Fourier stage: exact reverse with negated angles *)
+  for i = 0 to bits - 1 do
+    for j = 0 to i - 1 do
+      C.Builder.add builder (G.Cphase (b j, b i, -.angle (i - j)))
+    done;
+    C.Builder.add builder (G.H (b i))
+  done;
+  C.Builder.finish builder

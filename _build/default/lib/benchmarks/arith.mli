@@ -1,0 +1,26 @@
+(** Arithmetic building-block circuits.
+
+    The paper's "building blocks" category is made of exactly this kind of
+    reversible arithmetic (adders, comparators, square roots). Two classic
+    adders are provided:
+
+    - the Cuccaro ripple-carry adder (MAJ/UMA ladders of Toffolis): long
+      serial dependence chains, minimal communication parallelism;
+    - the Draper adder (QFT, controlled-phase fan-in, inverse QFT): wide
+      concurrent controlled-phase fronts, communication heavy.
+
+    Together they bracket the two workload regimes the scheduler sees. *)
+
+val cuccaro_adder : int -> Qec_circuit.Circuit.t
+(** [cuccaro_adder bits] adds two [bits]-bit registers using
+    [2*bits + 2] qubits (carry-in, a, b, carry-out). Contains [Ccx] gates;
+    lower with {!Qec_circuit.Decompose.to_scheduler_gates} or let the
+    scheduler do it. Raises [Invalid_argument] if [bits < 1]. *)
+
+val cuccaro_num_qubits : bits:int -> int
+
+val draper_adder : int -> Qec_circuit.Circuit.t
+(** [draper_adder bits] adds register a into register b via the QFT:
+    [2*bits] qubits. Raises [Invalid_argument] if [bits < 1]. *)
+
+val draper_num_qubits : bits:int -> int

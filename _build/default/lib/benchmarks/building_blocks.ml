@@ -1,0 +1,63 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module D = Qec_circuit.Decompose
+
+(* Elementary-gate cost of each emitted MCT after lowering: X = 1,
+   CX = 1, CCX = 15 (Clifford+T network). *)
+let random_mct ?(seed = 1) ~qubits ~target_gates ~name () =
+  if qubits < 3 then invalid_arg "Building_blocks.random_mct: qubits < 3";
+  if target_gates < 1 then
+    invalid_arg "Building_blocks.random_mct: target_gates < 1";
+  let rng = Qec_util.Rng.create seed in
+  let b = C.Builder.create ~name ~num_qubits:qubits () in
+  let emitted = ref 0 in
+  while !emitted < target_gates do
+    let distinct k =
+      Qec_util.Rng.sample_without_replacement rng k qubits
+    in
+    (* RevLib functions are Toffoli-heavy with occasional CNOT/NOT lines. *)
+    let roll = Qec_util.Rng.int rng 10 in
+    if roll < 1 then begin
+      (match distinct 1 with
+      | [ t ] -> C.Builder.add b (G.X t)
+      | _ -> assert false);
+      incr emitted
+    end
+    else if roll < 4 then begin
+      (match distinct 2 with
+      | [ c; t ] -> C.Builder.add b (G.Cx (c, t))
+      | _ -> assert false);
+      incr emitted
+    end
+    else begin
+      (match distinct 3 with
+      | [ c1; c2; t ] -> C.Builder.add b (G.Ccx (c1, c2, t))
+      | _ -> assert false);
+      emitted := !emitted + 15
+    end
+  done;
+  D.to_scheduler_gates (C.Builder.finish b)
+
+(* name, qubits, Table-2 elementary gate count, seed *)
+let catalog =
+  [
+    ("4gt11_8", 5, 20, 11);
+    ("4gt5_75", 5, 48, 75);
+    ("alu-v0_26", 5, 48, 26);
+    ("rd32-v0", 4, 34, 32);
+    ("sqrt8_260", 12, 3090, 260);
+    ("squar5_261", 13, 1110, 261);
+    ("squar7", 15, 4070, 7);
+    ("urf1_278", 9, 54800, 278);
+    ("urf2_277", 8, 20100, 277);
+    ("urf5_158", 9, 160000, 158);
+    ("urf5_280", 9, 49800, 280);
+  ]
+
+let names = List.map (fun (n, _, _, _) -> n) catalog
+
+let by_name name =
+  let n, qubits, gates, seed =
+    List.find (fun (n, _, _, _) -> n = name) catalog
+  in
+  random_mct ~seed ~qubits ~target_gates:gates ~name:n ()

@@ -1,0 +1,28 @@
+(** Synthetic stand-ins for the RevLib "building block" benchmarks.
+
+    The paper's first benchmark category (Table 2, "Building Blocks") are
+    RevLib reversible functions: comparators, adders, square roots, and
+    unstructured reversible functions (urf series). The RevLib netlists are not
+    redistributable here, so each entry is a deterministic random MCT
+    (multi-controlled Toffoli) cascade with the {e same qubit count} as the
+    original and an elementary-gate count calibrated to Table 2 after
+    Clifford+T lowering. Reversible MCT cascades on a handful of qubits
+    share the originals' scheduling profile: dense reuse of few qubits,
+    long dependence chains, low communication parallelism.
+
+    All circuits are returned {e already lowered} by
+    [Decompose.to_scheduler_gates]. *)
+
+val names : string list
+(** The Table 1/2 entries: 4gt11_8, 4gt5_75, alu-v0_26, rd32-v0, sqrt8_260,
+    squar5_261, squar7, urf1_278, urf2_277, urf5_158, urf5_280. *)
+
+val by_name : string -> Qec_circuit.Circuit.t
+(** Raises [Not_found] for unknown names. *)
+
+val random_mct :
+  ?seed:int -> qubits:int -> target_gates:int -> name:string -> unit ->
+  Qec_circuit.Circuit.t
+(** A random reversible MCT cascade, lowered to scheduler gates, with
+    approximately [target_gates] elementary gates. Raises
+    [Invalid_argument] if [qubits < 3] or [target_gates < 1]. *)

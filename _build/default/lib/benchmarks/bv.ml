@@ -1,0 +1,23 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let circuit ?secret n =
+  if n < 2 then invalid_arg "Bv.circuit: n < 2";
+  let secret =
+    match secret with
+    | None -> Array.make (n - 1) true
+    | Some s ->
+      if Array.length s <> n - 1 then
+        invalid_arg "Bv.circuit: secret length must be n-1";
+      s
+  in
+  let b = C.Builder.create ~name:(Printf.sprintf "bv%d" n) ~num_qubits:n () in
+  let anc = n - 1 in
+  for q = 0 to n - 1 do
+    C.Builder.add b (G.H q)
+  done;
+  Array.iteri (fun i bit -> if bit then C.Builder.add b (G.Cx (i, anc))) secret;
+  for q = 0 to n - 1 do
+    C.Builder.add b (G.H q)
+  done;
+  C.Builder.finish b

@@ -1,0 +1,10 @@
+(** Bernstein–Vazirani circuits (the paper's Fig. 6 example of {e zero}
+    CX parallelism: every oracle CX targets the same ancilla, so the CXs
+    form a dependence chain). *)
+
+val circuit : ?secret:bool array -> int -> Qec_circuit.Circuit.t
+(** [circuit n] uses [n] qubits: [n-1] data qubits and the ancilla at index
+    [n-1]. The oracle applies a CX from data qubit [i] to the ancilla for
+    every set bit of [secret] (default: all ones, the worst case and the
+    one matching the paper's gate counts — BV-100 = 299 gates). Raises
+    [Invalid_argument] if [n < 2] or [secret] has length <> [n-1]. *)

@@ -1,0 +1,60 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let tree_size height = (1 lsl height) - 1
+
+let num_qubits ~height = (2 * tree_size height) + 1
+
+(* Node layout: tree A occupies [0, 2^h-2], tree B the next block, walker
+   last. Within a tree, node i has children 2i+1 and 2i+2; leaves are the
+   last 2^(h-1) nodes. *)
+let circuit ?steps ?(seed = 7) ~height () =
+  if height < 2 then invalid_arg "Bwt.circuit: height < 2";
+  let steps = Option.value steps ~default:((2 * height) + 2) in
+  if steps < 1 then invalid_arg "Bwt.circuit: steps < 1";
+  let size = tree_size height in
+  let n = num_qubits ~height in
+  let b =
+    C.Builder.create ~name:(Printf.sprintf "bwt%d" n) ~num_qubits:n ()
+  in
+  let walker = n - 1 in
+  let node tree i = (tree * size) + i in
+  let leaves = List.init (1 lsl (height - 1)) (fun i -> (size / 2) + i) in
+  let rng = Qec_util.Rng.create seed in
+  let weld =
+    let shuffled = Array.of_list leaves in
+    Qec_util.Rng.shuffle_in_place rng shuffled;
+    List.mapi (fun i leaf -> (node 0 leaf, node 1 shuffled.(i))) leaves
+  in
+  (* Entry superposition on the roots and the walker. *)
+  C.Builder.add b (G.H (node 0 0));
+  C.Builder.add b (G.H (node 1 0));
+  C.Builder.add b (G.H walker);
+  (* Each oracle step advances the walk one level: parallel CXs along that
+     level's tree edges, then a walker update that serializes the steps. *)
+  let level_edges tree l =
+    (* edges from level l-1 parents to level l children *)
+    let first = (1 lsl l) - 1 in
+    List.init (1 lsl l) (fun i ->
+        let child = first + i in
+        let parent = (child - 1) / 2 in
+        (node tree parent, node tree child))
+  in
+  for k = 0 to steps - 1 do
+    let phase = k mod ((2 * height) - 1) in
+    if phase < height - 1 then
+      (* descend tree A *)
+      List.iter (fun (p, c) -> C.Builder.add b (G.Cx (p, c)))
+        (level_edges 0 (phase + 1))
+    else if phase = height - 1 then
+      (* cross the weld *)
+      List.iter (fun (la, lb) -> C.Builder.add b (G.Cx (la, lb))) weld
+    else
+      (* ascend tree B *)
+      List.iter (fun (p, c) -> C.Builder.add b (G.Cx (c, p)))
+        (level_edges 1 ((2 * height) - 1 - phase));
+    (* walker coin + query marker: serial dependence between steps *)
+    C.Builder.add b (G.H walker);
+    C.Builder.add b (G.Cx (node 0 0, walker))
+  done;
+  C.Builder.finish b

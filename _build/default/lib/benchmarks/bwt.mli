@@ -1,0 +1,17 @@
+(** Binary-welded-tree walk circuits (structural reproduction).
+
+    The paper's BWT instances come from the Ghosh et al. oracle synthesis;
+    those exact netlists are not available offline, so we reproduce the
+    {e structure} that matters to a communication scheduler: two complete
+    binary trees of height [h] welded at the leaves by a random matching,
+    a walker register walking the graph for [steps] oracle queries, with
+    each query touching tree edges level by level (long dependence chains,
+    sparse parallelism — the paper's BWT rows show near-baseline speedups
+    of ~1.4x). Deterministic in [seed]. *)
+
+val circuit : ?steps:int -> ?seed:int -> height:int -> unit -> Qec_circuit.Circuit.t
+(** Uses [2·(2^height - 1) + 1] qubits: both trees' nodes plus a walker
+    ancilla. [steps] defaults to [2·height + 2] (a full traversal there and
+    back). Raises [Invalid_argument] if [height < 2] or [steps < 1]. *)
+
+val num_qubits : height:int -> int

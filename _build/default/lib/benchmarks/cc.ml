@@ -1,0 +1,14 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let circuit n =
+  if n < 2 then invalid_arg "Cc.circuit: n < 2";
+  let b = C.Builder.create ~name:(Printf.sprintf "cc%d" n) ~num_qubits:n () in
+  let anc = n - 1 in
+  for q = 0 to n - 2 do
+    C.Builder.add b (G.H q)
+  done;
+  for q = 0 to n - 2 do
+    C.Builder.add b (G.Cx (q, anc))
+  done;
+  C.Builder.finish b

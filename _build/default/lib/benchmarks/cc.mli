@@ -1,0 +1,10 @@
+(** Counterfeit-coin finding circuits.
+
+    The balance-oracle query: a superposed selection over [n-1] coin
+    qubits, each coupled once to the shared balance ancilla. Like BV, all
+    oracle CXs share the ancilla, so communication parallelism is minimal;
+    gate count 2(n-1), matching the paper's CC-100 = 198 gates. *)
+
+val circuit : int -> Qec_circuit.Circuit.t
+(** [circuit n]: [n-1] coin qubits plus the ancilla at index [n-1]. Raises
+    [Invalid_argument] if [n < 2]. *)

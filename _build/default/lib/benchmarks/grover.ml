@@ -1,0 +1,78 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module D = Qec_circuit.Decompose
+
+(* Ancilla qubits appended after the n search qubits let the MCZ lower to
+   the linear Toffoli ladder instead of the (capped) ancilla-free
+   recursion. *)
+let ancilla_count n = max 0 (n - 3)
+
+(* Multi-controlled Z on search qubits [0..n-1] = H on the last, MCX, H. *)
+let mcz builder n =
+  let target = n - 1 in
+  let controls = List.init (n - 1) (fun i -> i) in
+  C.Builder.add builder (G.H target);
+  (match controls with
+  | [ c ] -> C.Builder.add builder (G.Cx (c, target))
+  | [ c1; c2 ] -> C.Builder.add builder (G.Ccx (c1, c2, target))
+  | cs ->
+    let ancillas = List.init (ancilla_count n) (fun i -> n + i) in
+    C.Builder.add_list builder (D.mcx_gates ~ancillas cs target));
+  C.Builder.add builder (G.H target)
+
+let circuit ?iterations ?marked n =
+  if n < 3 then invalid_arg "Grover.circuit: n < 3";
+  if n > 20 then invalid_arg "Grover.circuit: n > 20 (state space too large)";
+  let iterations =
+    match iterations with
+    | Some i ->
+      if i < 1 then invalid_arg "Grover.circuit: iterations < 1";
+      i
+    | None ->
+      min 8
+        (max 1
+           (int_of_float
+              (Float.round (Float.pi /. 4. *. sqrt (float_of_int (1 lsl n))))))
+  in
+  let marked = Option.value marked ~default:((1 lsl n) - 1) in
+  if marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.circuit: marked state out of range";
+  let builder =
+    C.Builder.create
+      ~name:(Printf.sprintf "grover%d" n)
+      ~num_qubits:(n + ancilla_count n)
+      ()
+  in
+  let flip_unmarked () =
+    (* X on qubits where the marked state has a 0 bit *)
+    for q = 0 to n - 1 do
+      if marked land (1 lsl q) = 0 then C.Builder.add builder (G.X q)
+    done
+  in
+  for q = 0 to n - 1 do
+    C.Builder.add builder (G.H q)
+  done;
+  for _ = 1 to iterations do
+    (* oracle: phase-flip the marked state *)
+    flip_unmarked ();
+    mcz builder n;
+    flip_unmarked ();
+    (* diffusion: reflect about the mean *)
+    for q = 0 to n - 1 do
+      C.Builder.add builder (G.H q)
+    done;
+    for q = 0 to n - 1 do
+      C.Builder.add builder (G.X q)
+    done;
+    mcz builder n;
+    for q = 0 to n - 1 do
+      C.Builder.add builder (G.X q)
+    done;
+    for q = 0 to n - 1 do
+      C.Builder.add builder (G.H q)
+    done
+  done;
+  for q = 0 to n - 1 do
+    C.Builder.add builder (G.Measure q)
+  done;
+  C.Builder.finish builder

@@ -1,0 +1,16 @@
+(** Grover search circuits.
+
+    Standard structure: uniform superposition, then [iterations] rounds of
+    (phase oracle marking one basis state) · (diffusion operator). Both the
+    oracle and the diffusion use a multi-controlled Z, realized as
+    [H target; MCX-ladder; H target] over [n - 3] ancilla qubits appended
+    after the search register — heavy multi-qubit gates whose Clifford+T
+    lowering produces long dependence chains. The circuit therefore uses
+    [n + max 0 (n-3)] qubits in total. *)
+
+val circuit :
+  ?iterations:int -> ?marked:int -> int -> Qec_circuit.Circuit.t
+(** [circuit n] over [n] search qubits. [iterations] defaults to
+    [round(pi/4 * sqrt(2^n))] capped at 8; [marked] (default all-ones)
+    selects the marked state's bit pattern. Raises [Invalid_argument] if
+    [n < 3] or [marked] is out of range. *)

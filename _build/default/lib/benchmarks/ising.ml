@@ -1,0 +1,28 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let circuit ?(steps = 2) n =
+  if n < 2 then invalid_arg "Ising.circuit: n < 2";
+  if steps < 1 then invalid_arg "Ising.circuit: steps < 1";
+  let b = C.Builder.create ~name:(Printf.sprintf "im%d" n) ~num_qubits:n () in
+  let zz a b' =
+    C.Builder.add b (G.Cx (a, b'));
+    C.Builder.add b (G.Rz (b', 0.3));
+    C.Builder.add b (G.Cx (a, b'))
+  in
+  for _ = 1 to steps do
+    for q = 0 to n - 1 do
+      C.Builder.add b (G.Rx (q, 0.7))
+    done;
+    let q = ref 0 in
+    while !q + 1 < n do
+      zz !q (!q + 1);
+      q := !q + 2
+    done;
+    q := 1;
+    while !q + 1 < n do
+      zz !q (!q + 1);
+      q := !q + 2
+    done
+  done;
+  C.Builder.finish b

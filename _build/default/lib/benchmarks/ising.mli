@@ -1,0 +1,12 @@
+(** Transverse-field Ising model Trotter circuits (the paper's Fig. 7
+    example of {e high} CX parallelism: n/2 simultaneous CX gates).
+
+    Per Trotter step: single-qubit rotations on every site, then ZZ
+    couplings (CX · Rz · CX) on even-indexed nearest-neighbor pairs, then
+    on odd-indexed pairs. Coupling is along a 1-D chain, so the coupling
+    graph has maximal degree 2 — the case the paper's initial placement
+    handles optimally with a snake embedding. *)
+
+val circuit : ?steps:int -> int -> Qec_circuit.Circuit.t
+(** [circuit n] with [steps] Trotter steps (default 2). Raises
+    [Invalid_argument] if [n < 2] or [steps < 1]. *)

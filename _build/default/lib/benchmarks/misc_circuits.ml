@@ -1,0 +1,81 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let ghz n =
+  if n < 2 then invalid_arg "Misc_circuits.ghz: n < 2";
+  let b = C.Builder.create ~name:(Printf.sprintf "ghz%d" n) ~num_qubits:n () in
+  C.Builder.add b (G.H 0);
+  for q = 0 to n - 2 do
+    C.Builder.add b (G.Cx (q, q + 1))
+  done;
+  C.Builder.finish b
+
+let ghz_star n =
+  if n < 2 then invalid_arg "Misc_circuits.ghz_star: n < 2";
+  let b =
+    C.Builder.create ~name:(Printf.sprintf "ghzstar%d" n) ~num_qubits:n ()
+  in
+  C.Builder.add b (G.H 0);
+  for q = 1 to n - 1 do
+    C.Builder.add b (G.Cx (0, q))
+  done;
+  C.Builder.finish b
+
+let hidden_shift ?shift n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Misc_circuits.hidden_shift: n must be even and >= 4";
+  let shift = Option.value shift ~default:((1 lsl n) - 1) in
+  if n < 63 && (shift < 0 || shift >= 1 lsl n) then
+    invalid_arg "Misc_circuits.hidden_shift: shift out of range";
+  let b =
+    C.Builder.create ~name:(Printf.sprintf "hshift%d" n) ~num_qubits:n ()
+  in
+  let h_layer () =
+    for q = 0 to n - 1 do
+      C.Builder.add b (G.H q)
+    done
+  in
+  let bent_function () =
+    (* Maiorana-McFarland bent function: products of disjoint pairs *)
+    let q = ref 0 in
+    while !q + 1 < n do
+      C.Builder.add b (G.Cz (!q, !q + 1));
+      q := !q + 2
+    done
+  in
+  let shift_pattern () =
+    for q = 0 to n - 1 do
+      if shift land (1 lsl q) <> 0 then C.Builder.add b (G.X q)
+    done
+  in
+  h_layer ();
+  shift_pattern ();
+  bent_function ();
+  shift_pattern ();
+  h_layer ();
+  bent_function ();
+  h_layer ();
+  for q = 0 to n - 1 do
+    C.Builder.add b (G.Measure q)
+  done;
+  C.Builder.finish b
+
+let random_clifford_t ?(seed = 5) ?gates n =
+  if n < 2 then invalid_arg "Misc_circuits.random_clifford_t: n < 2";
+  let gates = Option.value gates ~default:(20 * n) in
+  if gates < 1 then invalid_arg "Misc_circuits.random_clifford_t: gates < 1";
+  let rng = Qec_util.Rng.create seed in
+  let b =
+    C.Builder.create ~name:(Printf.sprintf "randct%d" n) ~num_qubits:n ()
+  in
+  for _ = 1 to gates do
+    match Qec_util.Rng.int rng 6 with
+    | 0 -> C.Builder.add b (G.H (Qec_util.Rng.int rng n))
+    | 1 -> C.Builder.add b (G.S (Qec_util.Rng.int rng n))
+    | 2 -> C.Builder.add b (G.T (Qec_util.Rng.int rng n))
+    | _ -> (
+      match Qec_util.Rng.sample_without_replacement rng 2 n with
+      | [ a; b' ] -> C.Builder.add b (G.Cx (a, b'))
+      | _ -> assert false)
+  done;
+  C.Builder.finish b

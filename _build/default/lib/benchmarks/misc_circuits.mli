@@ -1,0 +1,23 @@
+(** Assorted small benchmark families. *)
+
+val ghz : int -> Qec_circuit.Circuit.t
+(** [ghz n]: H on qubit 0 then a CX chain — fully serial communication, a
+    useful control workload. Raises [Invalid_argument] if [n < 2]. *)
+
+val ghz_star : int -> Qec_circuit.Circuit.t
+(** GHZ via a star pattern (all CXs from qubit 0): same state, same serial
+    dependence, but every braid shares the hub tile. *)
+
+val hidden_shift : ?shift:int -> int -> Qec_circuit.Circuit.t
+(** Bent-function hidden-shift circuit over an even number of qubits:
+    H layer, CZ on disjoint pairs (the bent function), X pattern for the
+    shift, CZ layer again, H layer. Disjoint CZ pairs give n/2-wide fully
+    parallel communication fronts — an Ising-like stress test without the
+    chain locality. Raises [Invalid_argument] if [n] is odd or [< 4], or
+    the shift is out of range. *)
+
+val random_clifford_t :
+  ?seed:int -> ?gates:int -> int -> Qec_circuit.Circuit.t
+(** Random Clifford+T circuit: uniform mix of H/S/T and CX on random
+    distinct pairs ([gates] defaults to [20 * n]). Deterministic in
+    [seed]. Raises [Invalid_argument] if [n < 2] or [gates < 1]. *)

@@ -1,0 +1,78 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+(* Configuration (pairing) model: shuffle n*degree stubs and pair them off,
+   rejecting attempts with self-loops or parallel edges. For degree 3 a
+   constant fraction of attempts is simple, so bounded retry suffices. *)
+let edges ?(degree = 3) ?(seed = 42) n =
+  if n < 4 then invalid_arg "Qaoa.edges: n < 4";
+  if degree < 1 || degree >= n then invalid_arg "Qaoa.edges: bad degree";
+  if n * degree mod 2 <> 0 then
+    invalid_arg "Qaoa.edges: n * degree must be even";
+  let rng = Qec_util.Rng.create seed in
+  let stubs = Array.init (n * degree) (fun i -> i / degree) in
+  let attempt () =
+    Qec_util.Rng.shuffle_in_place rng stubs;
+    let seen = Hashtbl.create (n * degree) in
+    let rec pair i acc =
+      if i >= Array.length stubs then Some (List.rev acc)
+      else
+        let a = stubs.(i) and b = stubs.(i + 1) in
+        if a = b then None
+        else
+          let key = (min a b, max a b) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            pair (i + 2) (key :: acc)
+          end
+    in
+    pair 0 []
+  in
+  let rec retry k =
+    if k = 0 then
+      invalid_arg "Qaoa.edges: failed to sample a simple regular graph"
+    else match attempt () with Some e -> e | None -> retry (k - 1)
+  in
+  List.sort compare (retry 1000)
+
+(* Greedy edge coloring: group edges into matchings so each group's ZZ
+   gadgets are exactly parallel — how QAOA phase separators are emitted in
+   practice, and what exposes the circuit's communication parallelism. *)
+let color_edges es =
+  let classes = ref [] in
+  List.iter
+    (fun (u, v) ->
+      let rec place = function
+        | [] -> classes := !classes @ [ ref [ (u, v) ] ]
+        | c :: rest ->
+          if List.exists (fun (a, b) -> a = u || b = u || a = v || b = v) !c
+          then place rest
+          else c := (u, v) :: !c
+      in
+      place !classes)
+    es;
+  List.map (fun c -> List.rev !c) !classes
+
+let circuit ?(rounds = 8) ?(degree = 3) ?(seed = 42) n =
+  if rounds < 1 then invalid_arg "Qaoa.circuit: rounds < 1";
+  let es = List.concat (color_edges (edges ~degree ~seed n)) in
+  let b =
+    C.Builder.create ~name:(Printf.sprintf "qaoa%d" n) ~num_qubits:n ()
+  in
+  for q = 0 to n - 1 do
+    C.Builder.add b (G.H q)
+  done;
+  for r = 1 to rounds do
+    let gamma = 0.1 *. float_of_int r in
+    List.iter
+      (fun (u, v) ->
+        C.Builder.add b (G.Cx (u, v));
+        C.Builder.add b (G.Rz (v, gamma));
+        C.Builder.add b (G.Cx (u, v)))
+      es;
+    for q = 0 to n - 1 do
+      C.Builder.add b (G.Rx (q, 0.2 *. float_of_int r))
+    done
+  done;
+  C.Builder.finish b

@@ -1,0 +1,16 @@
+(** QAOA MaxCut circuits on random 3-regular graphs.
+
+    Per round: for every graph edge a ZZ phase separation (CX · Rz · CX),
+    then an Rx mixer on every qubit. Random-regular connectivity makes the
+    CX fronts spatially scattered — the congestion-prone pattern where the
+    layout optimizer matters. Generation is deterministic in [seed]. *)
+
+val circuit : ?rounds:int -> ?degree:int -> ?seed:int -> int -> Qec_circuit.Circuit.t
+(** [circuit n] with [rounds] QAOA rounds (default 8) on a random
+    [degree]-regular graph (default 3). Raises [Invalid_argument] if
+    [n < 4], [rounds < 1], or no [degree]-regular graph exists (n·degree
+    must be even, degree < n). *)
+
+val edges : ?degree:int -> ?seed:int -> int -> (int * int) list
+(** The underlying random regular graph (pairs with [fst < snd]),
+    deterministic in [seed]. *)

@@ -1,0 +1,10 @@
+(** Quantum Fourier transform circuits.
+
+    The textbook construction: for each target qubit [i], a Hadamard
+    followed by controlled-phase rotations from every later qubit [j] with
+    angle π/2{^j-i}. Gate count n(n+1)/2, matching the paper's QFT-200 ≈
+    20.1K gates. No terminal swap network (the paper's counts exclude
+    it; pass [~with_swaps:true] to include one). *)
+
+val circuit : ?with_swaps:bool -> int -> Qec_circuit.Circuit.t
+(** [circuit n] is the n-qubit QFT. Raises [Invalid_argument] if [n < 1]. *)

@@ -1,0 +1,40 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let num_qubits ~precision = precision + 1
+
+let circuit ?(phase = 1. /. 3.) ~precision () =
+  if precision < 1 then invalid_arg "Qpe.circuit: precision < 1";
+  if phase < 0. || phase >= 1. then invalid_arg "Qpe.circuit: phase not in [0,1)";
+  let n = num_qubits ~precision in
+  let b =
+    C.Builder.create ~name:(Printf.sprintf "qpe%d" n) ~num_qubits:n ()
+  in
+  let target = precision in
+  (* eigenstate |1> of the phase rotation *)
+  C.Builder.add b (G.X target);
+  for k = 0 to precision - 1 do
+    C.Builder.add b (G.H k)
+  done;
+  (* counting qubit k accumulates U^(2^k) *)
+  for k = 0 to precision - 1 do
+    let theta = 2. *. Float.pi *. phase *. float_of_int (1 lsl k) in
+    C.Builder.add b (G.Cphase (k, target, theta))
+  done;
+  (* inverse QFT on the counting register (bit k weighs 2^k) *)
+  for i = precision - 1 downto 0 do
+    for j = precision - 1 downto i + 1 do
+      let angle = -.Float.pi /. float_of_int (1 lsl (j - i)) in
+      C.Builder.add b (G.Cphase (j, i, angle))
+    done;
+    C.Builder.add b (G.H i)
+  done;
+  (* undo the QFT bit reversal so the counting register reads the
+     estimate in little-endian order *)
+  for k = 0 to (precision / 2) - 1 do
+    C.Builder.add b (G.Swap (k, precision - 1 - k))
+  done;
+  for k = 0 to precision - 1 do
+    C.Builder.add b (G.Measure k)
+  done;
+  C.Builder.finish b

@@ -1,0 +1,20 @@
+(** Quantum phase estimation circuits.
+
+    The paper's introduction names phase estimation (with QFT) as the
+    paradigmatic exponential-speedup application. The standard circuit:
+    Hadamards on a [precision]-qubit counting register, controlled powers
+    [U^(2^k)] applied to the eigenstate register, then the inverse QFT on
+    the counting register.
+
+    The unitary here is a Z-rotation [U = p(2π·phase)] on one target
+    qubit, whose eigenstate |1⟩ the circuit prepares — so the measured
+    counting register should read the best [precision]-bit approximation
+    of [phase], a property the simulator tests verify exactly. *)
+
+val circuit : ?phase:float -> precision:int -> unit -> Qec_circuit.Circuit.t
+(** [circuit ~precision ()] uses [precision + 1] qubits (counting register
+    then target). [phase] defaults to 1/3 (inexact in binary, exercising
+    rounding); it must lie in [0, 1). Raises [Invalid_argument] if
+    [precision < 1] or the phase is out of range. *)
+
+val num_qubits : precision:int -> int

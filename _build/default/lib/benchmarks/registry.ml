@@ -1,0 +1,133 @@
+type entry = {
+  name : string;
+  description : string;
+  sized : int -> Qec_circuit.Circuit.t;
+}
+
+let nearest_bwt_height n =
+  (* num_qubits(h) = 2*(2^h - 1) + 1; pick the height minimizing the gap *)
+  let rec go h best best_gap =
+    if h > 16 then best
+    else
+      let gap = abs (Bwt.num_qubits ~height:h - n) in
+      if gap < best_gap then go (h + 1) h gap else go (h + 1) best best_gap
+  in
+  go 2 2 max_int
+
+let families =
+  [
+    {
+      name = "qft";
+      description = "quantum Fourier transform on n qubits";
+      sized = (fun n -> Qft.circuit n);
+    };
+    {
+      name = "bv";
+      description = "Bernstein-Vazirani, n-1 data qubits + ancilla";
+      sized = (fun n -> Bv.circuit n);
+    };
+    {
+      name = "cc";
+      description = "counterfeit-coin finding, n-1 coins + balance ancilla";
+      sized = (fun n -> Cc.circuit n);
+    };
+    {
+      name = "im";
+      description = "transverse-field Ising model, 2 Trotter steps";
+      sized = (fun n -> Ising.circuit n);
+    };
+    {
+      name = "qaoa";
+      description = "QAOA MaxCut on a random 3-regular graph, 8 rounds";
+      sized = (fun n -> Qaoa.circuit n);
+    };
+    {
+      name = "bwt";
+      description = "binary welded tree walk (size rounded to tree layout)";
+      sized = (fun n -> Bwt.circuit ~height:(nearest_bwt_height n) ());
+    };
+    {
+      name = "adder";
+      description = "Cuccaro ripple-carry adder (size rounded to 2*bits+2)";
+      sized =
+        (fun n ->
+          let bits = max 1 ((n - 2) / 2) in
+          Arith.cuccaro_adder bits);
+    };
+    {
+      name = "qftadd";
+      description = "Draper QFT adder (size rounded to 2*bits)";
+      sized = (fun n -> Arith.draper_adder (max 1 (n / 2)));
+    };
+    {
+      name = "grover";
+      description = "Grover search with MCZ oracle (3 <= n <= 20)";
+      sized = (fun n -> Grover.circuit n);
+    };
+    {
+      name = "ghz";
+      description = "GHZ chain: H + CX ladder";
+      sized = (fun n -> Misc_circuits.ghz n);
+    };
+    {
+      name = "hshift";
+      description = "bent-function hidden shift (even n)";
+      sized = (fun n -> Misc_circuits.hidden_shift n);
+    };
+    {
+      name = "qpe";
+      description = "quantum phase estimation of a Z-rotation (n-1 bits)";
+      sized = (fun n -> Qpe.circuit ~precision:(max 1 (n - 1)) ());
+    };
+    {
+      name = "randct";
+      description = "random Clifford+T circuit, 20n gates";
+      sized = (fun n -> Misc_circuits.random_clifford_t n);
+    };
+    {
+      name = "shor";
+      description = "Shor period finding (size rounded to 2*bits+3)";
+      sized =
+        (fun n ->
+          let bits = max 2 ((n - 3) / 2) in
+          Shor.circuit ~bits ());
+    };
+  ]
+
+let find_family name = List.find_opt (fun e -> e.name = name) families
+
+let fixed =
+  List.map
+    (fun n -> (n, fun () -> Building_blocks.by_name n))
+    Building_blocks.names
+  @ [
+      (* The paper's 471-qubit Shor instance: 36.5K gates comes from a
+         truncated exponentiation of ~149 controlled multiplications. *)
+      ("shor471", fun () -> Shor.circuit ~multipliers:149 ~bits:234 ());
+    ]
+
+let split_trailing_int s =
+  let n = String.length s in
+  let rec first_digit i =
+    if i = 0 then 0
+    else
+      let c = s.[i - 1] in
+      if c >= '0' && c <= '9' then first_digit (i - 1) else i
+  in
+  let cut = first_digit n in
+  if cut = n then None
+  else Some (String.sub s 0 cut, int_of_string (String.sub s cut (n - cut)))
+
+let build name =
+  match List.assoc_opt name fixed with
+  | Some f -> f ()
+  | None -> (
+    match split_trailing_int name with
+    | Some (fam, n) when fam <> "" -> (
+      match find_family fam with
+      | Some e -> e.sized n
+      | None -> raise Not_found)
+    | Some _ | None -> raise Not_found)
+
+let all_names () =
+  List.map (fun e -> e.name ^ "<n>") families @ List.map fst fixed

@@ -1,0 +1,30 @@
+(** Name-based access to every benchmark family, for the CLI and the
+    benchmark harness. *)
+
+type entry = {
+  name : string;  (** family name, e.g. "qft" *)
+  description : string;
+  sized : int -> Qec_circuit.Circuit.t;
+      (** instantiate at a qubit count; raises [Invalid_argument] for
+          unsupported sizes *)
+}
+
+val families : entry list
+(** qft, bv, cc, im (Ising), qaoa, bwt, adder (Cuccaro), qftadd (Draper),
+    grover, ghz, hshift, randct, shor — each sized by total qubit count.
+    For bwt/shor/adder the requested size is rounded to the nearest
+    realizable register layout. *)
+
+val find_family : string -> entry option
+
+val fixed : (string * (unit -> Qec_circuit.Circuit.t)) list
+(** The RevLib building blocks plus canonical paper instances (e.g.
+    "shor471"). *)
+
+val build : string -> Qec_circuit.Circuit.t
+(** [build "qft200"] or [build "urf2_277"]: a family name followed by a
+    size, or a fixed name. Raises [Not_found] on unknown names,
+    [Invalid_argument] on bad sizes. *)
+
+val all_names : unit -> string list
+(** Family names (with <n> placeholder) and fixed names, for --help. *)

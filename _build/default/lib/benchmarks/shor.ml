@@ -1,0 +1,45 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let num_qubits ~bits = (2 * bits) + 3
+
+(* Register layout (Beauregard): exponent register [0, bits), work register
+   [bits, 2*bits] (bits+1 qubits), carry and flag ancillas last. Exponent
+   qubits are recycled across the 2*bits controlled multiplications. *)
+let circuit ?multipliers ~bits () =
+  if bits < 2 then invalid_arg "Shor.circuit: bits < 2";
+  let multipliers = Option.value multipliers ~default:(2 * bits) in
+  if multipliers < 1 then invalid_arg "Shor.circuit: multipliers < 1";
+  let n = num_qubits ~bits in
+  let b =
+    C.Builder.create ~name:(Printf.sprintf "shor%d" n) ~num_qubits:n ()
+  in
+  let exponent q = q in
+  let work j = bits + j in
+  let carry = n - 2 and flag = n - 1 in
+  (* Superpose the exponent register. *)
+  for q = 0 to bits - 1 do
+    C.Builder.add b (G.H (exponent q))
+  done;
+  (* Controlled modular multiplications: each is a Draper adder — a
+     controlled-phase cascade from one exponent qubit into the whole work
+     register — plus an overflow check through the carry ancilla. *)
+  for m = 0 to multipliers - 1 do
+    let ctrl = exponent (m mod bits) in
+    for j = 0 to bits do
+      let angle = Float.pi /. float_of_int (1 lsl (j mod 16)) in
+      C.Builder.add b (G.Cphase (ctrl, work j, angle))
+    done;
+    (* modular reduction: compare/restore through the carry qubit *)
+    C.Builder.add b (G.Cx (work bits, carry));
+    C.Builder.add b (G.Cx (carry, flag));
+    C.Builder.add b (G.Cx (work bits, carry))
+  done;
+  (* Semiclassical inverse QFT on the exponent register: single-qubit
+     rotations conditioned on prior measurement outcomes. *)
+  for q = bits - 1 downto 0 do
+    C.Builder.add b (G.Rz (exponent q, Float.pi /. 4.));
+    C.Builder.add b (G.H (exponent q));
+    C.Builder.add b (G.Measure (exponent q))
+  done;
+  C.Builder.finish b

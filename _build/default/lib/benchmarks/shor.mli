@@ -1,0 +1,17 @@
+(** Shor's-algorithm period-finding circuits (Beauregard layout).
+
+    For an [bits]-bit modulus the circuit uses [2·bits + 3] qubits:
+    a [2·bits] exponent register, a [bits]-qubit work register, and carry /
+    walker ancillas. Each exponent qubit controls a modular multiplication
+    realized as Draper QFT-adder cascades (controlled-phase fans into the
+    work register); the final inverse QFT on the exponent register is the
+    semiclassical (measurement-driven, single-qubit) variant, as in
+    Beauregard. [multipliers] caps how many controlled multiplications are
+    emitted — the paper's 471-qubit / 36.5K-gate instance corresponds to a
+    truncated exponentiation, and the default reproduces that density. *)
+
+val circuit : ?multipliers:int -> bits:int -> unit -> Qec_circuit.Circuit.t
+(** Raises [Invalid_argument] if [bits < 2] or [multipliers < 1]. *)
+
+val num_qubits : bits:int -> int
+(** [2·bits + 3]. *)

@@ -1,0 +1,1 @@
+lib/circuit/coupling.ml: Array Circuit Gate List Map

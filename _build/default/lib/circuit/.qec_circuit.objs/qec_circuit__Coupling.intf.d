@@ -1,0 +1,1 @@
+lib/circuit/coupling.mli: Circuit

@@ -1,0 +1,95 @@
+exception Invalid of string
+
+type t = { name : string; num_qubits : int; gates : Gate.t array }
+
+let invalidf fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let check_gate ~num_qubits i g =
+  let qs = Gate.qubits g in
+  List.iter
+    (fun q ->
+      if q < 0 || q >= num_qubits then
+        invalidf "gate %d (%s): qubit q%d out of range [0,%d)" i (Gate.name g)
+          q num_qubits)
+    qs;
+  let sorted = List.sort compare qs in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | [ _ ] | [] -> false
+  in
+  if has_dup sorted then
+    invalidf "gate %d (%s): duplicate operand qubit" i (Gate.name g)
+
+let validate t =
+  if t.num_qubits <= 0 then invalidf "circuit %s: no qubits" t.name;
+  Array.iteri (check_gate ~num_qubits:t.num_qubits) t.gates
+
+let create ?(name = "circuit") ~num_qubits gates =
+  let t = { name; num_qubits; gates = Array.of_list gates } in
+  validate t;
+  t
+
+let name t = t.name
+let num_qubits t = t.num_qubits
+let gates t = t.gates
+let gate t i = t.gates.(i)
+let length t = Array.length t.gates
+
+let count_if p t =
+  Array.fold_left (fun acc g -> if p g then acc + 1 else acc) 0 t.gates
+
+let two_qubit_count t = count_if Gate.is_two_qubit t
+let single_qubit_count t = count_if Gate.is_single_qubit t
+
+let iter f t = Array.iteri f t.gates
+
+let append a b =
+  if a.num_qubits <> b.num_qubits then
+    invalidf "append: width mismatch (%d vs %d)" a.num_qubits b.num_qubits;
+  { a with gates = Array.append a.gates b.gates }
+
+let map_gates f t =
+  let out = ref [] in
+  Array.iter (fun g -> List.iter (fun g' -> out := g' :: !out) (f g)) t.gates;
+  let t' = { t with gates = Array.of_list (List.rev !out) } in
+  validate t';
+  t'
+
+let with_name name t = { t with name }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v># %s: %d qubits, %d gates@," t.name t.num_qubits
+    (Array.length t.gates);
+  Array.iter (fun g -> Format.fprintf ppf "%a@," Gate.pp g) t.gates;
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type circuit = t
+
+  type t = {
+    b_name : string;
+    b_num_qubits : int;
+    mutable rev_gates : Gate.t list;
+    mutable count : int;
+  }
+
+  let create ?(name = "circuit") ~num_qubits () =
+    if num_qubits <= 0 then invalidf "Builder.create: no qubits";
+    { b_name = name; b_num_qubits = num_qubits; rev_gates = []; count = 0 }
+
+  let add b g =
+    check_gate ~num_qubits:b.b_num_qubits b.count g;
+    b.rev_gates <- g :: b.rev_gates;
+    b.count <- b.count + 1
+
+  let add_list b gs = List.iter (add b) gs
+
+  let length b = b.count
+
+  let finish b : circuit =
+    {
+      name = b.b_name;
+      num_qubits = b.b_num_qubits;
+      gates = Array.of_list (List.rev b.rev_gates);
+    }
+end

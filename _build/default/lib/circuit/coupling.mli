@@ -1,0 +1,48 @@
+(** Qubit coupling graph.
+
+    Vertices are logical qubits; an edge connects two qubits that share at
+    least one two-qubit gate, weighted by the number of such gates. The
+    initial-placement stage partitions this graph (paper §3.3, "In a qubit
+    coupling graph, two qubits have an edge if there is a CX gate between
+    them"). *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+(** Build from all two-qubit gates of the circuit. Wide gates ([Ccx]/[Mcx])
+    contribute edges between every operand pair, so the graph can also be
+    built before lowering. *)
+
+val num_qubits : t -> int
+
+val weight : t -> int -> int -> int
+(** Number of two-qubit gates between the pair (0 if none). Symmetric. *)
+
+val neighbors : t -> int -> (int * int) list
+(** [(other_qubit, weight)] pairs, ascending by qubit. *)
+
+val degree : t -> int -> int
+(** Number of distinct interaction partners. *)
+
+val max_degree : t -> int
+
+val edges : t -> (int * int * int) list
+(** All edges [(a, b, weight)] with [a < b], sorted. *)
+
+val total_weight : t -> int
+(** Sum of all edge weights = number of two-qubit interactions counted. *)
+
+val density : t -> float
+(** Edge count over [n(n-1)/2]; 0 for n < 2. Used to detect the all-to-all
+    communication pattern that triggers the Maslov specialisation. *)
+
+val is_degree_two : t -> bool
+(** True when every qubit has degree <= 2 — each component is a path or a
+    ring. These are the "special graphs with maximal degree of two" the
+    paper's initial placement optimises directly (snake embedding). *)
+
+val chain_order : t -> int list option
+(** For a degree-<=2 graph, a qubit ordering in which every coupled pair is
+    adjacent or nearly adjacent: components are traversed end-to-end (rings
+    are cut at an arbitrary edge), isolated qubits appended last. [None]
+    when {!is_degree_two} is false. *)

@@ -1,0 +1,125 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  circuit : Circuit.t;
+  preds : int list array; (* ascending *)
+  succs : int list array; (* ascending *)
+}
+
+let of_circuit circuit =
+  let n = Circuit.length circuit in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  (* last.(q) = most recent gate touching qubit q, if any *)
+  let last = Array.make (Circuit.num_qubits circuit) (-1) in
+  Circuit.iter
+    (fun i g ->
+      let ps = ref Int_set.empty in
+      List.iter
+        (fun q ->
+          if last.(q) >= 0 then ps := Int_set.add last.(q) !ps;
+          last.(q) <- i)
+        (Gate.qubits g);
+      let ps = Int_set.elements !ps in
+      preds.(i) <- ps;
+      List.iter (fun p -> succs.(p) <- i :: succs.(p)) ps)
+    circuit;
+  Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+  (* succs accumulated in program order which is ascending already after
+     reversal; dedupe is unnecessary because preds were deduped. *)
+  { circuit; preds; succs }
+
+let circuit t = t.circuit
+let num_gates t = Array.length t.preds
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+
+let asap_levels t =
+  let n = num_gates t in
+  let level = Array.make n 0 in
+  for i = 0 to n - 1 do
+    level.(i) <-
+      List.fold_left (fun acc p -> max acc (level.(p) + 1)) 0 t.preds.(i)
+  done;
+  level
+
+let depth t =
+  let levels = asap_levels t in
+  Array.fold_left (fun acc l -> max acc (l + 1)) 0 levels
+
+let layers t =
+  let levels = asap_levels t in
+  let d = Array.fold_left (fun acc l -> max acc (l + 1)) 0 levels in
+  let out = Array.make d [] in
+  for i = num_gates t - 1 downto 0 do
+    out.(levels.(i)) <- i :: out.(levels.(i))
+  done;
+  out
+
+let critical_path ~cost t =
+  let n = num_gates t in
+  let finish = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let start =
+      List.fold_left (fun acc p -> max acc finish.(p)) 0 t.preds.(i)
+    in
+    finish.(i) <- start + cost (Circuit.gate t.circuit i);
+    if finish.(i) > !total then total := finish.(i)
+  done;
+  !total
+
+let two_qubit_layer_histogram t =
+  let per_layer =
+    Array.map
+      (fun ids ->
+        List.length
+          (List.filter
+             (fun i -> Gate.is_two_qubit (Circuit.gate t.circuit i))
+             ids))
+      (layers t)
+  in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun k ->
+      let cur = try Hashtbl.find tbl k with Not_found -> 0 in
+      Hashtbl.replace tbl k (cur + 1))
+    per_layer;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+module Frontier = struct
+  type dag = t
+
+  type nonrec t = {
+    dag : dag;
+    indegree : int array;
+    mutable ready_set : Int_set.t;
+    mutable left : int;
+  }
+
+  let create dag =
+    let n = num_gates dag in
+    let indegree = Array.init n (fun i -> List.length dag.preds.(i)) in
+    let ready_set = ref Int_set.empty in
+    for i = 0 to n - 1 do
+      if indegree.(i) = 0 then ready_set := Int_set.add i !ready_set
+    done;
+    { dag; indegree; ready_set = !ready_set; left = n }
+
+  let ready t = Int_set.elements t.ready_set
+
+  let complete t i =
+    if not (Int_set.mem i t.ready_set) then
+      invalid_arg (Printf.sprintf "Frontier.complete: gate %d not ready" i);
+    t.ready_set <- Int_set.remove i t.ready_set;
+    t.left <- t.left - 1;
+    List.iter
+      (fun s ->
+        t.indegree.(s) <- t.indegree.(s) - 1;
+        if t.indegree.(s) = 0 then t.ready_set <- Int_set.add s t.ready_set)
+      t.dag.succs.(i)
+
+  let is_done t = t.left = 0
+  let remaining t = t.left
+end

@@ -1,0 +1,122 @@
+type t =
+  | H of int
+  | X of int
+  | Y of int
+  | Z of int
+  | S of int
+  | Sdg of int
+  | T of int
+  | Tdg of int
+  | Rx of int * float
+  | Ry of int * float
+  | Rz of int * float
+  | U3 of int * float * float * float
+  | Cx of int * int
+  | Cz of int * int
+  | Cphase of int * int * float
+  | Swap of int * int
+  | Ccx of int * int * int
+  | Mcx of int list * int
+  | Measure of int
+  | Barrier of int list
+
+let qubits = function
+  | H q | X q | Y q | Z q | S q | Sdg q | T q | Tdg q -> [ q ]
+  | Rx (q, _) | Ry (q, _) | Rz (q, _) | U3 (q, _, _, _) -> [ q ]
+  | Cx (a, b) | Cz (a, b) | Cphase (a, b, _) | Swap (a, b) -> [ a; b ]
+  | Ccx (a, b, c) -> [ a; b; c ]
+  | Mcx (cs, t) -> cs @ [ t ]
+  | Measure q -> [ q ]
+  | Barrier qs -> qs
+
+let arity g = List.length (qubits g)
+
+let is_two_qubit = function
+  | Cx _ | Cz _ | Cphase _ | Swap _ -> true
+  | H _ | X _ | Y _ | Z _ | S _ | Sdg _ | T _ | Tdg _ | Rx _ | Ry _ | Rz _
+  | U3 _ | Ccx _ | Mcx _ | Measure _ | Barrier _ ->
+    false
+
+let is_single_qubit = function
+  | H _ | X _ | Y _ | Z _ | S _ | Sdg _ | T _ | Tdg _ | Rx _ | Ry _ | Rz _
+  | U3 _ | Measure _ ->
+    true
+  | Cx _ | Cz _ | Cphase _ | Swap _ | Ccx _ | Mcx _ | Barrier _ -> false
+
+let is_wide = function
+  | Ccx _ | Mcx _ -> true
+  | H _ | X _ | Y _ | Z _ | S _ | Sdg _ | T _ | Tdg _ | Rx _ | Ry _ | Rz _
+  | U3 _ | Cx _ | Cz _ | Cphase _ | Swap _ | Measure _ | Barrier _ ->
+    false
+
+let two_qubit_operands = function
+  | Cx (a, b) | Cz (a, b) | Cphase (a, b, _) | Swap (a, b) -> Some (a, b)
+  | H _ | X _ | Y _ | Z _ | S _ | Sdg _ | T _ | Tdg _ | Rx _ | Ry _ | Rz _
+  | U3 _ | Ccx _ | Mcx _ | Measure _ | Barrier _ ->
+    None
+
+let name = function
+  | H _ -> "h"
+  | X _ -> "x"
+  | Y _ -> "y"
+  | Z _ -> "z"
+  | S _ -> "s"
+  | Sdg _ -> "sdg"
+  | T _ -> "t"
+  | Tdg _ -> "tdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | U3 _ -> "u3"
+  | Cx _ -> "cx"
+  | Cz _ -> "cz"
+  | Cphase _ -> "cp"
+  | Swap _ -> "swap"
+  | Ccx _ -> "ccx"
+  | Mcx _ -> "mcx"
+  | Measure _ -> "measure"
+  | Barrier _ -> "barrier"
+
+let pp ppf g =
+  let plain () =
+    Format.fprintf ppf "%s %a" (name g)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf q -> Format.fprintf ppf "q%d" q))
+      (qubits g)
+  in
+  match g with
+  | Rx (q, a) | Ry (q, a) | Rz (q, a) ->
+    Format.fprintf ppf "%s(%.4f) q%d" (name g) a q
+  | Cphase (c, t, a) -> Format.fprintf ppf "cp(%.4f) q%d, q%d" a c t
+  | U3 (q, th, ph, la) ->
+    Format.fprintf ppf "u3(%.4f,%.4f,%.4f) q%d" th ph la q
+  | H _ | X _ | Y _ | Z _ | S _ | Sdg _ | T _ | Tdg _ | Cx _ | Cz _ | Swap _
+  | Ccx _ | Mcx _ | Measure _ | Barrier _ ->
+    plain ()
+
+let to_string g = Format.asprintf "%a" pp g
+
+let equal (a : t) (b : t) = a = b
+
+let map_qubits f = function
+  | H q -> H (f q)
+  | X q -> X (f q)
+  | Y q -> Y (f q)
+  | Z q -> Z (f q)
+  | S q -> S (f q)
+  | Sdg q -> Sdg (f q)
+  | T q -> T (f q)
+  | Tdg q -> Tdg (f q)
+  | Rx (q, a) -> Rx (f q, a)
+  | Ry (q, a) -> Ry (f q, a)
+  | Rz (q, a) -> Rz (f q, a)
+  | U3 (q, a, b, c) -> U3 (f q, a, b, c)
+  | Cx (a, b) -> Cx (f a, f b)
+  | Cz (a, b) -> Cz (f a, f b)
+  | Cphase (a, b, x) -> Cphase (f a, f b, x)
+  | Swap (a, b) -> Swap (f a, f b)
+  | Ccx (a, b, c) -> Ccx (f a, f b, f c)
+  | Mcx (cs, t) -> Mcx (List.map f cs, f t)
+  | Measure q -> Measure (f q)
+  | Barrier qs -> Barrier (List.map f qs)

@@ -1,0 +1,70 @@
+(** Logical quantum gates.
+
+    The gate set matches what the AutoBraid scheduler consumes: arbitrary
+    single-qubit gates (executed locally inside a tile — including T/T†,
+    whose magic states are assumed to be supplied at the data location, the
+    paper's §4.1 assumption), two-qubit gates (each requiring one braiding
+    operation), and wider reversible gates (Toffoli / multi-controlled X)
+    that must be decomposed before scheduling — see {!Decompose}. *)
+
+type t =
+  (* Single-qubit Cliffords *)
+  | H of int
+  | X of int
+  | Y of int
+  | Z of int
+  | S of int
+  | Sdg of int
+  (* Single-qubit non-Cliffords (magic-state consumers) *)
+  | T of int
+  | Tdg of int
+  | Rx of int * float
+  | Ry of int * float
+  | Rz of int * float
+  | U3 of int * float * float * float  (** qubit, theta, phi, lambda *)
+  (* Two-qubit gates: one braiding path each *)
+  | Cx of int * int  (** control, target *)
+  | Cz of int * int
+  | Cphase of int * int * float  (** control, target, angle *)
+  | Swap of int * int
+  (* Wider gates: decompose before scheduling *)
+  | Ccx of int * int * int  (** control, control, target *)
+  | Mcx of int list * int  (** controls (>= 3), target *)
+  (* Non-unitary / structural *)
+  | Measure of int
+  | Barrier of int list
+
+val qubits : t -> int list
+(** Operand qubits, in gate order. For [Barrier] the listed qubits. *)
+
+val arity : t -> int
+(** Number of operand qubits. *)
+
+val is_two_qubit : t -> bool
+(** True exactly for the gates implemented as one braiding operation
+    ([Cx], [Cz], [Cphase], [Swap]). Note a [Swap] left undecomposed counts
+    as one braid; {!Decompose.swaps_to_cx} expands it to three. *)
+
+val is_single_qubit : t -> bool
+(** True for local gates, including [Measure]. [Barrier] is neither single-
+    nor two-qubit. *)
+
+val is_wide : t -> bool
+(** True for [Ccx] and [Mcx], which the schedulers refuse. *)
+
+val two_qubit_operands : t -> (int * int) option
+(** [Some (a, b)] for two-qubit gates, [None] otherwise. *)
+
+val name : t -> string
+(** Lower-case mnemonic, e.g. ["cx"], ["tdg"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. [cx q3, q7] or [rz(0.7854) q2]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val map_qubits : (int -> int) -> t -> t
+(** Relabel operand qubits (used by placement-aware transforms and
+    parser register flattening). *)

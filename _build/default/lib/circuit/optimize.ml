@@ -1,0 +1,127 @@
+type stats = { cancelled_pairs : int; merged_rotations : int }
+
+(* Gates that are their own inverse when operands match exactly. *)
+let self_inverse (a : Gate.t) (b : Gate.t) =
+  match (a, b) with
+  | Gate.H x, Gate.H y
+  | Gate.X x, Gate.X y
+  | Gate.Y x, Gate.Y y
+  | Gate.Z x, Gate.Z y ->
+    x = y
+  | Gate.Cx (x1, x2), Gate.Cx (y1, y2)
+  | Gate.Cz (x1, x2), Gate.Cz (y1, y2)
+  | Gate.Swap (x1, x2), Gate.Swap (y1, y2) ->
+    (x1, x2) = (y1, y2)
+  | Gate.Ccx (x1, x2, x3), Gate.Ccx (y1, y2, y3) -> (x1, x2, x3) = (y1, y2, y3)
+  | _ -> false
+
+let adjoint_pair (a : Gate.t) (b : Gate.t) =
+  match (a, b) with
+  | Gate.S x, Gate.Sdg y
+  | Gate.Sdg x, Gate.S y
+  | Gate.T x, Gate.Tdg y
+  | Gate.Tdg x, Gate.T y ->
+    x = y
+  | Gate.Rx (x, u), Gate.Rx (y, v)
+  | Gate.Ry (x, u), Gate.Ry (y, v)
+  | Gate.Rz (x, u), Gate.Rz (y, v) ->
+    x = y && u = -.v
+  | Gate.Cphase (x1, x2, u), Gate.Cphase (y1, y2, v) ->
+    (x1, x2) = (y1, y2) && u = -.v
+  | _ -> false
+
+let cancels a b = self_inverse a b || adjoint_pair a b
+
+(* Same-axis rotations on the same qubit fuse. *)
+let merge (a : Gate.t) (b : Gate.t) : Gate.t option =
+  match (a, b) with
+  | Gate.Rx (x, u), Gate.Rx (y, v) when x = y -> Some (Gate.Rx (x, u +. v))
+  | Gate.Ry (x, u), Gate.Ry (y, v) when x = y -> Some (Gate.Ry (x, u +. v))
+  | Gate.Rz (x, u), Gate.Rz (y, v) when x = y -> Some (Gate.Rz (x, u +. v))
+  | Gate.Cphase (x1, x2, u), Gate.Cphase (y1, y2, v) when (x1, x2) = (y1, y2)
+    ->
+    Some (Gate.Cphase (x1, x2, u +. v))
+  | _ -> None
+
+let is_zero_rotation (g : Gate.t) =
+  match g with
+  | Gate.Rx (_, a) | Gate.Ry (_, a) | Gate.Rz (_, a) | Gate.Cphase (_, _, a) ->
+    a = 0.
+  | _ -> false
+
+let peephole circuit =
+  let n = Circuit.num_qubits circuit in
+  (* kept.(i) = Some gate for retained gates, None for holes *)
+  let kept : Gate.t option array = Array.make (Circuit.length circuit) None in
+  let kept_len = ref 0 in
+  (* last.(q) = index into [kept] of the most recent gate on wire q *)
+  let last = Array.make n (-1) in
+  let cancelled = ref 0 and merged = ref 0 in
+  let predecessor g =
+    (* the unique most-recent gate covering all of g's wires, if its
+       operand set matches g's exactly *)
+    match Gate.qubits g with
+    | [] -> None
+    | q :: rest ->
+      let i = last.(q) in
+      if i < 0 || List.exists (fun q' -> last.(q') <> i) rest then None
+      else begin
+        match kept.(i) with
+        | Some p
+          when List.sort compare (Gate.qubits p)
+               = List.sort compare (Gate.qubits g) ->
+          Some (i, p)
+        | Some _ | None -> None
+      end
+  in
+  let rewind_wires qs =
+    (* after deleting the gate at index [i], each wire's last pointer must
+       fall back to the previous surviving gate touching it *)
+    List.iter
+      (fun q ->
+        let rec back i =
+          if i < 0 then last.(q) <- -1
+          else
+            match kept.(i) with
+            | Some p when List.mem q (Gate.qubits p) -> last.(q) <- i
+            | Some _ | None -> back (i - 1)
+        in
+        back (last.(q) - 1))
+      qs
+  in
+  let push g =
+    let i = !kept_len in
+    kept.(i) <- Some g;
+    incr kept_len;
+    List.iter (fun q -> last.(q) <- i) (Gate.qubits g)
+  in
+  Circuit.iter
+    (fun _ g ->
+      match predecessor g with
+      | Some (i, p) when cancels p g ->
+        kept.(i) <- None;
+        incr cancelled;
+        rewind_wires (Gate.qubits g)
+      | Some (i, p) -> (
+        match merge p g with
+        | Some fused ->
+          incr merged;
+          if is_zero_rotation fused then begin
+            kept.(i) <- None;
+            rewind_wires (Gate.qubits g)
+          end
+          else kept.(i) <- Some fused
+        | None -> push g)
+      | None -> push g)
+    circuit;
+  let gates =
+    Array.to_seq (Array.sub kept 0 !kept_len)
+    |> Seq.filter_map (fun g -> g)
+    |> List.of_seq
+  in
+  let out =
+    Circuit.create ~name:(Circuit.name circuit) ~num_qubits:n gates
+  in
+  (out, { cancelled_pairs = !cancelled; merged_rotations = !merged })
+
+let peephole_circuit c = fst (peephole c)

@@ -1,0 +1,27 @@
+(** Peephole circuit optimization.
+
+    Lowered reversible circuits are full of adjacent self-inverse pairs
+    (RevLib cascades, uncomputation ladders). Before scheduling, it pays to
+    cancel them: every braid avoided is a routing-resource win. Two local
+    rewrites, both applied in one forward pass to a fixpoint:
+
+    - {b inverse cancellation}: two adjacent gates on exactly the same
+      operands that compose to the identity are removed ([H·H], [X·X],
+      [Y·Y], [Z·Z], [CX·CX], [CZ·CZ], [SWAP·SWAP], [CCX·CCX], [S·S†],
+      [T·T†], [Rz(θ)·Rz(−θ)] and the other rotation axes);
+    - {b rotation merging}: adjacent same-axis rotations on one qubit fuse
+      ([Rz(a)·Rz(b) → Rz(a+b)]), and a fused rotation of angle exactly 0
+      is dropped.
+
+    "Adjacent" is modulo commuting bystanders: gate B cancels gate A iff A
+    is the most recent gate on {e every} operand wire of B and they share
+    exactly the same operand set. [Barrier]s block optimization across
+    them. The rewrites preserve the circuit's unitary exactly (no
+    approximate identities). *)
+
+type stats = { cancelled_pairs : int; merged_rotations : int }
+
+val peephole : Circuit.t -> Circuit.t * stats
+
+val peephole_circuit : Circuit.t -> Circuit.t
+(** {!peephole} without the statistics. *)

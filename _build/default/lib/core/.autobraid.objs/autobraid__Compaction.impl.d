@@ -1,0 +1,1 @@
+lib/core/compaction.ml: Array List Qec_lattice Task

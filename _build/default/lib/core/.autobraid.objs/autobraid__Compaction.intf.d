@@ -1,0 +1,1 @@
+lib/core/compaction.mli: Qec_lattice Task

@@ -1,0 +1,1 @@
+lib/core/initial_layout.ml: Array Hashtbl List Llg Option Qec_circuit Qec_lattice Qec_partition Qec_util Task

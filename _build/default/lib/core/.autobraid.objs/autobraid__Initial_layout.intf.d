@@ -1,0 +1,1 @@
+lib/core/initial_layout.mli: Qec_circuit Qec_lattice

@@ -1,0 +1,1 @@
+lib/core/interference.ml: Array Hashtbl Int List Qec_lattice Set Task

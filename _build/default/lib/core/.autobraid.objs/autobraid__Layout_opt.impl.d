@@ -1,0 +1,1 @@
+lib/core/layout_opt.ml: Array Hashtbl Interference List Qec_lattice Stack_finder Task

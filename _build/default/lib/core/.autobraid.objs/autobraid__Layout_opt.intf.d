@@ -1,0 +1,1 @@
+lib/core/layout_opt.mli: Qec_lattice Task

@@ -1,0 +1,1 @@
+lib/core/llg.ml: Array Hashtbl List Qec_lattice Qec_util Task

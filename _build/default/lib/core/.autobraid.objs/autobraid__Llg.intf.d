@@ -1,0 +1,1 @@
+lib/core/llg.mli: Qec_lattice Task

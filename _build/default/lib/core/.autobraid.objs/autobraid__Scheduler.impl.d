@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Compaction Initial_layout Layout_opt List Qec_circuit Qec_lattice Qec_surface Qec_util Stack_finder Sys Task Trace

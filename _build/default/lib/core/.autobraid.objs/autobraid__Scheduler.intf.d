@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Initial_layout Layout_opt Qec_circuit Qec_lattice Qec_surface Trace

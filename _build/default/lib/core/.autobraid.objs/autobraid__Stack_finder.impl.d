@@ -1,0 +1,1 @@
+lib/core/stack_finder.ml: Hashtbl Interference List Llg Qec_lattice Task

@@ -1,0 +1,1 @@
+lib/core/stack_finder.mli: Qec_lattice Task

@@ -1,0 +1,1 @@
+lib/core/task.ml: Format Qec_circuit Qec_lattice

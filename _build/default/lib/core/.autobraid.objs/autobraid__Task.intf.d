@@ -1,0 +1,1 @@
+lib/core/task.mli: Format Qec_circuit Qec_lattice

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array List Printf Qec_circuit Qec_lattice Qec_surface String Task

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Qec_circuit Qec_lattice Qec_surface Task

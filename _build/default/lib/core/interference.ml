@@ -1,0 +1,65 @@
+module Int_set = Set.Make (Int)
+
+type node = { task : Task.t; mutable adj : Int_set.t }
+
+type t = {
+  table : (int, node) Hashtbl.t; (* task id -> node *)
+  original : int;
+}
+
+let build placement tasks =
+  let table = Hashtbl.create (List.length tasks * 2) in
+  List.iter
+    (fun (task : Task.t) ->
+      Hashtbl.replace table task.id { task; adj = Int_set.empty })
+    tasks;
+  let arr = Array.of_list tasks in
+  let boxes = Array.map (fun t -> Task.bbox placement t) arr in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Qec_lattice.Bbox.intersects boxes.(i) boxes.(j) then begin
+        let ni = Hashtbl.find table arr.(i).Task.id
+        and nj = Hashtbl.find table arr.(j).Task.id in
+        ni.adj <- Int_set.add arr.(j).Task.id ni.adj;
+        nj.adj <- Int_set.add arr.(i).Task.id nj.adj
+      end
+    done
+  done;
+  { table; original = n }
+
+let original_count t = t.original
+let node_count t = Hashtbl.length t.table
+
+let nodes t =
+  Hashtbl.fold (fun _ n acc -> n.task :: acc) t.table []
+  |> List.sort (fun (a : Task.t) b -> compare a.id b.id)
+
+let find t id =
+  match Hashtbl.find_opt t.table id with
+  | Some n -> n
+  | None -> raise Not_found
+
+let degree t id = Int_set.cardinal (find t id).adj
+
+let max_degree t =
+  Hashtbl.fold (fun _ n acc -> max acc (Int_set.cardinal n.adj)) t.table 0
+
+let max_degree_nodes t =
+  let d = max_degree t in
+  Hashtbl.fold
+    (fun _ n acc -> if Int_set.cardinal n.adj = d then n.task :: acc else acc)
+    t.table []
+  |> List.sort (fun (a : Task.t) b -> compare a.id b.id)
+
+let neighbors t id =
+  Int_set.elements (find t id).adj |> List.map (fun i -> (find t i).task)
+
+let remove t id =
+  let n = find t id in
+  Int_set.iter
+    (fun other -> (find t other).adj <- Int_set.remove id (find t other).adj)
+    n.adj;
+  Hashtbl.remove t.table id
+
+let mem t id = Hashtbl.mem t.table id

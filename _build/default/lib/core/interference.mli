@@ -1,0 +1,37 @@
+(** CX interference graph — §3.3.2.
+
+    One node per pending CX gate; an edge joins two gates whose bounding
+    boxes intersect (§3.3.2), i.e. whose braiding paths are likely to
+    contend. The stack-based path finder peels maximum-degree nodes off
+    this graph. Mutable: nodes can be removed, updating degrees. *)
+
+type t
+
+val build : Qec_lattice.Placement.t -> Task.t list -> t
+
+val original_count : t -> int
+(** Nodes at build time (the denominator of the scheduling ratio). *)
+
+val node_count : t -> int
+(** Nodes still present. *)
+
+val nodes : t -> Task.t list
+(** Remaining tasks, ascending by id. *)
+
+val degree : t -> int -> int
+(** Degree of a (present) task id. Raises [Not_found] if absent. *)
+
+val max_degree : t -> int
+(** 0 when empty. *)
+
+val max_degree_nodes : t -> Task.t list
+(** All present nodes of maximal degree, ascending by id; [] when empty. *)
+
+val neighbors : t -> int -> Task.t list
+(** Present neighbors of a task id. *)
+
+val remove : t -> int -> unit
+(** Remove a node by task id, decrementing its neighbors' degrees.
+    Raises [Not_found] if absent. *)
+
+val mem : t -> int -> bool

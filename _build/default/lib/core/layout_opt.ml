@@ -1,0 +1,170 @@
+module Placement = Qec_lattice.Placement
+module Occupancy = Qec_lattice.Occupancy
+module Bbox = Qec_lattice.Bbox
+module Grid = Qec_lattice.Grid
+
+type strategy = Greedy | Odd_even
+
+let total_distance placement tasks =
+  List.fold_left (fun acc t -> acc + Task.distance placement t) 0 tasks
+
+let apply placement swaps =
+  List.iter (fun (a, b) -> Placement.swap_qubits placement a b) swaps
+
+(* Check that the accumulated swap layer is simultaneously routable by
+   treating each swap as a braid task on a scratch occupancy. *)
+let layer_routable router placement swaps =
+  let occ = Occupancy.create (Placement.grid placement) in
+  let tasks =
+    List.mapi (fun i (a, b) -> { Task.id = i; q1 = a; q2 = b }) swaps
+  in
+  let outcome = Stack_finder.find router occ placement tasks in
+  outcome.Stack_finder.failed = []
+
+let plan_greedy router placement ~pending =
+  let ig = Interference.build placement pending in
+  let used = Hashtbl.create 16 in
+  let swaps = ref [] in
+  let area (t : Task.t) = Bbox.area (Task.bbox placement t) in
+  let pick_best = function
+    | [] -> None
+    | first :: _ as candidates ->
+      Some
+        (List.fold_left
+           (fun acc t -> if area t > area acc then t else acc)
+           first candidates)
+  in
+  (* Trial placement accumulates accepted swaps so later distance
+     evaluations see the pending layer's effect. *)
+  let trial = Placement.copy placement in
+  let continue = ref true in
+  while !continue do
+    match pick_best (Interference.max_degree_nodes ig) with
+    | None -> continue := false
+    | Some g1 ->
+      if Interference.degree ig g1.Task.id = 0 then continue := false
+      else begin
+        let nbs = Interference.neighbors ig g1.Task.id in
+        let g2 =
+          List.fold_left
+            (fun acc t ->
+              match acc with
+              | None -> Some t
+              | Some best ->
+                let d t' = Interference.degree ig t'.Task.id in
+                if
+                  d t > d best
+                  || (d t = d best && area t > area best)
+                then Some t
+                else acc)
+            None nbs
+        in
+        match g2 with
+        | None -> continue := false
+        | Some g2 ->
+          let candidates =
+            [
+              (g1.Task.q1, g2.Task.q1);
+              (g1.Task.q1, g2.Task.q2);
+              (g1.Task.q2, g2.Task.q1);
+              (g1.Task.q2, g2.Task.q2);
+            ]
+            |> List.filter (fun (a, b) ->
+                   (not (Hashtbl.mem used a)) && not (Hashtbl.mem used b))
+          in
+          let objective () =
+            Task.distance trial g1 + Task.distance trial g2
+          in
+          let before = objective () in
+          let best =
+            List.fold_left
+              (fun acc (a, b) ->
+                Placement.swap_qubits trial a b;
+                let after = objective () in
+                Placement.swap_qubits trial a b;
+                match acc with
+                | Some (_, _, gain) when before - after <= gain -> acc
+                | _ when before - after <= 0 -> acc
+                | _ -> Some (a, b, before - after))
+              None candidates
+          in
+          (match best with
+          | Some (a, b, _gain) ->
+            let candidate_layer = List.rev ((a, b) :: List.rev !swaps) in
+            if layer_routable router placement candidate_layer then begin
+              swaps := candidate_layer;
+              Placement.swap_qubits trial a b;
+              Hashtbl.replace used a ();
+              Hashtbl.replace used b ();
+              (* Also freeze the other operands so one layer does not
+                 thrash the same gates twice. *)
+              Hashtbl.replace used g1.Task.q1 ();
+              Hashtbl.replace used g1.Task.q2 ();
+              Hashtbl.replace used g2.Task.q1 ();
+              Hashtbl.replace used g2.Task.q2 ()
+            end
+          | None -> ());
+          Interference.remove ig g1.Task.id;
+          Interference.remove ig g2.Task.id
+      end
+  done;
+  !swaps
+
+let plan_odd_even router placement ~pending ~phase =
+  let grid = Placement.grid placement in
+  let l = Grid.side grid in
+  (* Snake order of cells; adjacent entries are adjacent cells. *)
+  let snake =
+    Array.init (Grid.num_cells grid) (fun i ->
+        let y = i / l in
+        let x = if y mod 2 = 0 then i mod l else l - 1 - (i mod l) in
+        Grid.cell_id grid ~x ~y)
+  in
+  (* Tasks indexed by qubit, to evaluate swap deltas locally. *)
+  let by_qubit = Hashtbl.create 64 in
+  List.iter
+    (fun (t : Task.t) ->
+      Hashtbl.add by_qubit t.q1 t;
+      Hashtbl.add by_qubit t.q2 t)
+    pending;
+  let local_distance trial q =
+    List.fold_left
+      (fun acc t -> acc + Task.distance trial t)
+      0
+      (Hashtbl.find_all by_qubit q)
+  in
+  let trial = Placement.copy placement in
+  let swaps = ref [] in
+  let i = ref (phase mod 2) in
+  while !i + 1 < Array.length snake do
+    let ca = snake.(!i) and cb = snake.(!i + 1) in
+    (match (Placement.qubit_of_cell trial ca, Placement.qubit_of_cell trial cb) with
+    | Some qa, Some qb ->
+      let before = local_distance trial qa + local_distance trial qb in
+      Placement.swap_qubits trial qa qb;
+      let after = local_distance trial qa + local_distance trial qb in
+      if after < before then swaps := (qa, qb) :: !swaps
+      else Placement.swap_qubits trial qa qb (* revert *)
+    | _ -> ());
+    i := !i + 2
+  done;
+  let swaps = List.rev !swaps in
+  if swaps = [] then []
+  else if layer_routable router placement swaps then swaps
+  else begin
+    (* Disjoint neighbor swaps should always route; if not (pathological
+       occupancy interplay), fall back to a prefix that does. *)
+    let rec prefix k =
+      if k = 0 then []
+      else
+        let candidate = List.filteri (fun i _ -> i < k) swaps in
+        if layer_routable router placement candidate then candidate
+        else prefix (k - 1)
+    in
+    prefix (List.length swaps - 1)
+  end
+
+let plan strategy router placement ~pending ~phase =
+  match strategy with
+  | Greedy -> plan_greedy router placement ~pending
+  | Odd_even -> plan_odd_even router placement ~pending ~phase

@@ -1,0 +1,39 @@
+(** Dynamic qubit-placement optimization by SWAP insertion — §3.3.2.
+
+    Triggered when the path finder schedules too small a fraction of the
+    pending CX gates. A parallel layer of SWAPs (each 3 CX, Fig. 11) is
+    planned; every planned swap must be simultaneously routable and the
+    swap pairs must be qubit-disjoint.
+
+    Two strategies, as in the paper:
+
+    - {b Greedy}: repeatedly take the CX gate that interferes with most
+      others (tie → largest bounding box) and a most-interfering neighbor
+      gate, and swap the cross pair of operand qubits that most reduces
+      their combined distance; validate the accumulated swap layer with
+      the stack-based path finder, dropping the swap if it cannot be
+      routed alongside the ones already accepted.
+    - {b Odd-even} (Maslov-inspired, for all-to-all patterns): along the
+      boustrophedon order of the grid, consider disjoint adjacent cell
+      pairs (alternating parity by [phase]) and keep exactly those swaps
+      that strictly reduce the total remaining CX distance — a linear-
+      depth sorting-network step. *)
+
+type strategy = Greedy | Odd_even
+
+val plan :
+  strategy ->
+  Qec_lattice.Router.t ->
+  Qec_lattice.Placement.t ->
+  pending:Task.t list ->
+  phase:int ->
+  (int * int) list
+(** Qubit pairs to swap this layer; pairwise disjoint, simultaneously
+    routable, possibly empty. The placement is not modified. [phase]
+    alternates the odd-even parity (ignored by [Greedy]). *)
+
+val apply : Qec_lattice.Placement.t -> (int * int) list -> unit
+(** Execute the swaps on the placement. *)
+
+val total_distance : Qec_lattice.Placement.t -> Task.t list -> int
+(** Sum of operand distances over tasks (the odd-even objective). *)

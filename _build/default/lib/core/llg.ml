@@ -1,0 +1,84 @@
+module Bbox = Qec_lattice.Bbox
+
+type group = { members : Task.t list; bbox : Bbox.t }
+
+(* Merge to fixpoint: start from per-gate boxes, union groups whose joint
+   boxes share a vertex footprint, recompute joint boxes, repeat. Each
+   iteration reduces the group count, so this terminates. *)
+let decompose placement tasks =
+  match tasks with
+  | [] -> []
+  | _ ->
+    let arr = Array.of_list tasks in
+    let n = Array.length arr in
+    let uf = Qec_util.Union_find.create n in
+    let boxes = Array.map (fun t -> Task.bbox placement t) arr in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* Representative boxes for current groups. *)
+      let rep_box = Hashtbl.create 16 in
+      for i = 0 to n - 1 do
+        let r = Qec_util.Union_find.find uf i in
+        let cur =
+          match Hashtbl.find_opt rep_box r with
+          | Some b -> Bbox.join b boxes.(i)
+          | None -> boxes.(i)
+        in
+        Hashtbl.replace rep_box r cur
+      done;
+      let reps = Hashtbl.fold (fun r b acc -> (r, b) :: acc) rep_box [] in
+      let reps = List.sort compare reps in
+      let rec pairwise = function
+        | [] -> ()
+        | (r1, b1) :: rest ->
+          List.iter
+            (fun (r2, b2) ->
+              if
+                (not (Qec_util.Union_find.same uf r1 r2))
+                && Bbox.intersects b1 b2
+              then begin
+                Qec_util.Union_find.union uf r1 r2;
+                changed := true
+              end)
+            rest;
+          pairwise rest
+      in
+      pairwise reps
+    done;
+    let groups = Qec_util.Union_find.groups uf in
+    Array.to_list groups
+    |> List.map (fun idxs ->
+           let members = List.map (fun i -> arr.(i)) idxs in
+           let members =
+             List.sort (fun (a : Task.t) b -> compare a.id b.id) members
+           in
+           let bbox =
+             List.fold_left
+               (fun acc i -> Bbox.join acc boxes.(i))
+               boxes.(List.hd idxs) idxs
+           in
+           { members; bbox })
+    |> List.sort (fun g1 g2 ->
+           compare (List.hd g1.members).Task.id (List.hd g2.members).Task.id)
+
+let size g = List.length g.members
+
+let is_strictly_nested placement g =
+  let boxes =
+    List.map (fun t -> Task.bbox placement t) g.members
+    |> List.sort (fun a b -> compare (Bbox.area b) (Bbox.area a))
+  in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      Bbox.strictly_nests ~outer:a ~inner:b && chain rest
+    | [ _ ] | [] -> true
+  in
+  chain boxes
+
+let is_guaranteed placement g = size g <= 3 || is_strictly_nested placement g
+
+let count_oversize placement tasks =
+  decompose placement tasks
+  |> List.filter (fun g -> size g > 3)
+  |> List.length

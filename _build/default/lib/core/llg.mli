@@ -1,0 +1,38 @@
+(** Local parallel group (LLG) analysis — §3.3.1.
+
+    An LLG is a minimal set of concurrent CX gates whose joint bounding box
+    does not overlap any other LLG's joint bounding box — overlap being
+    plain cell intersection ({!Qec_lattice.Bbox.intersects}), the paper's
+    definition. Boxes that merely touch along a channel may still contend
+    for shared boundary vertices; the router resolves those cases, the
+    analysis does not need to.
+
+    Theorem 1: an LLG of size ≤ 3 always schedules fully inside its box.
+    Theorem 2: so does an LLG of strictly nested gates of any size. The
+    initial-placement fine-tune minimizes the number of groups that satisfy
+    neither ("oversize" groups), which Table 1 shows correlates with
+    execution time. *)
+
+type group = private {
+  members : Task.t list;  (** ascending by task id *)
+  bbox : Qec_lattice.Bbox.t;  (** joint bounding box *)
+}
+
+val decompose : Qec_lattice.Placement.t -> Task.t list -> group list
+(** Partition concurrent tasks into LLGs. Groups are returned in ascending
+    order of their smallest member id. The result is a partition: every
+    task appears in exactly one group, and distinct groups' joint boxes do
+    not intersect. *)
+
+val size : group -> int
+
+val is_strictly_nested : Qec_lattice.Placement.t -> group -> bool
+(** Members' boxes form a strict nesting chain (largest strictly contains
+    the next, etc.). Trivially true for singleton groups. *)
+
+val is_guaranteed : Qec_lattice.Placement.t -> group -> bool
+(** Satisfies Theorem 1 (size ≤ 3) or Theorem 2 (strictly nested). *)
+
+val count_oversize : Qec_lattice.Placement.t -> Task.t list -> int
+(** Number of groups with size > 3 — the Table 1 statistic
+    ("# of LLG's (size > 3)"). *)

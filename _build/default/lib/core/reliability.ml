@@ -1,0 +1,42 @@
+module Timing = Qec_surface.Timing
+module Error_model = Qec_surface.Error_model
+
+type exposure = { data_blocks : float; routing_blocks : float }
+
+let exposure_of_result timing (r : Scheduler.result) =
+  let d = float_of_int timing.Timing.d in
+  let data_blocks = float_of_int r.Scheduler.num_qubits
+                    *. float_of_int r.Scheduler.total_cycles /. d in
+  (* Routing channels: on average, [avg_utilization] of the lattice's
+     channel vertices are alive during each braid round (2d cycles). Treat
+     four channel vertices as one logical-qubit-equivalent of exposed
+     fabric (a tile has four corners). *)
+  let vertices =
+    float_of_int ((r.Scheduler.lattice_side + 1) * (r.Scheduler.lattice_side + 1))
+  in
+  let routing_blocks =
+    r.Scheduler.avg_utilization *. vertices /. 4.
+    *. float_of_int r.Scheduler.braid_rounds *. 2.
+  in
+  { data_blocks; routing_blocks }
+
+let total_blocks e = e.data_blocks +. e.routing_blocks
+
+let failure_probability ?params ~d e =
+  let pl = Error_model.logical_error_rate ?params ~d () in
+  1. -. ((1. -. pl) ** total_blocks e)
+
+let distance_for_failure ?params ~target e =
+  if target <= 0. || target >= 1. then
+    invalid_arg "Reliability.distance_for_failure: target not in (0,1)";
+  let rec grow d =
+    if d > 301 then d
+    else if failure_probability ?params ~d e <= target then d
+    else grow (d + 2)
+  in
+  grow 3
+
+let compare_schedules ?params ~d timing a b =
+  let pa = failure_probability ?params ~d (exposure_of_result timing a) in
+  let pb = failure_probability ?params ~d (exposure_of_result timing b) in
+  pa /. pb

@@ -1,0 +1,48 @@
+(** End-to-end reliability of a scheduled circuit.
+
+    Eq. (1) gives the per-logical-qubit, per-code-round failure rate [P_L].
+    A schedule determines how many qubit-rounds the computation is exposed
+    for: data tiles live for the whole execution, and braiding paths add
+    ancilla-channel exposure while they are up. Scheduling faster therefore
+    buys reliability — this module quantifies how much, turning the paper's
+    latency wins into logical-error-rate wins.
+
+    Exposure is measured in {e blocks} of [d] cycles (the natural unit of
+    Eq. (1)): a result with [total_cycles] at distance [d] exposes
+    [num_qubits * total_cycles / d] data blocks, plus routing exposure
+    estimated from the measured utilization of braid rounds. *)
+
+type exposure = {
+  data_blocks : float;  (** data-qubit exposure, in d-cycle blocks *)
+  routing_blocks : float;  (** braiding-channel exposure, same unit *)
+}
+
+val exposure_of_result :
+  Qec_surface.Timing.t -> Scheduler.result -> exposure
+
+val total_blocks : exposure -> float
+
+val failure_probability :
+  ?params:Qec_surface.Error_model.params -> d:int -> exposure -> float
+(** [1 - (1 - P_L(d))^blocks] — probability at least one logical fault
+    occurs during the computation. Raises like
+    {!Qec_surface.Error_model.logical_error_rate}. *)
+
+val distance_for_failure :
+  ?params:Qec_surface.Error_model.params ->
+  target:float ->
+  exposure ->
+  int
+(** Smallest odd distance keeping {!failure_probability} at or below
+    [target]. Raises [Invalid_argument] if [target] is not in (0, 1). *)
+
+val compare_schedules :
+  ?params:Qec_surface.Error_model.params ->
+  d:int ->
+  Qec_surface.Timing.t ->
+  Scheduler.result ->
+  Scheduler.result ->
+  float
+(** [compare_schedules ~d timing a b]: ratio of failure probabilities
+    [P(a) / P(b)] at distance [d] — how many times more likely schedule
+    [a] is to fail than schedule [b]. *)

@@ -1,0 +1,101 @@
+(** Round-based braiding scheduler — the AutoBraid driver (Fig. 10).
+
+    Repeats until every gate is scheduled: take the DAG front, route the
+    concurrent CX gates with the stack-based path finder, and — in the
+    [Full] variant — trigger the layout optimizer when less than
+    [threshold_p] of them could be scheduled, spending one parallel SWAP
+    layer (cost 3 CX) to change the placement before retrying.
+
+    Latency model (see {!Qec_surface.Timing}): a round containing at least
+    one braid costs [2d] cycles, a purely local round [d] cycles, a SWAP
+    layer [6d] cycles. Ready single-qubit gates complete in any round.
+
+    Circuits are lowered with
+    {!Qec_circuit.Decompose.to_scheduler_gates} on entry, so callers may
+    pass Toffoli/MCT/barrier-bearing circuits directly. *)
+
+type variant =
+  | Sp  (** stack-based path finder only — "autobraid-sp" *)
+  | Full  (** path finder + dynamic layout optimization — "autobraid-full" *)
+
+type options = {
+  variant : variant;
+  threshold_p : float;
+      (** layout optimizer triggers when the scheduled ratio of a round
+          falls below this value; in [0, 1), paper sweeps 0–0.9 *)
+  initial : Initial_layout.method_;
+  swap_strategy : Layout_opt.strategy option;
+      (** [None] = auto: odd-even when the coupling graph is dense
+          (all-to-all-like), greedy otherwise *)
+  retry : bool;
+      (** failed-first retry pass in the path finder (default true;
+          disable for the ablation study) *)
+  confine_llg : bool;
+      (** route guaranteed LLGs inside their bounding boxes first, with
+          whole-lattice fallback (default true — Theorems 1-2) *)
+  compaction : bool;
+      (** topological path compaction per round ({!Compaction}), using the
+          freed vertices to rescue failed gates (default false) *)
+  lookahead : bool;
+      (** critical-path lookahead: within a round, route gates with the
+          tallest dependent chains first (default false) *)
+  seed : int;
+  placement_override : Qec_lattice.Placement.t option;
+      (** start from this placement instead of running [initial]; copied,
+          never mutated. Used to share one (annealed) placement across a
+          p-sweep. *)
+}
+
+val default_options : options
+(** [Full], [threshold_p = 0.3], [Annealed] initial placement, auto swap
+    strategy, retry on, seed 11. *)
+
+type result = {
+  name : string;
+  num_qubits : int;
+  num_gates : int;  (** after lowering *)
+  num_two_qubit : int;
+  lattice_side : int;
+  total_cycles : int;
+  rounds : int;
+  braid_rounds : int;
+  swap_layers : int;
+  swaps_inserted : int;
+  critical_path_cycles : int;  (** routing-free lower bound, same costs *)
+  avg_utilization : float;  (** mean occupied-vertex ratio over braid rounds *)
+  peak_utilization : float;
+  compile_time_s : float;  (** wall time spent scheduling *)
+}
+
+val time_us : Qec_surface.Timing.t -> result -> float
+(** Execution time in microseconds: [total_cycles] at the timing's cycle
+    length. *)
+
+val critical_path_us : Qec_surface.Timing.t -> result -> float
+
+val run :
+  ?options:options -> Qec_surface.Timing.t -> Qec_circuit.Circuit.t -> result
+(** Schedule the whole circuit. The lattice is the smallest square grid
+    fitting the qubit count (§4.1). Deterministic for fixed options. *)
+
+val run_traced :
+  ?options:options ->
+  Qec_surface.Timing.t ->
+  Qec_circuit.Circuit.t ->
+  result * Trace.t
+(** Like {!run}, additionally recording the full per-round schedule
+    ({!Trace}) for validation, rendering, and export. Scheduling decisions
+    are identical to {!run}'s. *)
+
+val run_best_p :
+  ?options:options ->
+  ?grid_points:float list ->
+  ?parallel:bool ->
+  Qec_surface.Timing.t ->
+  Qec_circuit.Circuit.t ->
+  result * (float * result) list
+(** The paper's p-sweep: run at each threshold (default 0.0 to 0.9 by 0.1)
+    and return the best result plus the whole curve (for Fig. 18). With
+    [parallel] (default false) the thresholds run on separate domains —
+    identical results, shorter wall time, but [compile_time_s] then counts
+    CPU across domains. *)

@@ -1,0 +1,124 @@
+module Path = Qec_lattice.Path
+module Occupancy = Qec_lattice.Occupancy
+module Router = Qec_lattice.Router
+module Bbox = Qec_lattice.Bbox
+
+type outcome = {
+  routed : (Task.t * Path.t) list;
+  failed : Task.t list;
+  ratio : float;
+}
+
+let route_in_order ?bounds_of router occ placement order =
+  let routed = ref [] and failed = ref [] in
+  List.iter
+    (fun (task : Task.t) ->
+      let src_cell, dst_cell = Task.cells placement task in
+      let bounds = match bounds_of with None -> None | Some f -> f task in
+      (* A bounded search that fails falls back to the whole lattice: the
+         confinement of Theorems 1-2 is an optimization, not a rule. *)
+      let attempt bounds =
+        Router.route_and_reserve ?bounds router occ ~src_cell ~dst_cell
+      in
+      match (match attempt bounds with
+             | Some p -> Some p
+             | None when bounds <> None -> attempt None
+             | None -> None)
+      with
+      | Some p -> routed := (task, p) :: !routed
+      | None -> failed := task :: !failed)
+    order;
+  (List.rev !routed, List.rev !failed)
+
+(* Peel max-degree (> 2) nodes onto the stack; ties prefer the largest
+   bounding-box area, then the lowest gate id for determinism. *)
+let peel_stack placement ig =
+  let stack = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Interference.max_degree_nodes ig with
+    | [] -> continue := false
+    | (first :: _ as candidates) ->
+      if Interference.degree ig first.Task.id <= 2 then continue := false
+      else begin
+        let best =
+          List.fold_left
+            (fun acc t ->
+              let area b = Bbox.area (Task.bbox placement b) in
+              if area t > area acc then t else acc)
+            first candidates
+        in
+        stack := best :: !stack;
+        Interference.remove ig best.Task.id
+      end
+  done;
+  !stack (* head = last pushed: already LIFO pop order *)
+
+let planned_order ?priority_of placement tasks =
+  let ig = Interference.build placement tasks in
+  let stack = peel_stack placement ig in
+  let remaining =
+    Interference.nodes ig
+    |> List.sort (fun a b ->
+           (* Optional lookahead priority first (higher = earlier), then
+              the paper's smallest-bounding-box-first order. *)
+           let pa, pb =
+             match priority_of with
+             | None -> (0, 0)
+             | Some f -> (f a, f b)
+           in
+           if pa <> pb then compare pb pa
+           else
+             let ka = Bbox.area (Task.bbox placement a)
+             and kb = Bbox.area (Task.bbox placement b) in
+             if ka <> kb then compare ka kb else compare a.Task.id b.Task.id)
+  in
+  remaining @ stack
+
+let find ?(retry = true) ?(confine_llg = false) ?priority_of router occ
+    placement tasks =
+  match tasks with
+  | [] -> { routed = []; failed = []; ratio = 1.0 }
+  | _ ->
+    let total = List.length tasks in
+    let order = planned_order ?priority_of placement tasks in
+    (* Theorem 1/2 confinement: gates in guaranteed LLGs (size <= 3 or
+       strictly nested) first search inside their group's bounding box,
+       keeping the shared fabric free for everyone else. *)
+    let bounds_of =
+      if not confine_llg then None
+      else begin
+        let table = Hashtbl.create 16 in
+        List.iter
+          (fun (g : Llg.group) ->
+            if Llg.is_guaranteed placement g then
+              List.iter
+                (fun (t : Task.t) -> Hashtbl.replace table t.id g.Llg.bbox)
+                g.Llg.members)
+          (Llg.decompose placement tasks);
+        Some (fun (t : Task.t) -> Hashtbl.find_opt table t.id)
+      end
+    in
+    let routed, failed = route_in_order ?bounds_of router occ placement order in
+    let routed, failed =
+      if retry && failed <> [] then begin
+        (* Failed-first retry: release our paths and try again with the
+           blocked gates routed before everything else. *)
+        List.iter (fun (_, p) -> Occupancy.release_path occ p) routed;
+        let retry_order = failed @ List.map fst routed in
+        let routed', failed' = route_in_order router occ placement retry_order in
+        if List.length routed' > List.length routed then (routed', failed')
+        else begin
+          (* Roll back to the first attempt. *)
+          List.iter (fun (_, p) -> Occupancy.release_path occ p) routed';
+          List.iter (fun (_, p) -> Occupancy.reserve_path occ p) routed;
+          (routed, failed)
+        end
+      end
+      else (routed, failed)
+    in
+    {
+      routed;
+      failed;
+      ratio = float_of_int (List.length routed) /. float_of_int total;
+    }

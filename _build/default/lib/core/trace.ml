@@ -1,0 +1,195 @@
+module Circuit = Qec_circuit.Circuit
+module Gate = Qec_circuit.Gate
+module Dag = Qec_circuit.Dag
+module Grid = Qec_lattice.Grid
+module Path = Qec_lattice.Path
+module Placement = Qec_lattice.Placement
+module Timing = Qec_surface.Timing
+
+type round =
+  | Local of { gates : int list }
+  | Braid of { braids : (Task.t * Path.t) list; locals : int list }
+  | Swap_layer of { swaps : (int * int) list }
+
+type t = {
+  circuit : Circuit.t;
+  grid : Grid.t;
+  initial_cells : int array;
+  rounds : round list;
+}
+
+let cycles timing t =
+  List.fold_left
+    (fun acc -> function
+      | Local _ -> acc + Timing.single_qubit_cycles timing
+      | Braid _ -> acc + Timing.braid_cycles timing
+      | Swap_layer _ -> acc + Timing.swap_layer_cycles timing)
+    0 t.rounds
+
+let num_rounds t = List.length t.rounds
+
+let swap_count t =
+  List.fold_left
+    (fun acc -> function
+      | Swap_layer { swaps } -> acc + List.length swaps
+      | Local _ | Braid _ -> acc)
+    0 t.rounds
+
+let initial_placement t =
+  Placement.create t.grid
+    ~num_qubits:(Array.length t.initial_cells)
+    ~cells:t.initial_cells
+
+let placement_after t k =
+  if k < 0 || k > num_rounds t then invalid_arg "Trace.placement_after";
+  let placement = initial_placement t in
+  List.iteri
+    (fun i round ->
+      if i < k then
+        match round with
+        | Swap_layer { swaps } ->
+          List.iter (fun (a, b) -> Placement.swap_qubits placement a b) swaps
+        | Local _ | Braid _ -> ())
+    t.rounds;
+  placement
+
+let final_placement t = placement_after t (num_rounds t)
+
+let validate t =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let dag = Dag.of_circuit t.circuit in
+  let n_gates = Circuit.length t.circuit in
+  let executed = Array.make n_gates false in
+  let placement = initial_placement t in
+  let check_gate_ready id =
+    if id < 0 || id >= n_gates then fail "gate id %d out of range" id
+    else if executed.(id) then fail "gate %d executed twice" id
+    else if List.exists (fun p -> not executed.(p)) (Dag.preds dag id) then
+      fail "gate %d executed before a predecessor" id
+    else begin
+      executed.(id) <- true;
+      Ok ()
+    end
+  in
+  let rec check_locals = function
+    | [] -> Ok ()
+    | id :: rest ->
+      let* () = check_gate_ready id in
+      if Gate.is_two_qubit (Circuit.gate t.circuit id) then
+        fail "gate %d in a local slot is a two-qubit gate" id
+      else check_locals rest
+  in
+  let check_braid_paths braids =
+    let rec disjoint = function
+      | [] -> Ok ()
+      | (t1, p1) :: rest ->
+        if
+          List.exists (fun ((_, p2) : Task.t * Path.t) ->
+              not (Path.disjoint p1 p2))
+            rest
+        then fail "gate %d's path collides with another path" t1.Task.id
+        else disjoint rest
+    in
+    let rec each = function
+      | [] -> Ok ()
+      | ((task : Task.t), path) :: rest ->
+        let* () = check_gate_ready task.id in
+        let g = Circuit.gate t.circuit task.id in
+        if not (Gate.is_two_qubit g) then
+          fail "gate %d scheduled as a braid is not two-qubit" task.id
+        else begin
+          let ca = Placement.cell_of_qubit placement task.q1
+          and cb = Placement.cell_of_qubit placement task.q2 in
+          match Gate.two_qubit_operands g with
+          | Some (a, b) when (a, b) = (task.q1, task.q2) ->
+            if not (Path.connects_cells t.grid path ca cb) then
+              fail "gate %d's path does not connect its operand tiles"
+                task.id
+            else each rest
+          | Some _ -> fail "gate %d's task operands mismatch the gate" task.id
+          | None -> fail "gate %d has no two-qubit operands" task.id
+        end
+    in
+    let* () = each braids in
+    disjoint braids
+  in
+  let check_swaps swaps =
+    let qubits = List.concat_map (fun (a, b) -> [ a; b ]) swaps in
+    if List.length (List.sort_uniq compare qubits) <> List.length qubits then
+      fail "a swap layer touches a qubit twice"
+    else begin
+      List.iter (fun (a, b) -> Placement.swap_qubits placement a b) swaps;
+      Ok ()
+    end
+  in
+  let rec walk = function
+    | [] -> Ok ()
+    | Local { gates } :: rest ->
+      let* () =
+        if gates = [] then fail "empty local round" else check_locals gates
+      in
+      walk rest
+    | Braid { braids; locals } :: rest ->
+      let* () =
+        if braids = [] then fail "braid round without braids"
+        else check_braid_paths braids
+      in
+      let* () = check_locals locals in
+      walk rest
+    | Swap_layer { swaps } :: rest ->
+      let* () =
+        if swaps = [] then fail "empty swap layer" else check_swaps swaps
+      in
+      walk rest
+  in
+  let* () = walk t.rounds in
+  let missing = ref [] in
+  Array.iteri (fun i done_ -> if not done_ then missing := i :: !missing) executed;
+  match !missing with
+  | [] -> Ok ()
+  | i :: _ -> fail "gate %d was never executed" i
+
+let round_to_string t k =
+  if k < 0 || k >= num_rounds t then invalid_arg "Trace.round_to_string";
+  let placement = placement_after t k in
+  match List.nth t.rounds k with
+  | Local { gates } ->
+    Printf.sprintf "round %d: local (%d gates)\n%s" k (List.length gates)
+      (Qec_lattice.Render.grid_to_string ~placement t.grid)
+  | Braid { braids; locals } ->
+    Printf.sprintf "round %d: %d braids, %d locals\n%s" k
+      (List.length braids) (List.length locals)
+      (Qec_lattice.Render.grid_to_string
+         ~paths:(List.map snd braids)
+         ~placement t.grid)
+  | Swap_layer { swaps } ->
+    Printf.sprintf "round %d: swap layer (%s)\n%s" k
+      (String.concat ", "
+         (List.map (fun (a, b) -> Printf.sprintf "q%d<->q%d" a b) swaps))
+      (Qec_lattice.Render.grid_to_string ~placement t.grid)
+
+let transformed_circuit t =
+  let b =
+    Circuit.Builder.create
+      ~name:(Circuit.name t.circuit ^ "+swaps")
+      ~num_qubits:(Circuit.num_qubits t.circuit)
+      ()
+  in
+  List.iter
+    (fun round ->
+      match round with
+      | Local { gates } ->
+        List.iter (fun id -> Circuit.Builder.add b (Circuit.gate t.circuit id)) gates
+      | Braid { braids; locals } ->
+        List.iter
+          (fun ((task : Task.t), _) ->
+            Circuit.Builder.add b (Circuit.gate t.circuit task.id))
+          braids;
+        List.iter
+          (fun id -> Circuit.Builder.add b (Circuit.gate t.circuit id))
+          locals
+      | Swap_layer { swaps } ->
+        List.iter (fun (a, b') -> Circuit.Builder.add b (Gate.Swap (a, b'))) swaps)
+    t.rounds;
+  Circuit.Builder.finish b

@@ -1,0 +1,63 @@
+(** Full schedule traces.
+
+    While {!Scheduler.result} carries aggregates, a trace records what
+    happened in every round: which gates were scheduled on which braiding
+    paths, which SWAPs were inserted, and how the placement evolved. Traces
+    support {e independent} validation — {!validate} replays the trace
+    against the circuit's dependency DAG and the lattice rules without
+    trusting the scheduler — plus rendering and export of the transformed
+    (swap-inserted) logical circuit. *)
+
+type round =
+  | Local of { gates : int list }
+      (** a round of purely local gates (gate ids), cost [d] cycles *)
+  | Braid of {
+      braids : (Task.t * Qec_lattice.Path.t) list;
+          (** two-qubit gates with their paths, in routing order *)
+      locals : int list;  (** local gates completed in the same round *)
+    }  (** cost [2d] cycles *)
+  | Swap_layer of { swaps : (int * int) list }
+      (** inserted qubit-pair swaps, cost [6d] cycles *)
+
+type t = {
+  circuit : Qec_circuit.Circuit.t;  (** the lowered circuit *)
+  grid : Qec_lattice.Grid.t;
+  initial_cells : int array;  (** qubit -> cell before round 0 *)
+  rounds : round list;  (** in execution order *)
+}
+
+val cycles : Qec_surface.Timing.t -> t -> int
+(** Total latency of the trace under the standard cost model. *)
+
+val num_rounds : t -> int
+
+val swap_count : t -> int
+
+val placement_after : t -> int -> Qec_lattice.Placement.t
+(** Placement after the first [k] rounds ([0] = initial). Raises
+    [Invalid_argument] if [k] exceeds the round count. *)
+
+val final_placement : t -> Qec_lattice.Placement.t
+
+val validate : t -> (unit, string) result
+(** Replay the trace and check, without consulting the scheduler:
+
+    - every circuit gate is executed exactly once, and only after all of
+      its dependency predecessors;
+    - braid paths are valid channel paths connecting the operand tiles
+      {e under the placement current at that round};
+    - paths within one round are pairwise vertex-disjoint;
+    - swap layers touch each qubit at most once;
+    - local rounds contain no two-qubit gates and braid entries are all
+      two-qubit gates.
+
+    Returns [Error message] naming the first violation. *)
+
+val round_to_string : t -> int -> string
+(** ASCII rendering ({!Qec_lattice.Render}) of one round's paths over the
+    placement current at that round. *)
+
+val transformed_circuit : t -> Qec_circuit.Circuit.t
+(** The logical circuit actually executed: the original gates in schedule
+    order with the inserted SWAP layers materialized as [Swap] gates.
+    Parsing/printing this circuit reproduces the mapped program. *)

@@ -1,0 +1,1 @@
+lib/lattice/bbox.mli: Format

@@ -1,0 +1,1 @@
+lib/lattice/grid.ml: Array

@@ -1,0 +1,1 @@
+lib/lattice/occupancy.ml: Grid List Path Printf Qec_util

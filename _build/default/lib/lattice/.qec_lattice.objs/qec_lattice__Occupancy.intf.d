@@ -1,0 +1,1 @@
+lib/lattice/occupancy.mli: Grid Path Qec_util

@@ -1,0 +1,1 @@
+lib/lattice/path.ml: Array Bbox Format Grid Int List Printf Set

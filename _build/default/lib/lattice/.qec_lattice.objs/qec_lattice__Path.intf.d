@@ -1,0 +1,1 @@
+lib/lattice/path.mli: Bbox Format Grid

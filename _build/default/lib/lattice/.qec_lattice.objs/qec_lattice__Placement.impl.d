@@ -1,0 +1,1 @@
+lib/lattice/placement.ml: Array Bbox Grid List Qec_util

@@ -1,0 +1,1 @@
+lib/lattice/placement.mli: Bbox Grid Qec_util

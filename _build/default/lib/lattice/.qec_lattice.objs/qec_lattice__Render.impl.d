@@ -1,0 +1,1 @@
+lib/lattice/render.ml: Buffer Grid Int List Path Placement Printf Set

@@ -1,0 +1,1 @@
+lib/lattice/router.ml: Array Bbox Grid List Occupancy Path Qec_util

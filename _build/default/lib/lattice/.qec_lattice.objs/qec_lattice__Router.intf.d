@@ -1,0 +1,1 @@
+lib/lattice/router.mli: Bbox Grid Occupancy Path

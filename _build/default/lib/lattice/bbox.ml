@@ -1,0 +1,56 @@
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let make ~x0 ~y0 ~x1 ~y1 =
+  if x0 > x1 || y0 > y1 then invalid_arg "Bbox.make: inverted box";
+  { x0; y0; x1; y1 }
+
+let of_cells (ax, ay) (bx, by) =
+  { x0 = min ax bx; y0 = min ay by; x1 = max ax bx; y1 = max ay by }
+
+let of_points = function
+  | [] -> invalid_arg "Bbox.of_points: empty"
+  | (x, y) :: rest ->
+    List.fold_left
+      (fun b (px, py) ->
+        {
+          x0 = min b.x0 px;
+          y0 = min b.y0 py;
+          x1 = max b.x1 px;
+          y1 = max b.y1 py;
+        })
+      { x0 = x; y0 = y; x1 = x; y1 = y }
+      rest
+
+let join a b =
+  {
+    x0 = min a.x0 b.x0;
+    y0 = min a.y0 b.y0;
+    x1 = max a.x1 b.x1;
+    y1 = max a.y1 b.y1;
+  }
+
+let width b = b.x1 - b.x0 + 1
+let height b = b.y1 - b.y0 + 1
+let area b = width b * height b
+
+let intersects a b =
+  a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+
+(* Expanding one box by one cell in every direction and testing cell
+   intersection is exactly "vertex footprints share a vertex": the vertex
+   footprint of box [x0..x1] spans channel columns [x0..x1+1]. *)
+let touches_or_intersects a b =
+  a.x0 <= b.x1 + 1 && b.x0 <= a.x1 + 1 && a.y0 <= b.y1 + 1 && b.y0 <= a.y1 + 1
+
+let contains outer inner =
+  outer.x0 <= inner.x0 && outer.y0 <= inner.y0 && inner.x1 <= outer.x1
+  && inner.y1 <= outer.y1
+
+let strictly_nests ~outer ~inner =
+  outer.x0 < inner.x0 && outer.y0 < inner.y0 && inner.x1 < outer.x1
+  && inner.y1 < outer.y1
+
+let contains_point b (x, y) = b.x0 <= x && x <= b.x1 && b.y0 <= y && y <= b.y1
+
+let pp ppf b =
+  Format.fprintf ppf "[(%d,%d)-(%d,%d)]" b.x0 b.y0 b.x1 b.y1

@@ -1,0 +1,50 @@
+(** Axis-aligned bounding boxes in cell coordinates.
+
+    The LLG analysis and the CX interference graph are defined over
+    bounding boxes of CX gates: the minimal box enclosing the two operand
+    cells (the paper's {e outer} bounding box, Fig. 19a). Coordinates are
+    inclusive cell indices. *)
+
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+(** Invariant: [x0 <= x1] and [y0 <= y1]. *)
+
+val make : x0:int -> y0:int -> x1:int -> y1:int -> t
+(** Raises [Invalid_argument] if the invariant fails. *)
+
+val of_cells : (int * int) -> (int * int) -> t
+(** Bounding box of two cells given as [(x, y)] pairs. *)
+
+val of_points : (int * int) list -> t
+(** Bounding box of a non-empty point list. *)
+
+val join : t -> t -> t
+(** Smallest box enclosing both. *)
+
+val width : t -> int
+(** Cells spanned horizontally ([x1 - x0 + 1]). *)
+
+val height : t -> int
+
+val area : t -> int
+(** [width * height] — the tie-break key of the stack-based path finder. *)
+
+val intersects : t -> t -> bool
+(** Boxes share at least one cell. *)
+
+val touches_or_intersects : t -> t -> bool
+(** Boxes share a cell {e or} are edge/corner adjacent — i.e. their vertex
+    footprints on the channel graph share a vertex. This is the overlap
+    notion under which two simultaneous braiding paths could collide, so it
+    defines LLG grouping and interference edges. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]: [inner] lies within [outer] (boundaries may
+    coincide). *)
+
+val strictly_nests : outer:t -> inner:t -> bool
+(** [inner] lies strictly inside [outer] with no shared boundary cells —
+    the premise of Theorem 2. *)
+
+val contains_point : t -> int * int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type t = { l : int; vside : int (* l + 1 *) }
+
+let create l =
+  if l < 1 then invalid_arg "Grid.create: side < 1";
+  { l; vside = l + 1 }
+
+let side t = t.l
+let num_cells t = t.l * t.l
+let num_vertices t = t.vside * t.vside
+
+let vertex_id t ~x ~y =
+  if x < 0 || y < 0 || x >= t.vside || y >= t.vside then
+    invalid_arg "Grid.vertex_id: out of range";
+  (y * t.vside) + x
+
+let vertex_xy t v =
+  if v < 0 || v >= num_vertices t then invalid_arg "Grid.vertex_xy";
+  (v mod t.vside, v / t.vside)
+
+let cell_id t ~x ~y =
+  if x < 0 || y < 0 || x >= t.l || y >= t.l then
+    invalid_arg "Grid.cell_id: out of range";
+  (y * t.l) + x
+
+let cell_xy t c =
+  if c < 0 || c >= num_cells t then invalid_arg "Grid.cell_xy";
+  (c mod t.l, c / t.l)
+
+let cell_corners t c =
+  let x, y = cell_xy t c in
+  [|
+    vertex_id t ~x ~y;
+    vertex_id t ~x:(x + 1) ~y;
+    vertex_id t ~x ~y:(y + 1);
+    vertex_id t ~x:(x + 1) ~y:(y + 1);
+  |]
+
+let vertex_neighbors t v =
+  let x, y = vertex_xy t v in
+  let acc = ref [] in
+  (* Collected in descending id order, so the result is ascending. *)
+  if y + 1 < t.vside then acc := vertex_id t ~x ~y:(y + 1) :: !acc;
+  if x + 1 < t.vside then acc := vertex_id t ~x:(x + 1) ~y :: !acc;
+  if x > 0 then acc := vertex_id t ~x:(x - 1) ~y :: !acc;
+  if y > 0 then acc := vertex_id t ~x ~y:(y - 1) :: !acc;
+  !acc
+
+let vertex_distance t a b =
+  let ax, ay = vertex_xy t a and bx, by = vertex_xy t b in
+  abs (ax - bx) + abs (ay - by)
+
+let cell_distance t a b =
+  let ax, ay = cell_xy t a and bx, by = cell_xy t b in
+  abs (ax - bx) + abs (ay - by)
+
+let cell_to_cell_vertex_distance t a b =
+  let ca = cell_corners t a and cb = cell_corners t b in
+  let best = ref max_int in
+  Array.iter
+    (fun va ->
+      Array.iter
+        (fun vb -> best := min !best (vertex_distance t va vb))
+        cb)
+    ca;
+  !best

@@ -1,0 +1,53 @@
+(** Two-dimensional braiding grid (§3.1 "Problem Setting").
+
+    The lattice is partitioned into an [L × L] array of unit {e cells}
+    (logical-qubit tiles). Routing happens on the {e channel graph}: a
+    vertex at every channel intersection — [(L+1) × (L+1)] of them, the
+    corners of the cells — and an edge for every channel segment between
+    two adjacent vertices. A braiding path runs from any corner vertex of
+    one cell to any corner vertex of another. *)
+
+type t
+
+val create : int -> t
+(** [create l] is an [l × l]-cell grid. Raises [Invalid_argument] if
+    [l < 1]. *)
+
+val side : t -> int
+(** Cells per side. *)
+
+val num_cells : t -> int
+(** [side²]. *)
+
+val num_vertices : t -> int
+(** [(side+1)²]. *)
+
+val vertex_id : t -> x:int -> y:int -> int
+(** Dense id of the vertex at channel coordinates [(x, y)],
+    [0 <= x, y <= side]. Raises [Invalid_argument] out of range. *)
+
+val vertex_xy : t -> int -> int * int
+(** Inverse of {!vertex_id}. *)
+
+val cell_id : t -> x:int -> y:int -> int
+(** Dense id of the cell at [(x, y)], [0 <= x, y < side]. *)
+
+val cell_xy : t -> int -> int * int
+(** Inverse of {!cell_id}. *)
+
+val cell_corners : t -> int -> int array
+(** The four corner vertex ids of a cell, in (NW, NE, SW, SE) order. *)
+
+val vertex_neighbors : t -> int -> int list
+(** Adjacent vertex ids (2 at corners of the grid, 3 on boundary, 4
+    inside), ascending. *)
+
+val vertex_distance : t -> int -> int -> int
+(** Manhattan distance between two vertices. *)
+
+val cell_distance : t -> int -> int -> int
+(** Manhattan distance between two cells (in cell coordinates). *)
+
+val cell_to_cell_vertex_distance : t -> int -> int -> int
+(** Minimum Manhattan distance between any corner of the first cell and any
+    corner of the second — the length lower bound for a braiding path. *)

@@ -1,0 +1,34 @@
+(** Per-round occupancy of routing vertices.
+
+    Tracks which channel vertices are claimed by braiding paths during the
+    current scheduling round, and accumulates the utilization statistics
+    reported in Fig. 17. *)
+
+type t
+
+val create : Grid.t -> t
+(** All vertices free. *)
+
+val grid : t -> Grid.t
+
+val is_free : t -> int -> bool
+
+val reserve_path : t -> Path.t -> unit
+(** Claim every vertex of the path. Raises [Invalid_argument] if any is
+    already claimed (caller must route on free vertices only). *)
+
+val release_path : t -> Path.t -> unit
+(** Release every vertex of the path (used when a tentative schedule is
+    rolled back before a swap round). Vertices must be currently
+    claimed. *)
+
+val clear : t -> unit
+(** Free everything — called between rounds. *)
+
+val occupied_count : t -> int
+
+val utilization : t -> float
+(** Occupied vertices over total vertices, in [0, 1]. *)
+
+val snapshot : t -> Qec_util.Bitset.t
+(** Copy of the occupancy bits (for tests and for interference checks). *)

@@ -1,0 +1,57 @@
+module Int_set = Set.Make (Int)
+
+type t = { verts : int list; vset : Int_set.t }
+
+let of_vertices grid verts =
+  if verts = [] then invalid_arg "Path.of_vertices: empty";
+  let rec check_adjacent = function
+    | a :: (b :: _ as rest) ->
+      if Grid.vertex_distance grid a b <> 1 then
+        invalid_arg
+          (Printf.sprintf "Path.of_vertices: v%d and v%d not adjacent" a b);
+      check_adjacent rest
+    | [ _ ] | [] -> ()
+  in
+  check_adjacent verts;
+  let vset = Int_set.of_list verts in
+  if Int_set.cardinal vset <> List.length verts then
+    invalid_arg "Path.of_vertices: repeated vertex";
+  { verts; vset }
+
+let vertices t = t.verts
+let length t = List.length t.verts
+let source t = List.hd t.verts
+let target t = List.nth t.verts (length t - 1)
+let mem t v = Int_set.mem v t.vset
+
+let disjoint a b =
+  (* Iterate over the smaller set. *)
+  let small, big =
+    if Int_set.cardinal a.vset <= Int_set.cardinal b.vset then (a, b)
+    else (b, a)
+  in
+  not (Int_set.exists (fun v -> Int_set.mem v big.vset) small.vset)
+
+let is_corner grid cell v = Array.exists (( = ) v) (Grid.cell_corners grid cell)
+
+let connects_cells grid t ca cb =
+  let s = source t and e = target t in
+  (is_corner grid ca s && is_corner grid cb e)
+  || (is_corner grid cb s && is_corner grid ca e)
+
+let within_bbox grid (box : Bbox.t) t =
+  List.for_all
+    (fun v ->
+      let x, y = Grid.vertex_xy grid v in
+      box.x0 <= x && x <= box.x1 + 1 && box.y0 <= y && y <= box.y1 + 1)
+    t.verts
+
+let pp grid ppf t =
+  Format.fprintf ppf "@[<h>";
+  List.iteri
+    (fun i v ->
+      let x, y = Grid.vertex_xy grid v in
+      if i > 0 then Format.fprintf ppf " -> ";
+      Format.fprintf ppf "(%d,%d)" x y)
+    t.verts;
+  Format.fprintf ppf "@]"

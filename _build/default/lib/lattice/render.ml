@@ -1,0 +1,69 @@
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module Int_set = Set.Make (Int)
+
+let norm a b = if a < b then (a, b) else (b, a)
+
+let collect_marks paths =
+  List.fold_left
+    (fun (verts, edges) p ->
+      let vs = Path.vertices p in
+      let verts = List.fold_left (fun s v -> Int_set.add v s) verts vs in
+      let rec walk edges = function
+        | a :: (b :: _ as rest) -> walk (Pair_set.add (norm a b) edges) rest
+        | [ _ ] | [] -> edges
+      in
+      (verts, walk edges vs))
+    (Int_set.empty, Pair_set.empty)
+    paths
+
+let grid_to_string ?(paths = []) ?placement grid =
+  let l = Grid.side grid in
+  let marked_verts, marked_edges = collect_marks paths in
+  let vertex x y = Grid.vertex_id grid ~x ~y in
+  let vsym v = if Int_set.mem v marked_verts then "#" else "+" in
+  let hedge x y =
+    (* edge between vertex (x,y) and (x+1,y) *)
+    if Pair_set.mem (norm (vertex x y) (vertex (x + 1) y)) marked_edges then
+      "==="
+    else "   "
+  in
+  let vedge x y =
+    (* edge between vertex (x,y) and (x,y+1) *)
+    if Pair_set.mem (norm (vertex x y) (vertex x (y + 1))) marked_edges then
+      "I"
+    else " "
+  in
+  let cell_label x y =
+    match placement with
+    | None -> "   "
+    | Some p -> (
+      match Placement.qubit_of_cell p (Grid.cell_id grid ~x ~y) with
+      | Some q -> Printf.sprintf "q%02d" (q mod 100)
+      | None -> " . ")
+  in
+  let buf = Buffer.create 1024 in
+  for y = 0 to l do
+    (* vertex row *)
+    for x = 0 to l do
+      Buffer.add_string buf (vsym (vertex x y));
+      if x < l then Buffer.add_string buf (hedge x y)
+    done;
+    Buffer.add_char buf '\n';
+    (* cell row *)
+    if y < l then begin
+      for x = 0 to l do
+        Buffer.add_string buf (vedge x y);
+        if x < l then Buffer.add_string buf (cell_label x y)
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let print ?paths ?placement grid =
+  print_string (grid_to_string ?paths ?placement grid)

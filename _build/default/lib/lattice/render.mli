@@ -1,0 +1,15 @@
+(** ASCII rendering of the braiding lattice.
+
+    Draws the tile grid with qubit occupants and overlays braiding paths
+    on the channel graph — useful for debugging schedules and for the CLI
+    [trace] command. Cells print their qubit id (or [..] when empty);
+    channel vertices print [+] when free and [#] when used by a path;
+    path edges are drawn along the channels. *)
+
+val grid_to_string :
+  ?paths:Path.t list -> ?placement:Placement.t -> Grid.t -> string
+(** Multi-line drawing (trailing newline included). [paths] vertices and
+    edges are marked; [placement] labels occupied cells with qubit ids
+    (modulo 100, for width). *)
+
+val print : ?paths:Path.t list -> ?placement:Placement.t -> Grid.t -> unit

@@ -1,0 +1,167 @@
+type t = {
+  grid : Grid.t;
+  gen : int array; (* generation stamp per vertex *)
+  gscore : int array;
+  came_from : int array;
+  closed : bool array;
+  mutable generation : int;
+  open_list : int Qec_util.Heap.t;
+}
+
+let create grid =
+  let n = Grid.num_vertices grid in
+  {
+    grid;
+    gen = Array.make n 0;
+    gscore = Array.make n 0;
+    came_from = Array.make n (-1);
+    closed = Array.make n false;
+    generation = 0;
+    open_list = Qec_util.Heap.create ();
+  }
+
+let grid t = t.grid
+
+let fresh t v =
+  if t.gen.(v) <> t.generation then begin
+    t.gen.(v) <- t.generation;
+    t.gscore.(v) <- max_int;
+    t.came_from.(v) <- -1;
+    t.closed.(v) <- false
+  end
+
+let in_bounds grid bounds v =
+  match bounds with
+  | None -> true
+  | Some (b : Bbox.t) ->
+    let x, y = Grid.vertex_xy grid v in
+    b.x0 <= x && x <= b.x1 + 1 && b.y0 <= y && y <= b.y1 + 1
+
+let route ?bounds t occ ~src_cell ~dst_cell =
+  if src_cell = dst_cell then invalid_arg "Router.route: same cell";
+  if Occupancy.grid occ != t.grid then
+    invalid_arg "Router.route: occupancy grid mismatch";
+  t.generation <- t.generation + 1;
+  Qec_util.Heap.clear t.open_list;
+  let usable v = Occupancy.is_free occ v && in_bounds t.grid bounds v in
+  let goals =
+    Array.to_list (Grid.cell_corners t.grid dst_cell) |> List.filter usable
+  in
+  if goals = [] then None
+  else begin
+    let is_goal = Array.make 4 (-1) in
+    List.iteri (fun i v -> is_goal.(i) <- v) goals;
+    let goal v = Array.exists (( = ) v) is_goal in
+    let heuristic v =
+      List.fold_left
+        (fun acc g -> min acc (Grid.vertex_distance t.grid v g))
+        max_int goals
+    in
+    let push v g =
+      fresh t v;
+      if g < t.gscore.(v) then begin
+        t.gscore.(v) <- g;
+        Qec_util.Heap.push t.open_list ~priority:(g + heuristic v) v
+      end
+    in
+    Array.iter
+      (fun v -> if usable v then push v 0)
+      (Grid.cell_corners t.grid src_cell);
+    let rec search () =
+      match Qec_util.Heap.pop_min t.open_list with
+      | None -> None
+      | Some v ->
+        fresh t v;
+        if t.closed.(v) then search ()
+        else if goal v then Some v
+        else begin
+          t.closed.(v) <- true;
+          let g' = t.gscore.(v) + 1 in
+          List.iter
+            (fun nb ->
+              if usable nb then begin
+                fresh t nb;
+                if (not t.closed.(nb)) && g' < t.gscore.(nb) then begin
+                  t.gscore.(nb) <- g';
+                  t.came_from.(nb) <- v;
+                  Qec_util.Heap.push t.open_list ~priority:(g' + heuristic nb)
+                    nb
+                end
+              end)
+            (Grid.vertex_neighbors t.grid v);
+          search ()
+        end
+    in
+    match search () with
+    | None -> None
+    | Some reached ->
+      let rec walk v acc =
+        if t.came_from.(v) = -1 then v :: acc else walk t.came_from.(v) (v :: acc)
+      in
+      Some (Path.of_vertices t.grid (walk reached []))
+  end
+
+let route_and_reserve ?bounds t occ ~src_cell ~dst_cell =
+  match route ?bounds t occ ~src_cell ~dst_cell with
+  | None -> None
+  | Some p ->
+    Occupancy.reserve_path occ p;
+    Some p
+
+(* Vertex ids along a straight channel segment from (x1,y1) to (x2,y2),
+   endpoints included; the coordinates must share an axis. *)
+let segment t (x1, y1) (x2, y2) =
+  if x1 = x2 then
+    let step = if y2 >= y1 then 1 else -1 in
+    List.init
+      (abs (y2 - y1) + 1)
+      (fun i -> Grid.vertex_id t.grid ~x:x1 ~y:(y1 + (i * step)))
+  else begin
+    assert (y1 = y2);
+    let step = if x2 >= x1 then 1 else -1 in
+    List.init
+      (abs (x2 - x1) + 1)
+      (fun i -> Grid.vertex_id t.grid ~x:(x1 + (i * step)) ~y:y1)
+  end
+
+let l_candidates t a b =
+  let axy = Grid.vertex_xy t.grid a and bxy = Grid.vertex_xy t.grid b in
+  let ax, ay = axy and bx, by = bxy in
+  if a = b then [ [ a ] ]
+  else if ax = bx || ay = by then [ segment t axy bxy ]
+  else begin
+    let x_first = segment t axy (bx, ay) @ List.tl (segment t (bx, ay) bxy) in
+    let y_first = segment t axy (ax, by) @ List.tl (segment t (ax, by) bxy) in
+    [ x_first; y_first ]
+  end
+
+let route_dimension_ordered t occ ~src_cell ~dst_cell =
+  if src_cell = dst_cell then
+    invalid_arg "Router.route_dimension_ordered: same cell";
+  if Occupancy.grid occ != t.grid then
+    invalid_arg "Router.route_dimension_ordered: occupancy grid mismatch";
+  let corners_src = Array.to_list (Grid.cell_corners t.grid src_cell)
+  and corners_dst = Array.to_list (Grid.cell_corners t.grid dst_cell) in
+  let candidates =
+    List.concat_map
+      (fun a -> List.concat_map (fun b -> l_candidates t a b) corners_dst
+                |> List.map (fun p -> (a, p)))
+      corners_src
+    |> List.map snd
+  in
+  let candidates =
+    List.stable_sort
+      (fun p q -> compare (List.length p) (List.length q))
+      candidates
+  in
+  let free p = List.for_all (Occupancy.is_free occ) p in
+  match List.find_opt free candidates with
+  | None -> None
+  | Some verts -> Some (Path.of_vertices t.grid verts)
+
+let route_dimension_ordered_and_reserve t occ ~src_cell ~dst_cell =
+  match route_dimension_ordered t occ ~src_cell ~dst_cell with
+  | None -> None
+  | Some p ->
+    Occupancy.reserve_path occ p;
+    Some p

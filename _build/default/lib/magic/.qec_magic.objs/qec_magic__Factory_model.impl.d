@@ -1,0 +1,1 @@
+lib/magic/factory_model.ml: Array Autobraid List Qec_circuit Qec_lattice Qec_surface Sys

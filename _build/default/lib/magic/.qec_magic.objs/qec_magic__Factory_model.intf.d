@@ -1,0 +1,1 @@
+lib/magic/factory_model.mli: Autobraid Qec_circuit Qec_lattice Qec_surface

@@ -1,0 +1,1 @@
+lib/partition/bisect.ml: Array Hashtbl Int List Qec_util Queue Set

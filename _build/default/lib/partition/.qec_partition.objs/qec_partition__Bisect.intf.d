@@ -1,0 +1,1 @@
+lib/partition/bisect.mli: Qec_util

@@ -1,0 +1,1 @@
+lib/partition/embed.ml: Array Bisect List Qec_circuit Qec_lattice Qec_util

@@ -1,0 +1,1 @@
+lib/partition/embed.mli: Qec_circuit Qec_lattice

@@ -1,0 +1,110 @@
+module Int_set = Set.Make (Int)
+
+let cut_weight ~weight a b =
+  List.fold_left
+    (fun acc x -> List.fold_left (fun acc y -> acc + weight x y) acc b)
+    0 a
+
+(* Grow side A by BFS from a start node, preferring heavy neighbors, so
+   tightly-coupled qubits land together. *)
+let bfs_grow ~weight ~neighbors ~size_a nodes start =
+  let node_set = Int_set.of_list nodes in
+  let in_a = Hashtbl.create 64 in
+  let frontier = Queue.create () in
+  Queue.push start frontier;
+  let count = ref 0 in
+  while !count < size_a && not (Queue.is_empty frontier) do
+    let v = Queue.pop frontier in
+    if not (Hashtbl.mem in_a v) then begin
+      Hashtbl.add in_a v ();
+      incr count;
+      let nbs =
+        neighbors v
+        |> List.filter (fun u ->
+               Int_set.mem u node_set && not (Hashtbl.mem in_a u))
+        |> List.sort (fun u1 u2 -> compare (weight v u2) (weight v u1))
+      in
+      List.iter (fun u -> Queue.push u frontier) nbs
+    end
+  done;
+  (* Components may be exhausted before reaching size_a: top up in node
+     order. *)
+  List.iter
+    (fun v ->
+      if !count < size_a && not (Hashtbl.mem in_a v) then begin
+        Hashtbl.add in_a v ();
+        incr count
+      end)
+    nodes;
+  in_a
+
+(* One refinement pass: greedily swap the boundary pair with the best
+   positive gain, lock swapped nodes, repeat. Gains are recomputed lazily;
+   the pass is bounded to keep recursion cheap. *)
+let refine ~weight ~neighbors in_a nodes =
+  let node_set = Int_set.of_list nodes in
+  let side v = Hashtbl.mem in_a v in
+  (* external - internal connection cost of v *)
+  let d v =
+    List.fold_left
+      (fun acc u ->
+        if not (Int_set.mem u node_set) then acc
+        else if side u <> side v then acc + weight v u
+        else acc - weight v u)
+      0 (neighbors v)
+  in
+  let boundary v =
+    List.exists
+      (fun u -> Int_set.mem u node_set && side u <> side v)
+      (neighbors v)
+  in
+  let locked = Hashtbl.create 64 in
+  let max_swaps = max 4 (List.length nodes / 4) in
+  let rec step k =
+    if k = 0 then ()
+    else begin
+      let candidates_a =
+        List.filter (fun v -> side v && boundary v && not (Hashtbl.mem locked v)) nodes
+      and candidates_b =
+        List.filter
+          (fun v -> (not (side v)) && boundary v && not (Hashtbl.mem locked v))
+          nodes
+      in
+      let best = ref None in
+      List.iter
+        (fun a ->
+          let da = d a in
+          List.iter
+            (fun b ->
+              let gain = da + d b - (2 * weight a b) in
+              match !best with
+              | Some (_, _, g) when g >= gain -> ()
+              | _ -> best := Some (a, b, gain))
+            candidates_b)
+        candidates_a;
+      match !best with
+      | Some (a, b, gain) when gain > 0 ->
+        Hashtbl.remove in_a a;
+        Hashtbl.add in_a b ();
+        Hashtbl.add locked a ();
+        Hashtbl.add locked b ();
+        step (k - 1)
+      | Some _ | None -> ()
+    end
+  in
+  step max_swaps
+
+let bisect ~rng ~weight ~neighbors ~size_a nodes =
+  let n = List.length nodes in
+  if size_a < 0 || size_a > n then invalid_arg "Bisect.bisect: bad size_a";
+  if size_a = 0 then ([], nodes)
+  else if size_a = n then (nodes, [])
+  else begin
+    let arr = Array.of_list nodes in
+    let start = arr.(Qec_util.Rng.int rng n) in
+    let in_a = bfs_grow ~weight ~neighbors ~size_a nodes start in
+    (* Boundary refinement is only worthwhile on small node sets; on big
+       ones the O(boundary^2) scan dominates recursion cost. *)
+    if n <= 256 then refine ~weight ~neighbors in_a nodes;
+    List.partition (Hashtbl.mem in_a) nodes
+  end

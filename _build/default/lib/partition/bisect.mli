@@ -1,0 +1,23 @@
+(** Balanced graph bisection with boundary refinement.
+
+    A lightweight stand-in for METIS (which the paper uses for initial
+    placement): BFS-grown initial halves followed by greedy boundary swap
+    refinement in the Kernighan–Lin spirit. Deterministic given the RNG
+    state. *)
+
+val bisect :
+  rng:Qec_util.Rng.t ->
+  weight:(int -> int -> int) ->
+  neighbors:(int -> int list) ->
+  size_a:int ->
+  int list ->
+  int list * int list
+(** [bisect ~rng ~weight ~neighbors ~size_a nodes] splits [nodes] into two
+    lists of sizes [size_a] and [length nodes - size_a], heuristically
+    minimizing the total weight of edges crossing the cut. [neighbors]
+    may mention nodes outside [nodes]; they are ignored. Raises
+    [Invalid_argument] if [size_a] is out of range. *)
+
+val cut_weight :
+  weight:(int -> int -> int) -> int list -> int list -> int
+(** Total weight across the cut — exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/planar/teleport.ml: Autobraid List Qec_circuit Qec_lattice Qec_surface Sys

@@ -1,0 +1,1 @@
+lib/planar/teleport.mli: Autobraid Qec_circuit Qec_surface

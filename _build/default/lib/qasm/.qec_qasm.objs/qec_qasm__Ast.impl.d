@@ -1,0 +1,1 @@
+lib/qasm/ast.ml: Float Format

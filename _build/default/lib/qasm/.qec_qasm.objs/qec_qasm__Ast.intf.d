@@ -1,0 +1,1 @@
+lib/qasm/ast.mli: Format

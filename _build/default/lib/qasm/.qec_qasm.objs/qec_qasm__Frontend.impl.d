@@ -1,0 +1,1 @@
+lib/qasm/frontend.ml: Ast Filename Float Hashtbl List Parser Printf Qec_circuit

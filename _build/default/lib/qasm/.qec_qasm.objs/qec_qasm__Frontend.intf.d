@@ -1,0 +1,1 @@
+lib/qasm/frontend.mli: Ast Qec_circuit

@@ -1,0 +1,1 @@
+lib/qasm/parser.ml: Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/qasm/printer.ml: Buffer Fun List Printf Qec_circuit String

@@ -1,0 +1,54 @@
+type expr =
+  | Num of float
+  | Pi
+  | Ident of string
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Pow of expr * expr
+
+type arg = Whole of string | Indexed of string * int
+
+type gate_app = { gname : string; gparams : expr list; gargs : arg list }
+
+type stmt =
+  | Version of string
+  | Include of string
+  | Qreg of string * int
+  | Creg of string * int
+  | Gate_decl of {
+      name : string;
+      params : string list;
+      formals : string list;
+      body : gate_app list;
+    }
+  | App of gate_app
+  | Measure of arg * arg
+  | Reset of arg
+  | Barrier of arg list
+
+type program = stmt list
+
+let rec eval_expr env = function
+  | Num f -> f
+  | Pi -> Float.pi
+  | Ident s -> env s
+  | Neg e -> -.eval_expr env e
+  | Add (a, b) -> eval_expr env a +. eval_expr env b
+  | Sub (a, b) -> eval_expr env a -. eval_expr env b
+  | Mul (a, b) -> eval_expr env a *. eval_expr env b
+  | Div (a, b) -> eval_expr env a /. eval_expr env b
+  | Pow (a, b) -> eval_expr env a ** eval_expr env b
+
+let rec pp_expr ppf = function
+  | Num f -> Format.fprintf ppf "%g" f
+  | Pi -> Format.fprintf ppf "pi"
+  | Ident s -> Format.fprintf ppf "%s" s
+  | Neg e -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Add (a, b) -> Format.fprintf ppf "(%a+%a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a-%a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf ppf "(%a*%a)" pp_expr a pp_expr b
+  | Div (a, b) -> Format.fprintf ppf "(%a/%a)" pp_expr a pp_expr b
+  | Pow (a, b) -> Format.fprintf ppf "(%a^%a)" pp_expr a pp_expr b

@@ -1,0 +1,42 @@
+(** Abstract syntax for the supported OpenQASM 2.0 subset. *)
+
+type expr =
+  | Num of float
+  | Pi
+  | Ident of string  (** gate formal parameter *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Pow of expr * expr
+
+type arg =
+  | Whole of string  (** a full register, broadcast over its qubits *)
+  | Indexed of string * int
+
+type gate_app = { gname : string; gparams : expr list; gargs : arg list }
+
+type stmt =
+  | Version of string
+  | Include of string
+  | Qreg of string * int
+  | Creg of string * int
+  | Gate_decl of {
+      name : string;
+      params : string list;
+      formals : string list;
+      body : gate_app list;
+    }
+  | App of gate_app
+  | Measure of arg * arg
+  | Reset of arg
+  | Barrier of arg list
+
+type program = stmt list
+
+val eval_expr : (string -> float) -> expr -> float
+(** Evaluate with the given binding for formal parameters. Raises
+    [Invalid_argument] via the binding function on unknown identifiers. *)
+
+val pp_expr : Format.formatter -> expr -> unit

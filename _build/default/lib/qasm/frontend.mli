@@ -1,0 +1,25 @@
+(** Elaboration of parsed OpenQASM into a flat {!Qec_circuit.Circuit.t}.
+
+    All quantum registers are flattened into one index space in declaration
+    order. User-declared gates are macro-expanded at application sites.
+    Supported built-ins: h x y z s sdg t tdg id sx sxdg rx ry rz p u1 u2 u3
+    U cx CX cz cp cu1 crz swap ccx cswap measure reset barrier.
+
+    Scheduling-preserving approximations (documented in DESIGN.md): [crz]
+    is treated as [cp] (same interaction, different relative phase) and
+    [reset] as a local measurement. *)
+
+exception Unsupported of string
+(** Raised on gate names or features outside the subset. *)
+
+val elaborate : ?name:string -> Ast.program -> Qec_circuit.Circuit.t
+(** Raises {!Unsupported}, or {!Qec_circuit.Circuit.Invalid} on
+    inconsistent register use (bad index, arity mismatch, duplicate
+    operand). *)
+
+val of_string : ?name:string -> string -> Qec_circuit.Circuit.t
+(** Parse ({!Parser.parse_string}) then elaborate. *)
+
+val of_file : string -> Qec_circuit.Circuit.t
+(** Read, parse, elaborate; circuit named after the file's basename.
+    Raises [Sys_error] on I/O failure. *)

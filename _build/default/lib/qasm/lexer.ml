@@ -1,0 +1,177 @@
+type token =
+  | Id of string
+  | Number of float
+  | Integer of int
+  | Str of string
+  | Semicolon
+  | Comma
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Arrow
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | Eof
+
+type t = { token : token; line : int; col : int }
+
+exception Error of { line : int; col : int; msg : string }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let tokens = ref [] in
+  let fail msg = raise (Error { line = !line; col = !col; msg }) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () =
+    (match peek () with
+    | Some '\n' ->
+      incr line;
+      col := 1
+    | Some _ -> incr col
+    | None -> ());
+    incr pos
+  in
+  let emit tok ~line ~col = tokens := { token = tok; line; col } :: !tokens in
+  let rec skip_line () =
+    match peek () with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance ();
+      skip_line ()
+  in
+  let lex_number start_line start_col =
+    let start = !pos in
+    let seen_dot = ref false and seen_exp = ref false in
+    let rec go () =
+      match peek () with
+      | Some c when is_digit c ->
+        advance ();
+        go ()
+      | Some '.' when not !seen_dot ->
+        seen_dot := true;
+        advance ();
+        go ()
+      | Some ('e' | 'E') when not !seen_exp ->
+        seen_exp := true;
+        seen_dot := true (* no dot after exponent *);
+        advance ();
+        (match peek () with
+        | Some ('+' | '-') -> advance ()
+        | Some _ | None -> ());
+        go ()
+      | Some _ | None -> ()
+    in
+    go ();
+    let text = String.sub src start (!pos - start) in
+    if !seen_dot || !seen_exp then
+      match float_of_string_opt text with
+      | Some f -> emit (Number f) ~line:start_line ~col:start_col
+      | None -> fail (Printf.sprintf "malformed number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> emit (Integer i) ~line:start_line ~col:start_col
+      | None -> fail (Printf.sprintf "malformed integer %S" text)
+  in
+  let lex_ident start_line start_col =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some c when is_id_char c ->
+        advance ();
+        go ()
+      | Some _ | None -> ()
+    in
+    go ();
+    emit (Id (String.sub src start (!pos - start))) ~line:start_line
+      ~col:start_col
+  in
+  let lex_string start_line start_col =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    emit (Str (Buffer.contents buf)) ~line:start_line ~col:start_col
+  in
+  let rec loop () =
+    match peek () with
+    | None -> ()
+    | Some c ->
+      let l = !line and co = !col in
+      (match c with
+      | ' ' | '\t' | '\r' | '\n' -> advance ()
+      | '/' ->
+        advance ();
+        (match peek () with
+        | Some '/' -> skip_line ()
+        | Some _ | None -> emit Slash ~line:l ~col:co)
+      | ';' ->
+        advance ();
+        emit Semicolon ~line:l ~col:co
+      | ',' ->
+        advance ();
+        emit Comma ~line:l ~col:co
+      | '(' ->
+        advance ();
+        emit Lparen ~line:l ~col:co
+      | ')' ->
+        advance ();
+        emit Rparen ~line:l ~col:co
+      | '[' ->
+        advance ();
+        emit Lbracket ~line:l ~col:co
+      | ']' ->
+        advance ();
+        emit Rbracket ~line:l ~col:co
+      | '{' ->
+        advance ();
+        emit Lbrace ~line:l ~col:co
+      | '}' ->
+        advance ();
+        emit Rbrace ~line:l ~col:co
+      | '+' ->
+        advance ();
+        emit Plus ~line:l ~col:co
+      | '*' ->
+        advance ();
+        emit Star ~line:l ~col:co
+      | '^' ->
+        advance ();
+        emit Caret ~line:l ~col:co
+      | '-' ->
+        advance ();
+        (match peek () with
+        | Some '>' ->
+          advance ();
+          emit Arrow ~line:l ~col:co
+        | Some _ | None -> emit Minus ~line:l ~col:co)
+      | '"' -> lex_string l co
+      | c when is_digit c || c = '.' -> lex_number l co
+      | c when is_id_start c -> lex_ident l co
+      | c -> fail (Printf.sprintf "unexpected character %C" c));
+      loop ()
+  in
+  loop ();
+  emit Eof ~line:!line ~col:!col;
+  List.rev !tokens

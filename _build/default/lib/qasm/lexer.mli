@@ -1,0 +1,32 @@
+(** Hand-written lexer for the OpenQASM 2.0 subset. *)
+
+type token =
+  | Id of string
+  | Number of float
+  | Integer of int
+  | Str of string
+  | Semicolon
+  | Comma
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Arrow  (** [->] *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | Eof
+
+type t = { token : token; line : int; col : int }
+(** A token with its source position (1-based). *)
+
+exception Error of { line : int; col : int; msg : string }
+
+val tokenize : string -> t list
+(** Whole-input tokenization; comments ([// ...]) and whitespace are
+    skipped. The result ends with an [Eof] token. Raises {!Error} on
+    unexpected characters or malformed numbers/strings. *)

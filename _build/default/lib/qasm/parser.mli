@@ -1,0 +1,11 @@
+(** Recursive-descent parser: token stream → {!Ast.program}. *)
+
+exception Error of { line : int; col : int; msg : string }
+
+val parse_tokens : Lexer.t list -> Ast.program
+(** Raises {!Error} on syntax errors and on OpenQASM features outside the
+    supported subset ([if], [opaque]). *)
+
+val parse_string : string -> Ast.program
+(** Lex ({!Lexer.tokenize}) then parse. Lexer errors are re-raised as
+    {!Error}. *)

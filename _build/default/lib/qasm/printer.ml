@@ -1,0 +1,50 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+(* %.17g survives a float round-trip exactly. *)
+let fl f = Printf.sprintf "%.17g" f
+
+let gate_line buf g =
+  let q i = Printf.sprintf "q[%d]" i in
+  let line s = Buffer.add_string buf (s ^ ";\n") in
+  match (g : G.t) with
+  | G.H a -> line ("h " ^ q a)
+  | G.X a -> line ("x " ^ q a)
+  | G.Y a -> line ("y " ^ q a)
+  | G.Z a -> line ("z " ^ q a)
+  | G.S a -> line ("s " ^ q a)
+  | G.Sdg a -> line ("sdg " ^ q a)
+  | G.T a -> line ("t " ^ q a)
+  | G.Tdg a -> line ("tdg " ^ q a)
+  | G.Rx (a, v) -> line (Printf.sprintf "rx(%s) %s" (fl v) (q a))
+  | G.Ry (a, v) -> line (Printf.sprintf "ry(%s) %s" (fl v) (q a))
+  | G.Rz (a, v) -> line (Printf.sprintf "rz(%s) %s" (fl v) (q a))
+  | G.U3 (a, t, p, l) ->
+    line (Printf.sprintf "u3(%s,%s,%s) %s" (fl t) (fl p) (fl l) (q a))
+  | G.Cx (a, b) -> line (Printf.sprintf "cx %s,%s" (q a) (q b))
+  | G.Cz (a, b) -> line (Printf.sprintf "cz %s,%s" (q a) (q b))
+  | G.Cphase (a, b, v) ->
+    line (Printf.sprintf "cp(%s) %s,%s" (fl v) (q a) (q b))
+  | G.Swap (a, b) -> line (Printf.sprintf "swap %s,%s" (q a) (q b))
+  | G.Ccx (a, b, c) -> line (Printf.sprintf "ccx %s,%s,%s" (q a) (q b) (q c))
+  | G.Mcx _ ->
+    invalid_arg "Qasm.Printer: lower Mcx gates before printing"
+  | G.Measure a -> line (Printf.sprintf "measure %s -> c[%d]" (q a) a)
+  | G.Barrier qs ->
+    line ("barrier " ^ String.concat "," (List.map q qs))
+
+let to_string c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "OPENQASM 2.0;\n";
+  Buffer.add_string buf "include \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" (C.num_qubits c));
+  if C.count_if (function G.Measure _ -> true | _ -> false) c > 0 then
+    Buffer.add_string buf (Printf.sprintf "creg c[%d];\n" (C.num_qubits c));
+  C.iter (fun _ g -> gate_line buf g) c;
+  Buffer.contents buf
+
+let to_channel oc c = output_string oc (to_string c)
+
+let to_file path c =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc c)

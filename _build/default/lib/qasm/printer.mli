@@ -1,0 +1,15 @@
+(** Emit a circuit as OpenQASM 2.0 text.
+
+    The output declares a single register [q\[n\]] (and [c\[n\]] when the
+    circuit measures), so [Frontend.of_string] of the output reproduces the
+    circuit gate-for-gate — the round-trip law checked by the property
+    tests. *)
+
+val to_string : Qec_circuit.Circuit.t -> string
+(** Raises [Invalid_argument] on [Mcx] gates (lower with
+    {!Qec_circuit.Decompose.lower_mcx} first); every other gate has a
+    direct OpenQASM spelling. *)
+
+val to_channel : out_channel -> Qec_circuit.Circuit.t -> unit
+
+val to_file : string -> Qec_circuit.Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/report/export.ml: Array Autobraid Buffer Json List Printf Qec_circuit Qec_lattice

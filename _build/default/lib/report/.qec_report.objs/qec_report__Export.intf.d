@@ -1,0 +1,1 @@
+lib/report/export.mli: Autobraid Json Qec_circuit Qec_lattice

@@ -1,0 +1,1 @@
+lib/report/svg.ml: Array Autobraid Buffer Fun List Printf Qec_lattice String

@@ -1,0 +1,140 @@
+module S = Autobraid.Scheduler
+module Trace = Autobraid.Trace
+module Task = Autobraid.Task
+
+let result_to_json (r : S.result) =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("num_qubits", Json.Int r.num_qubits);
+      ("num_gates", Json.Int r.num_gates);
+      ("num_two_qubit", Json.Int r.num_two_qubit);
+      ("lattice_side", Json.Int r.lattice_side);
+      ("total_cycles", Json.Int r.total_cycles);
+      ("rounds", Json.Int r.rounds);
+      ("braid_rounds", Json.Int r.braid_rounds);
+      ("swap_layers", Json.Int r.swap_layers);
+      ("swaps_inserted", Json.Int r.swaps_inserted);
+      ("critical_path_cycles", Json.Int r.critical_path_cycles);
+      ("avg_utilization", Json.Float r.avg_utilization);
+      ("peak_utilization", Json.Float r.peak_utilization);
+      ("compile_time_s", Json.Float r.compile_time_s);
+    ]
+
+let results_to_json labelled =
+  Json.Obj (List.map (fun (label, r) -> (label, result_to_json r)) labelled)
+
+let round_to_json (round : Trace.round) =
+  match round with
+  | Trace.Local { gates } ->
+    Json.Obj
+      [
+        ("kind", Json.String "local");
+        ("gates", Json.List (List.map (fun g -> Json.Int g) gates));
+      ]
+  | Trace.Braid { braids; locals } ->
+    Json.Obj
+      [
+        ("kind", Json.String "braid");
+        ( "braids",
+          Json.List
+            (List.map
+               (fun ((t : Task.t), path) ->
+                 Json.Obj
+                   [
+                     ("gate", Json.Int t.id);
+                     ("q1", Json.Int t.q1);
+                     ("q2", Json.Int t.q2);
+                     ("path_vertices", Json.Int (Qec_lattice.Path.length path));
+                   ])
+               braids) );
+        ("locals", Json.List (List.map (fun g -> Json.Int g) locals));
+      ]
+  | Trace.Swap_layer { swaps } ->
+    Json.Obj
+      [
+        ("kind", Json.String "swap_layer");
+        ( "swaps",
+          Json.List
+            (List.map
+               (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ])
+               swaps) );
+      ]
+
+let trace_to_json ?max_rounds (trace : Trace.t) =
+  let rounds = trace.Trace.rounds in
+  let shown =
+    match max_rounds with
+    | None -> rounds
+    | Some k -> List.filteri (fun i _ -> i < k) rounds
+  in
+  Json.Obj
+    [
+      ("circuit", Json.String (Qec_circuit.Circuit.name trace.Trace.circuit));
+      ("grid_side", Json.Int (Qec_lattice.Grid.side trace.Trace.grid));
+      ("num_rounds", Json.Int (Trace.num_rounds trace));
+      ("swap_count", Json.Int (Trace.swap_count trace));
+      ( "initial_cells",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.Int c) trace.Trace.initial_cells))
+      );
+      ("rounds", Json.List (List.map round_to_json shown));
+    ]
+
+let exposure_to_json ~d (e : Autobraid.Reliability.exposure) =
+  Json.Obj
+    [
+      ("d", Json.Int d);
+      ("data_blocks", Json.Float e.Autobraid.Reliability.data_blocks);
+      ("routing_blocks", Json.Float e.Autobraid.Reliability.routing_blocks);
+      ( "failure_probability",
+        Json.Float (Autobraid.Reliability.failure_probability ~d e) );
+    ]
+
+let coupling_to_dot coupling =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph coupling {\n  node [shape=circle];\n";
+  for q = 0 to Qec_circuit.Coupling.num_qubits coupling - 1 do
+    Buffer.add_string buf (Printf.sprintf "  q%d;\n" q)
+  done;
+  List.iter
+    (fun (a, b, w) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  q%d -- q%d [label=\"%d\"];\n" a b w))
+    (Qec_circuit.Coupling.edges coupling);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let interference_to_dot placement tasks =
+  let ig = Autobraid.Interference.build placement tasks in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph interference {\n  node [shape=box];\n";
+  List.iter
+    (fun (t : Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  cx%d [label=\"cx%d(q%d,q%d) deg=%d\"];\n" t.id t.id
+           t.q1 t.q2
+           (Autobraid.Interference.degree ig t.id)))
+    (Autobraid.Interference.nodes ig);
+  List.iter
+    (fun (t : Task.t) ->
+      List.iter
+        (fun (u : Task.t) ->
+          if t.id < u.id then
+            Buffer.add_string buf (Printf.sprintf "  cx%d -- cx%d;\n" t.id u.id))
+        (Autobraid.Interference.neighbors ig t.id))
+    (Autobraid.Interference.nodes ig);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let p_curve_to_csv curve =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "p,cycles,time_us,rounds,swaps\n";
+  List.iter
+    (fun (p, (r : S.result)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.1f,%d,%.1f,%d,%d\n" p r.total_cycles
+           (2.2 *. float_of_int r.total_cycles)
+           r.rounds r.swaps_inserted))
+    curve;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Exporters: scheduling results and analyses as JSON, DOT, and CSV.
+
+    JSON for downstream plotting, DOT (Graphviz) for inspecting coupling
+    and interference structure, CSV for p-sweep curves. *)
+
+val result_to_json : Autobraid.Scheduler.result -> Json.t
+(** All result fields, under stable snake_case keys. *)
+
+val results_to_json :
+  (string * Autobraid.Scheduler.result) list -> Json.t
+(** Labelled comparison, e.g. [("baseline", r1); ("autobraid", r2)]. *)
+
+val trace_to_json :
+  ?max_rounds:int -> Autobraid.Trace.t -> Json.t
+(** Trace summary plus the first [max_rounds] (default all) rounds with
+    their scheduled gate ids, path lengths and swaps. *)
+
+val exposure_to_json :
+  d:int -> Autobraid.Reliability.exposure -> Json.t
+
+val coupling_to_dot : Qec_circuit.Coupling.t -> string
+(** Undirected weighted graph; edge labels carry interaction counts. *)
+
+val interference_to_dot :
+  Qec_lattice.Placement.t -> Autobraid.Task.t list -> string
+(** The CX interference graph of one round's tasks under a placement. *)
+
+val p_curve_to_csv : (float * Autobraid.Scheduler.result) list -> string
+(** "p,cycles,time_us,rounds,swaps" rows, one per threshold. *)

@@ -1,0 +1,22 @@
+(** Minimal JSON document builder and printer (no external dependency).
+
+    Enough for exporting results and traces: construction, escaping, and
+    deterministic compact or indented printing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with two spaces.
+    Floats print with enough digits to round-trip; NaN/infinities become
+    [null] (JSON has no spelling for them). *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] — convenience for tests. [None] on missing keys
+    or non-objects. *)

@@ -1,0 +1,124 @@
+module Trace = Autobraid.Trace
+module Task = Autobraid.Task
+module Grid = Qec_lattice.Grid
+module Path = Qec_lattice.Path
+module Placement = Qec_lattice.Placement
+
+let cell_px = 44
+let margin = 24
+
+(* A deterministic, colorblind-friendly cycle for path strokes. *)
+let palette =
+  [| "#4477aa"; "#ee6677"; "#228833"; "#ccbb44"; "#66ccee"; "#aa3377";
+     "#bbbbbb" |]
+
+let vertex_xy grid v =
+  let x, y = Grid.vertex_xy grid v in
+  (margin + (x * cell_px), margin + (y * cell_px))
+
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let emit_lattice buf grid placement =
+  let l = Grid.side grid in
+  (* tiles *)
+  for y = 0 to l - 1 do
+    for x = 0 to l - 1 do
+      let px = margin + (x * cell_px) and py = margin + (y * cell_px) in
+      buf_addf buf
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#f7f7f7\" \
+         stroke=\"#dddddd\"/>\n"
+        px py cell_px cell_px;
+      match Placement.qubit_of_cell placement (Grid.cell_id grid ~x ~y) with
+      | Some q ->
+        buf_addf buf
+          "<text x=\"%d\" y=\"%d\" font-size=\"11\" font-family=\"monospace\" \
+           text-anchor=\"middle\" fill=\"#333333\">q%d</text>\n"
+          (px + (cell_px / 2))
+          (py + (cell_px / 2) + 4)
+          q
+      | None -> ()
+    done
+  done;
+  (* channel vertices *)
+  for y = 0 to l do
+    for x = 0 to l do
+      let px = margin + (x * cell_px) and py = margin + (y * cell_px) in
+      buf_addf buf "<circle cx=\"%d\" cy=\"%d\" r=\"2\" fill=\"#bbbbbb\"/>\n" px
+        py
+    done
+  done
+
+let emit_path buf grid color path =
+  let points =
+    Path.vertices path
+    |> List.map (fun v ->
+           let x, y = vertex_xy grid v in
+           Printf.sprintf "%d,%d" x y)
+    |> String.concat " "
+  in
+  if Path.length path = 1 then begin
+    let x, y = vertex_xy grid (Path.source path) in
+    buf_addf buf
+      "<circle cx=\"%d\" cy=\"%d\" r=\"5\" fill=\"%s\" fill-opacity=\"0.9\"/>\n"
+      x y color
+  end
+  else
+    buf_addf buf
+      "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"4\" \
+       stroke-opacity=\"0.85\" stroke-linecap=\"round\" \
+       stroke-linejoin=\"round\"/>\n"
+      points color
+
+let cell_center grid placement q =
+  let x, y = Grid.cell_xy (Placement.grid placement) (Placement.cell_of_qubit placement q) in
+  ignore grid;
+  (margin + (x * cell_px) + (cell_px / 2), margin + (y * cell_px) + (cell_px / 2))
+
+let round_svg (trace : Trace.t) k =
+  if k < 0 || k >= Trace.num_rounds trace then invalid_arg "Svg.round_svg";
+  let grid = trace.Trace.grid in
+  let placement = Trace.placement_after trace k in
+  let l = Grid.side grid in
+  let size = (2 * margin) + (l * cell_px) in
+  let buf = Buffer.create 4096 in
+  buf_addf buf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    size (size + 20) size (size + 20);
+  emit_lattice buf grid placement;
+  let title =
+    match List.nth trace.Trace.rounds k with
+    | Trace.Local { gates } ->
+      Printf.sprintf "round %d: local (%d gates)" k (List.length gates)
+    | Trace.Braid { braids; locals } ->
+      List.iteri
+        (fun i ((_ : Task.t), path) ->
+          emit_path buf grid palette.(i mod Array.length palette) path)
+        braids;
+      Printf.sprintf "round %d: %d braids, %d locals" k (List.length braids)
+        (List.length locals)
+    | Trace.Swap_layer { swaps } ->
+      List.iteri
+        (fun i (a, b) ->
+          let x1, y1 = cell_center grid placement a in
+          let x2, y2 = cell_center grid placement b in
+          buf_addf buf
+            "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+             stroke-width=\"3\" stroke-dasharray=\"6 3\"/>\n"
+            x1 y1 x2 y2
+            palette.(i mod Array.length palette))
+        swaps;
+      Printf.sprintf "round %d: swap layer (%d swaps)" k (List.length swaps)
+  in
+  buf_addf buf
+    "<text x=\"%d\" y=\"%d\" font-size=\"12\" font-family=\"sans-serif\" \
+     fill=\"#000000\">%s</text>\n"
+    margin (size + 12) title;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save_round path trace k =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (round_svg trace k))

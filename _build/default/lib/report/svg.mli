@@ -1,0 +1,14 @@
+(** SVG rendering of schedule rounds.
+
+    A publication-quality counterpart to the ASCII
+    {!Qec_lattice.Render}: tiles as squares, logical qubits labelled,
+    braiding paths as colored polylines along the channel graph, swap
+    layers as double-headed connectors. Output is a standalone [.svg]
+    document. *)
+
+val round_svg : Autobraid.Trace.t -> int -> string
+(** Render one round of the trace (with the placement current at that
+    round). Raises [Invalid_argument] if the index is out of range. *)
+
+val save_round : string -> Autobraid.Trace.t -> int -> unit
+(** Write {!round_svg} to a file. *)

@@ -1,0 +1,1 @@
+lib/revlib/real_parser.ml: Filename Float Hashtbl List Printf Qec_circuit String

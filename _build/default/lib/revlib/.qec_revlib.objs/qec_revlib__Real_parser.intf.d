@@ -1,0 +1,1 @@
+lib/revlib/real_parser.mli: Qec_circuit

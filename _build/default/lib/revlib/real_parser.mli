@@ -1,0 +1,36 @@
+(** Parser for the RevLib [.real] reversible-circuit format.
+
+    The paper's "building blocks" benchmarks (urf*, squar*, sqrt8, alu,
+    4gt*, rd32) are RevLib circuits. The format, per the RevLib spec:
+
+    {v
+    .version 2.0
+    .numvars 3
+    .variables a b c
+    .constants --0        (optional)
+    .garbage ---           (optional)
+    .begin
+    t3 a b c               # Toffoli: controls a,b ; target c
+    t2 a b                 # CNOT
+    t1 a                   # NOT
+    f3 a b c               # Fredkin: control a ; swaps b,c
+    v a b                  # controlled-V
+    v+ a b                 # controlled-V†
+    .end
+    v}
+
+    A leading [-] on a control line denotes a negative control, handled by
+    conjugating that control with X gates. Controlled-V (±) gates are
+    emulated as one braid plus local gates, the same scheduling-preserving
+    emulation used by {!Qec_circuit.Decompose}. Output circuits contain
+    [X]/[Cx]/[Ccx]/[Mcx]/[H]/[Cphase] gates; run
+    {!Qec_circuit.Decompose.to_scheduler_gates} before scheduling. *)
+
+exception Error of { line : int; msg : string }
+
+val of_string : ?name:string -> string -> Qec_circuit.Circuit.t
+(** Raises {!Error} on malformed input. *)
+
+val of_file : string -> Qec_circuit.Circuit.t
+(** Circuit named after the file basename. Raises [Sys_error] on I/O
+    failure. *)

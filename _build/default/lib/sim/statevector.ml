@@ -1,0 +1,194 @@
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+type t = { n : int; amps : Complex.t array }
+
+let num_qubits t = t.n
+
+let init n =
+  if n < 1 || n > 24 then invalid_arg "Statevector.init: 1 <= n <= 24";
+  let amps = Array.make (1 lsl n) Complex.zero in
+  amps.(0) <- Complex.one;
+  { n; amps }
+
+let of_basis n k =
+  if k < 0 || k >= 1 lsl n then invalid_arg "Statevector.of_basis";
+  let t = init n in
+  t.amps.(0) <- Complex.zero;
+  t.amps.(k) <- Complex.one;
+  t
+
+let copy t = { n = t.n; amps = Array.copy t.amps }
+
+let check_qubit t q =
+  if q < 0 || q >= t.n then invalid_arg "Statevector: qubit out of range"
+
+(* Apply the 2x2 unitary [[a b][c d]] to qubit q. *)
+let apply_1q t q a b c d =
+  check_qubit t q;
+  let bit = 1 lsl q in
+  let size = Array.length t.amps in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let v0 = t.amps.(!i) and v1 = t.amps.(j) in
+      t.amps.(!i) <- Complex.add (Complex.mul a v0) (Complex.mul b v1);
+      t.amps.(j) <- Complex.add (Complex.mul c v0) (Complex.mul d v1)
+    end;
+    incr i
+  done
+
+(* Apply a phase to every basis state where all [controls] and the
+   [target] bit are set... generic controlled-U on the target. *)
+let apply_controlled_1q t controls q a b c d =
+  check_qubit t q;
+  List.iter (check_qubit t) controls;
+  let cmask = List.fold_left (fun m cq -> m lor (1 lsl cq)) 0 controls in
+  let bit = 1 lsl q in
+  let size = Array.length t.amps in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 && !i land cmask = cmask then begin
+      let j = !i lor bit in
+      let v0 = t.amps.(!i) and v1 = t.amps.(j) in
+      t.amps.(!i) <- Complex.add (Complex.mul a v0) (Complex.mul b v1);
+      t.amps.(j) <- Complex.add (Complex.mul c v0) (Complex.mul d v1)
+    end;
+    incr i
+  done
+
+let cx t control target =
+  apply_controlled_1q t [ control ] target Complex.zero Complex.one
+    Complex.one Complex.zero
+
+let re x = { Complex.re = x; im = 0. }
+let im x = { Complex.re = 0.; im = x }
+
+let phase theta = { Complex.re = cos theta; im = sin theta }
+
+let inv_sqrt2 = re (1. /. sqrt 2.)
+
+let apply_gate t (g : G.t) =
+  match g with
+  | G.H q ->
+    apply_1q t q inv_sqrt2 inv_sqrt2 inv_sqrt2 (Complex.neg inv_sqrt2)
+  | G.X q -> apply_1q t q Complex.zero Complex.one Complex.one Complex.zero
+  | G.Y q -> apply_1q t q Complex.zero (im (-1.)) (im 1.) Complex.zero
+  | G.Z q -> apply_1q t q Complex.one Complex.zero Complex.zero (re (-1.))
+  | G.S q -> apply_1q t q Complex.one Complex.zero Complex.zero (im 1.)
+  | G.Sdg q -> apply_1q t q Complex.one Complex.zero Complex.zero (im (-1.))
+  | G.T q ->
+    apply_1q t q Complex.one Complex.zero Complex.zero (phase (Float.pi /. 4.))
+  | G.Tdg q ->
+    apply_1q t q Complex.one Complex.zero Complex.zero
+      (phase (-.Float.pi /. 4.))
+  | G.Rx (q, th) ->
+    let c = re (cos (th /. 2.)) and s = im (-.sin (th /. 2.)) in
+    apply_1q t q c s s c
+  | G.Ry (q, th) ->
+    let c = re (cos (th /. 2.)) and s = re (sin (th /. 2.)) in
+    apply_1q t q c (Complex.neg s) s c
+  | G.Rz (q, th) ->
+    apply_1q t q (phase (-.th /. 2.)) Complex.zero Complex.zero (phase (th /. 2.))
+  | G.U3 (q, theta, phi, lambda) ->
+    (* standard OpenQASM u3 matrix *)
+    let ct = cos (theta /. 2.) and st = sin (theta /. 2.) in
+    apply_1q t q (re ct)
+      (Complex.neg (Complex.mul (phase lambda) (re st)))
+      (Complex.mul (phase phi) (re st))
+      (Complex.mul (phase (phi +. lambda)) (re ct))
+  | G.Cx (c, tq) -> cx t c tq
+  | G.Cz (c, tq) ->
+    apply_controlled_1q t [ c ] tq Complex.one Complex.zero Complex.zero
+      (re (-1.))
+  | G.Cphase (c, tq, th) ->
+    apply_controlled_1q t [ c ] tq Complex.one Complex.zero Complex.zero
+      (phase th)
+  | G.Swap (a, b) ->
+    cx t a b;
+    cx t b a;
+    cx t a b
+  | G.Ccx (c1, c2, tq) ->
+    apply_controlled_1q t [ c1; c2 ] tq Complex.zero Complex.one Complex.one
+      Complex.zero
+  | G.Mcx (cs, tq) ->
+    apply_controlled_1q t cs tq Complex.zero Complex.one Complex.one
+      Complex.zero
+  | G.Measure _ | G.Barrier _ -> ()
+
+let run ?initial circuit =
+  let t =
+    match initial with
+    | Some s ->
+      if num_qubits s <> C.num_qubits circuit then
+        invalid_arg "Statevector.run: width mismatch";
+      copy s
+    | None -> init (C.num_qubits circuit)
+  in
+  C.iter (fun _ g -> apply_gate t g) circuit;
+  t
+
+let amplitude t k = t.amps.(k)
+
+let probability t k = Complex.norm2 t.amps.(k)
+
+let probabilities t = Array.map Complex.norm2 t.amps
+
+let norm t = sqrt (Array.fold_left (fun acc a -> acc +. Complex.norm2 a) 0. t.amps)
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "Statevector.fidelity: width mismatch";
+  let dot = ref Complex.zero in
+  Array.iteri
+    (fun i va -> dot := Complex.add !dot (Complex.mul (Complex.conj va) b.amps.(i)))
+    a.amps;
+  Complex.norm2 !dot
+
+let equal_up_to_phase ?(tol = 1e-9) a b = abs_float (fidelity a b -. 1.) <= tol
+
+let most_likely t =
+  let best = ref 0 and best_p = ref (probability t 0) in
+  Array.iteri
+    (fun i _ ->
+      let p = probability t i in
+      if p > !best_p +. 1e-12 then begin
+        best := i;
+        best_p := p
+      end)
+    t.amps;
+  !best
+
+(* Relative phase between two equal-direction states (first basis state
+   with non-negligible amplitude in both). *)
+let circuits_equivalent ?(tol = 1e-9) c1 c2 =
+  if C.num_qubits c1 <> C.num_qubits c2 then
+    invalid_arg "Statevector.circuits_equivalent: width mismatch";
+  let n = C.num_qubits c1 in
+  (* Global phase must be common across inputs: compare the full unitaries
+     column by column, extracting the phase from the first column and
+     dividing it out of subsequent comparisons. *)
+  let ref_phase = ref None in
+  let ok = ref true in
+  for k = 0 to (1 lsl n) - 1 do
+    if !ok then begin
+      let s1 = run ~initial:(of_basis n k) c1 in
+      let s2 = run ~initial:(of_basis n k) c2 in
+      if not (equal_up_to_phase ~tol s1 s2) then ok := false
+      else begin
+        (* per-column relative phase *)
+        let col_phase = ref None in
+        Array.iteri
+          (fun i a1 ->
+            if !col_phase = None && Complex.norm a1 > 1e-6 then
+              col_phase := Some (Complex.div s2.amps.(i) a1))
+          s1.amps;
+        match (!ref_phase, !col_phase) with
+        | None, Some p -> ref_phase := Some p
+        | Some p0, Some p ->
+          if Complex.norm (Complex.sub p0 p) > 1e-6 then ok := false
+        | _, None -> ok := false
+      end
+    end
+  done;
+  !ok

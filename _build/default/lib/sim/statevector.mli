@@ -1,0 +1,64 @@
+(** Dense state-vector simulator for small circuits.
+
+    Not part of the scheduling pipeline — the schedulers never need
+    amplitudes — but the ground truth for testing it: gate decompositions
+    ({!Qec_circuit.Decompose}), the peephole optimizer, the frontends, and
+    the benchmark generators are all checked for {e semantic} correctness
+    against this simulator on small instances.
+
+    Conventions: qubit [q] is bit [q] of the basis-state index
+    (little-endian: state 5 = 0b101 has qubits 0 and 2 set). Practical up
+    to ~20 qubits (2{^n} complex amplitudes).
+
+    [Measure] is treated as the identity (the tests use measurement-free
+    prefixes or inspect probabilities directly); [Barrier] is a no-op. *)
+
+type t
+
+val num_qubits : t -> int
+
+val init : int -> t
+(** [init n] is |0...0⟩ on [n] qubits. Raises [Invalid_argument] if
+    [n < 1] or [n > 24]. *)
+
+val of_basis : int -> int -> t
+(** [of_basis n k] is the computational basis state |k⟩. Raises
+    [Invalid_argument] if [k] is out of range. *)
+
+val copy : t -> t
+
+val apply_gate : t -> Qec_circuit.Gate.t -> unit
+(** In-place application. Raises [Invalid_argument] on operand indices out
+    of range (gate validation normally prevents this). *)
+
+val run : ?initial:t -> Qec_circuit.Circuit.t -> t
+(** Apply every gate of the circuit to [initial] (default |0...0⟩ of the
+    circuit's width). The initial state is not mutated. *)
+
+val amplitude : t -> int -> Complex.t
+
+val probability : t -> int -> float
+(** |amplitude|². *)
+
+val probabilities : t -> float array
+
+val norm : t -> float
+(** Should always be 1 (up to rounding); exposed for sanity tests. *)
+
+val fidelity : t -> t -> float
+(** |⟨a|b⟩|² — 1.0 iff equal up to global phase. Raises
+    [Invalid_argument] on width mismatch. *)
+
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+(** [fidelity] within [tol] (default 1e-9) of 1. *)
+
+val most_likely : t -> int
+(** Basis state with the largest probability (lowest index on ties). *)
+
+val circuits_equivalent :
+  ?tol:float -> Qec_circuit.Circuit.t -> Qec_circuit.Circuit.t -> bool
+(** Same width and, for every computational basis input, equal output
+    states up to a {e common} global phase — i.e. the two circuits
+    implement the same unitary up to global phase. Exponential in qubit
+    count; intended for ≤ ~8 qubits. Raises [Invalid_argument] on width
+    mismatch. *)

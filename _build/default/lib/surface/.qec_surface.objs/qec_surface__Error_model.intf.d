@@ -1,0 +1,1 @@
+lib/surface/error_model.mli:

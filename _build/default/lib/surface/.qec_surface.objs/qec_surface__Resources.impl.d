@@ -1,0 +1,1 @@
+lib/surface/resources.ml: Printf

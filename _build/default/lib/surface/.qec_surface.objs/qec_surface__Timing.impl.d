@@ -1,0 +1,1 @@
+lib/surface/timing.ml: Printf Qec_circuit

@@ -1,0 +1,1 @@
+lib/surface/timing.mli: Qec_circuit

@@ -1,0 +1,30 @@
+type params = { p : float; p_th : float }
+
+let default = { p = 1e-3; p_th = 5.7e-3 }
+
+let check params =
+  if params.p <= 0. || params.p_th <= 0. then
+    invalid_arg "Error_model: rates must be positive";
+  if params.p >= params.p_th then
+    invalid_arg "Error_model: physical rate at or above threshold"
+
+let logical_error_rate ?(params = default) ~d () =
+  check params;
+  if d < 1 then invalid_arg "Error_model.logical_error_rate: d < 1";
+  0.03 *. ((params.p /. params.p_th) ** (float_of_int (d + 1) /. 2.))
+
+let distance_for_target ?(params = default) ~target_pl () =
+  check params;
+  if target_pl <= 0. then
+    invalid_arg "Error_model.distance_for_target: non-positive target";
+  (* Invert Eq. (1): (d+1)/2 >= log(target/0.03) / log(p/pth). *)
+  let ratio = params.p /. params.p_th in
+  let needed = log (target_pl /. 0.03) /. log ratio in
+  let d = int_of_float (ceil ((2. *. needed) -. 1.)) in
+  let d = max 3 d in
+  if d mod 2 = 0 then d + 1 else d
+
+let distance_for_volume ?(params = default) ~volume () =
+  if volume <= 0. then
+    invalid_arg "Error_model.distance_for_volume: non-positive volume";
+  distance_for_target ~params ~target_pl:(1. /. volume) ()

@@ -1,0 +1,26 @@
+(** Surface-code logical error model — Eq. (1) of the paper:
+
+    {v P_L = 0.03 * (p / p_th)^((d+1)/2) v}
+
+    with [p] the physical error rate, [p_th] the threshold, and [d] the code
+    distance. Defaults follow §2: p = 0.1% (today's best superconducting
+    devices) and p_th = 0.57% (Fowler et al.). *)
+
+type params = { p : float; p_th : float }
+
+val default : params
+(** [p = 1e-3], [p_th = 5.7e-3]. *)
+
+val logical_error_rate : ?params:params -> d:int -> unit -> float
+(** [P_L] for code distance [d]. Raises [Invalid_argument] if [d < 1] or
+    the physical rate is at/above threshold. *)
+
+val distance_for_target : ?params:params -> target_pl:float -> unit -> int
+(** Smallest odd code distance achieving [P_L <= target_pl]. Raises
+    [Invalid_argument] if [target_pl <= 0] or unreachable (p >= p_th). *)
+
+val distance_for_volume : ?params:params -> volume:float -> unit -> int
+(** Distance needed so one logical fault is unlikely over a computation of
+    [volume] logical-qubit-cycles: targets [P_L <= 1/volume]. This captures
+    the paper's "circuit size is inversely proportional to P_L" scaling in
+    Figs. 16–17. *)

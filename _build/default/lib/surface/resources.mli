@@ -1,0 +1,19 @@
+(** Physical-resource accounting for a double-defect surface-code lattice.
+
+    A logical qubit tile must hold two defects plus the surrounding data and
+    measurement qubits, sized by the code distance. The constant is chosen
+    so that the paper's headline figure — 5,000 logical qubits on
+    1,620,000 physical qubits — is reproduced at the matching distance. *)
+
+val lattice_side : num_logical:int -> int
+(** Smallest square grid side L = ⌈√N⌉ (§4.1 "Platform"). *)
+
+val physical_qubits_per_tile : d:int -> int
+(** Data + measurement qubits inside one unit tile at distance [d]. *)
+
+val total_physical_qubits : num_logical:int -> d:int -> int
+(** Tiles of the L×L lattice times per-tile cost. *)
+
+val summary :
+  num_logical:int -> d:int -> (string * string) list
+(** Human-readable key/value pairs for reports. *)

@@ -1,0 +1,23 @@
+type t = { d : int; cycle_us : float }
+
+let make ?(cycle_us = 2.2) ~d () =
+  if d < 1 then invalid_arg "Timing.make: d < 1";
+  if cycle_us <= 0. then invalid_arg "Timing.make: non-positive cycle time";
+  { d; cycle_us }
+
+let default_d = 33
+
+let single_qubit_cycles t = t.d
+let braid_cycles t = 2 * t.d
+let swap_layer_cycles t = 6 * t.d
+
+let gate_cycles t g =
+  if Qec_circuit.Gate.is_two_qubit g then braid_cycles t
+  else if Qec_circuit.Gate.is_single_qubit g then single_qubit_cycles t
+  else
+    invalid_arg
+      (Printf.sprintf "Timing.gate_cycles: %s must be lowered first"
+         (Qec_circuit.Gate.name g))
+
+let us_of_cycles t cycles = float_of_int cycles *. t.cycle_us
+let seconds_of_cycles t cycles = us_of_cycles t cycles *. 1e-6

@@ -1,0 +1,43 @@
+(** Surface-code latency model.
+
+    "The unit of time is the surface code cycle" (§4.1), one cycle taking
+    2.2 µs on the reference superconducting implementation. Logical gate
+    latencies scale with the code distance [d]:
+
+    - a single-qubit logical gate (including a T consuming a pre-placed
+      magic state) needs [d] cycles of stabilization;
+    - a braided CX needs [2 d] cycles (defect dragged out and back), and is
+      independent of path length (§2, "latency insensitive");
+    - a SWAP is 3 sequential CX, i.e. [3 * 2 d] cycles; a parallel layer of
+      SWAPs also costs [3 * 2 d].
+
+    These constants reproduce the paper's magnitudes (e.g. BV-100 critical
+    path ≈ 15.2 Kµs at d = 33) and, being uniform across schedulers, cancel
+    in every speedup ratio. *)
+
+type t = { d : int; cycle_us : float }
+
+val make : ?cycle_us:float -> d:int -> unit -> t
+(** [cycle_us] defaults to 2.2. Raises [Invalid_argument] if [d < 1]. *)
+
+val default_d : int
+(** 33 — the fixed distance used for Tables 1 and 2. *)
+
+val single_qubit_cycles : t -> int
+(** [d]. *)
+
+val braid_cycles : t -> int
+(** [2 d]. *)
+
+val swap_layer_cycles : t -> int
+(** [6 d]. *)
+
+val gate_cycles : t -> Qec_circuit.Gate.t -> int
+(** Latency of one logical gate: [d] for local gates, [2d] for two-qubit
+    gates. Raises [Invalid_argument] on wide gates and barriers (lower
+    first). *)
+
+val us_of_cycles : t -> int -> float
+(** Cycles to microseconds. *)
+
+val seconds_of_cycles : t -> int -> float

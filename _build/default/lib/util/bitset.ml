@@ -1,0 +1,62 @@
+type t = { words : int array; cap : int }
+
+let words_for n = (n + 62) / 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make (words_for n) 0; cap = n }
+
+let capacity t = t.cap
+
+let copy t = { words = Array.copy t.words; cap = t.cap }
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let add t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+
+let remove t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = t.words.(wi) in
+    if w <> 0 then
+      for b = 0 to 62 do
+        if w land (1 lsl b) <> 0 then f ((wi * 63) + b)
+      done
+  done
+
+let union_into ~dst src =
+  if dst.cap <> src.cap then invalid_arg "Bitset.union_into: capacity mismatch";
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter_cardinal a b =
+  if a.cap <> b.cap then invalid_arg "Bitset.inter_cardinal: capacity mismatch";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,39 @@
+(** Fixed-capacity bitset over [0 .. capacity-1].
+
+    Backs the routing-grid occupancy map: one bit per channel vertex.
+    Operations are O(1) except [cardinal]/[iter]/[union] which are
+    O(capacity/64). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Empty the set. *)
+
+val cardinal : t -> int
+(** Number of members. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Visit members in ascending order. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every member of [src] to [dst]. The two sets
+    must have equal capacity. *)
+
+val inter_cardinal : t -> t -> int
+(** Size of the intersection (capacities must match). *)
+
+val to_list : t -> int list
+(** Members in ascending order. *)

@@ -1,0 +1,35 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+exception Worker_failure of exn
+
+let map ?domains f xs =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = List.length xs in
+  if n <= 1 || domains <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let output = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f input.(i) with
+          | y -> output.(i) <- Some (Ok y)
+          | exception e -> output.(i) <- Some (Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list output
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise (Worker_failure e)
+         | None -> assert false)
+  end

@@ -1,0 +1,16 @@
+(** Simple fork-join parallelism over OCaml 5 domains.
+
+    Used to spread independent scheduler runs (e.g. the p-threshold sweep)
+    across cores. No work stealing, no nesting — callers pass pure-ish
+    functions (the scheduler mutates only per-run state), and results come
+    back in input order. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] evaluates [f] on every element, using up to [domains]
+    additional domains (default: [Domain.recommended_domain_count () - 1],
+    at least 1). Falls back to plain [List.map] for lists of length <= 1
+    or when [domains <= 1]. Exceptions raised by [f] are re-raised in the
+    caller. Results are in input order. *)
+
+val default_domains : unit -> int
+(** The default worker count described above. *)

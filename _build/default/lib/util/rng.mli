@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generator.
+
+    A small, fast, splittable PRNG (splitmix64) used everywhere randomness is
+    needed — benchmark-circuit generation, simulated annealing, qcheck
+    fixtures — so that every experiment in the repository is reproducible
+    from a seed. The global OCaml [Random] state is never used by the
+    libraries. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. Equal seeds
+    yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no mutable state with the original. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s continuation. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Shuffled copy of a list. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [\[0, n)], in random order. Raises [Invalid_argument] if [k > n] or
+    [k < 0]. *)

@@ -1,0 +1,71 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tableprint.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        let _, align = List.nth t.headers i in
+        Buffer.add_string buf (pad align widths.(i) c);
+        Buffer.add_string buf (if i = ncols - 1 then " |" else " | "))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    Buffer.add_string buf "|";
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_string buf "|")
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells (List.map fst t.headers);
+  emit_rule ();
+  List.iter
+    (function Cells c -> emit_cells c | Separator -> emit_rule ())
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let float_cell ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+let si_cell v =
+  let a = Float.abs v in
+  if a >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if a >= 1e3 then Printf.sprintf "%.2fK" (v /. 1e3)
+  else Printf.sprintf "%.0f" v

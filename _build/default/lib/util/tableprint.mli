@@ -1,0 +1,31 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables comparable to the paper's
+    Tables 1 and 2 when printed to a terminal or captured to a file. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+(** A table with the given column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity differs from the
+    header arity. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** The whole table as a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val float_cell : ?digits:int -> float -> string
+(** Fixed-point formatting helper ([digits] defaults to 2). *)
+
+val si_cell : float -> string
+(** Human-scaled formatting with K/M/G suffixes, e.g. [1.34M] — the style
+    the paper uses for gate counts and times. *)

@@ -1,0 +1,26 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used for LLG (local parallel group) decomposition: CX gates whose
+    bounding boxes transitively overlap are merged into one group. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two elements' sets (no-op if already together). *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements are in the same set. *)
+
+val count : t -> int
+(** Number of distinct sets. *)
+
+val groups : t -> int list array
+(** All sets as lists of members; the array is indexed arbitrarily but
+    deterministically (by ascending representative), and each list is in
+    ascending element order. *)

@@ -1,0 +1,1 @@
+test/test_arith_misc.ml: Alcotest Array Autobraid Filename Gp_baseline List Qec_benchmarks Qec_circuit Qec_qasm Qec_revlib Qec_surface Sys

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Autobraid Gp_baseline List Printf Qec_benchmarks Qec_circuit Qec_surface

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Float List Printf Qec_benchmarks Qec_circuit

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Gen List QCheck QCheck_alcotest Qec_circuit

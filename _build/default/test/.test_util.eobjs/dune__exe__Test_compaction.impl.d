@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Array Autobraid Gen List QCheck QCheck_alcotest Qec_benchmarks Qec_lattice Qec_surface

@@ -1,0 +1,1 @@
+test/test_coupling.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Qec_circuit

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Array List QCheck QCheck_alcotest Qec_circuit

@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest List QCheck QCheck_alcotest Qec_circuit String

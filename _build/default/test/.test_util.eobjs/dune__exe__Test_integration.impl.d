@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Autobraid Filename Fun Gp_baseline List Qec_benchmarks Qec_circuit Qec_qasm Qec_revlib Qec_surface Sys

@@ -1,0 +1,1 @@
+test/test_interference.ml: Alcotest Array Autobraid Gen List QCheck QCheck_alcotest Qec_lattice

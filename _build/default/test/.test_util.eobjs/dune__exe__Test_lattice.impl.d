@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array List Printf Qec_lattice Qec_util

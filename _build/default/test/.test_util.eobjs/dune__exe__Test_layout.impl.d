@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Autobraid List Printf Qec_benchmarks Qec_circuit Qec_lattice

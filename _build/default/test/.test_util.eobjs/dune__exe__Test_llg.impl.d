@@ -1,0 +1,1 @@
+test/test_llg.ml: Alcotest Array Autobraid List QCheck QCheck_alcotest Qec_lattice

@@ -1,0 +1,1 @@
+test/test_magic.ml: Alcotest Autobraid List Qec_benchmarks Qec_circuit Qec_lattice Qec_magic Qec_surface

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Autobraid List QCheck QCheck_alcotest Qec_circuit Qec_surface

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Gen List QCheck QCheck_alcotest Qec_benchmarks Qec_circuit Qec_lattice Qec_partition Qec_util

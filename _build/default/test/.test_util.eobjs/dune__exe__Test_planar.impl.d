@@ -1,0 +1,1 @@
+test/test_planar.ml: Alcotest Autobraid List Qec_benchmarks Qec_circuit Qec_planar Qec_surface

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Char Float List Printf QCheck QCheck_alcotest Qec_circuit Qec_qasm String

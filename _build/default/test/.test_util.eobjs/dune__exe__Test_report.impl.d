@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Autobraid Filename Fun Gp_baseline List Qec_benchmarks Qec_circuit Qec_lattice Qec_report Qec_surface String Sys

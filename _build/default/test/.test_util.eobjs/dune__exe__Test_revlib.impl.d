@@ -1,0 +1,1 @@
+test/test_revlib.ml: Alcotest Array List QCheck QCheck_alcotest Qec_circuit Qec_revlib String

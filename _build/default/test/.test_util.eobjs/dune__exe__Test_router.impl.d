@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Array Gen List QCheck QCheck_alcotest Qec_lattice

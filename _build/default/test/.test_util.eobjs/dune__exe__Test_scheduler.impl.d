@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Autobraid List QCheck QCheck_alcotest Qec_benchmarks Qec_circuit Qec_surface

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Qec_benchmarks Qec_circuit Qec_qasm Qec_sim

@@ -1,0 +1,1 @@
+test/test_stack_finder.ml: Alcotest Array Autobraid List QCheck QCheck_alcotest Qec_lattice

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Autobraid List Printf Qec_benchmarks Qec_circuit Qec_lattice Qec_surface

@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest List Qec_benchmarks Qec_circuit Qec_surface

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Autobraid List QCheck QCheck_alcotest Qec_benchmarks Qec_circuit Qec_lattice Qec_qasm Qec_surface String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Autobraid Gen Hashtbl List QCheck QCheck_alcotest Qec_circuit Qec_surface Qec_util String

@@ -1,0 +1,227 @@
+(* Tests for the arithmetic, Grover, and miscellaneous generators, and for
+   the fixture files under fixtures/. *)
+
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module Dag = Qec_circuit.Dag
+module B = Qec_benchmarks
+module S = Autobraid.Scheduler
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let timing = Qec_surface.Timing.make ~d:33 ()
+
+(* ------------------------------------------------------------------ *)
+(* Cuccaro adder                                                        *)
+
+let test_cuccaro_shape () =
+  let c = B.Arith.cuccaro_adder 4 in
+  check_int "qubits" 10 (C.num_qubits c);
+  (* bits MAJ + bits UMA (3 gates each) + 1 carry CX *)
+  check_int "gates" ((4 * 3 * 2) + 1) (C.length c);
+  check_int "toffolis" 8 (C.count_if (function G.Ccx _ -> true | _ -> false) c)
+
+let test_cuccaro_serial () =
+  (* the ripple carry is a dependence chain: depth close to gate count *)
+  let c = Qec_circuit.Decompose.to_scheduler_gates (B.Arith.cuccaro_adder 6) in
+  let d = Dag.of_circuit c in
+  check_bool "deep" true (Dag.depth d > C.length c / 4)
+
+let test_cuccaro_schedules_at_cp () =
+  let r = S.run timing (B.Arith.cuccaro_adder 4) in
+  let b = Gp_baseline.run timing (B.Arith.cuccaro_adder 4) in
+  check_bool "auto <= base" true (r.S.total_cycles <= b.S.total_cycles);
+  check_bool "near CP" true
+    (float_of_int r.S.total_cycles
+    <= 1.2 *. float_of_int r.S.critical_path_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Draper adder                                                         *)
+
+let test_draper_shape () =
+  let c = B.Arith.draper_adder 4 in
+  check_int "qubits" 8 (C.num_qubits c);
+  (* 2 QFTs (4 H + 6 CP each) + 10 addition phases *)
+  check_int "H gates" 8 (C.count_if (function G.H _ -> true | _ -> false) c);
+  check_int "phases" 22
+    (C.count_if (function G.Cphase _ -> true | _ -> false) c)
+
+let test_draper_inverse_angles () =
+  let c = B.Arith.draper_adder 3 in
+  let angles =
+    Array.to_list (C.gates c)
+    |> List.filter_map (function G.Cphase (_, _, a) -> Some a | _ -> None)
+  in
+  check_bool "has negative (inverse QFT) angles" true
+    (List.exists (fun a -> a < 0.) angles)
+
+let test_adders_disagree_in_parallelism () =
+  (* Cuccaro's carry ripple serializes its two-qubit gates far more than
+     Draper's phase fan-in: compare two-qubit depth per two-qubit gate. *)
+  let serial_fraction c =
+    let c = Qec_circuit.Decompose.to_scheduler_gates c in
+    let d = Dag.of_circuit c in
+    let depth2q =
+      Dag.critical_path ~cost:(fun g -> if G.is_two_qubit g then 1 else 0) d
+    in
+    float_of_int depth2q /. float_of_int (C.two_qubit_count c)
+  in
+  check_bool "cuccaro more serial" true
+    (serial_fraction (B.Arith.cuccaro_adder 6)
+    > serial_fraction (B.Arith.draper_adder 6))
+
+(* ------------------------------------------------------------------ *)
+(* Grover                                                               *)
+
+let test_grover_shape () =
+  let c = B.Grover.circuit ~iterations:2 5 in
+  check_int "qubits (5 search + 2 ancilla)" 7 (C.num_qubits c);
+  check_int "measures" 5
+    (C.count_if (function G.Measure _ -> true | _ -> false) c);
+  check_bool "has toffolis" true
+    (C.count_if (function G.Ccx _ -> true | _ -> false) c > 0)
+
+let test_grover_marked_pattern () =
+  (* marked = 0 flips every qubit around both oracle applications *)
+  let all = B.Grover.circuit ~iterations:1 ~marked:0 4 in
+  let none = B.Grover.circuit ~iterations:1 ~marked:15 4 in
+  check_bool "more X for marked=0" true
+    (C.count_if (function G.X _ -> true | _ -> false) all
+    > C.count_if (function G.X _ -> true | _ -> false) none)
+
+let test_grover_bounds () =
+  check_bool "n<3" true
+    (match B.Grover.circuit 2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "marked oob" true
+    (match B.Grover.circuit ~marked:100 4 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_grover_schedules () =
+  let r = S.run timing (B.Grover.circuit ~iterations:1 6) in
+  check_bool "runs" true (r.S.total_cycles >= r.S.critical_path_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Misc                                                                 *)
+
+let test_ghz () =
+  let c = B.Misc_circuits.ghz 8 in
+  check_int "gates" 8 (C.length c);
+  let star = B.Misc_circuits.ghz_star 8 in
+  check_int "star gates" 8 (C.length star);
+  (* both are fully serial in communication *)
+  List.iter
+    (fun c ->
+      let r = S.run timing c in
+      check_int (C.name c ^ " = CP") r.S.critical_path_cycles r.S.total_cycles)
+    [ c; star ]
+
+let test_hidden_shift () =
+  let c = B.Misc_circuits.hidden_shift 8 in
+  check_int "qubits" 8 (C.num_qubits c);
+  check_int "cz pairs (2 layers of n/2)" 8
+    (C.count_if (function G.Cz _ -> true | _ -> false) c);
+  check_bool "odd rejected" true
+    (match B.Misc_circuits.hidden_shift 7 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* disjoint CZ fronts: schedules at the critical path like Ising *)
+  let r = S.run timing c in
+  check_int "cp" r.S.critical_path_cycles r.S.total_cycles
+
+let test_random_clifford_t () =
+  let a = B.Misc_circuits.random_clifford_t ~seed:3 ~gates:100 6 in
+  let b = B.Misc_circuits.random_clifford_t ~seed:3 ~gates:100 6 in
+  check_bool "deterministic" true (C.gates a = C.gates b);
+  check_int "gate count" 100 (C.length a);
+  let c = B.Misc_circuits.random_clifford_t ~seed:4 ~gates:100 6 in
+  check_bool "seed matters" false (C.gates a = C.gates c)
+
+let test_new_registry_families () =
+  List.iter
+    (fun name ->
+      let c = B.Registry.build name in
+      check_bool (name ^ " builds") true (C.length c > 0))
+    [ "adder10"; "qftadd8"; "grover6"; "ghz9"; "hshift8"; "randct6" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fixture files                                                        *)
+
+(* dune runtest runs in _build/default/test (fixtures copied next to the
+   project root); `dune exec` runs from the source root. Try both. *)
+let fixture name =
+  let candidates =
+    [ Filename.concat "../fixtures" name; Filename.concat "fixtures" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail ("fixture not found: " ^ name)
+
+let test_fixture_adder () =
+  let c = Qec_qasm.Frontend.of_file (fixture "adder4.qasm") in
+  check_int "10 qubits" 10 (C.num_qubits c);
+  let r = S.run timing c in
+  check_bool "schedules" true (r.S.total_cycles > 0)
+
+let test_fixture_qft () =
+  let c = Qec_qasm.Frontend.of_file (fixture "qft5.qasm") in
+  check_int "qubits" 5 (C.num_qubits c);
+  (* must equal the generator's circuit exactly *)
+  let generated = B.Qft.circuit 5 in
+  check_int "same gate count" (C.length generated) (C.length c);
+  let rf = S.run timing c and rg = S.run timing generated in
+  check_int "same schedule" rg.S.total_cycles rf.S.total_cycles
+
+let test_fixture_peres () =
+  let c = Qec_revlib.Real_parser.of_file (fixture "peres.real") in
+  check_int "gates" 2 (C.length c);
+  check_bool "toffoli then cnot" true
+    (G.equal (C.gate c 0) (G.Ccx (0, 1, 2)) && G.equal (C.gate c 1) (G.Cx (0, 1)))
+
+let test_fixture_hwb4 () =
+  let c = Qec_revlib.Real_parser.of_file (fixture "hwb4.real") in
+  check_int "qubits" 4 (C.num_qubits c);
+  check_bool "nontrivial" true (C.length c > 8);
+  let r = S.run timing c in
+  check_bool "schedules" true (r.S.total_cycles >= r.S.critical_path_cycles)
+
+let () =
+  Alcotest.run "arith_misc"
+    [
+      ( "cuccaro",
+        [
+          Alcotest.test_case "shape" `Quick test_cuccaro_shape;
+          Alcotest.test_case "serial" `Quick test_cuccaro_serial;
+          Alcotest.test_case "schedules" `Quick test_cuccaro_schedules_at_cp;
+        ] );
+      ( "draper",
+        [
+          Alcotest.test_case "shape" `Quick test_draper_shape;
+          Alcotest.test_case "inverse angles" `Quick test_draper_inverse_angles;
+          Alcotest.test_case "parallelism" `Quick test_adders_disagree_in_parallelism;
+        ] );
+      ( "grover",
+        [
+          Alcotest.test_case "shape" `Quick test_grover_shape;
+          Alcotest.test_case "marked pattern" `Quick test_grover_marked_pattern;
+          Alcotest.test_case "bounds" `Quick test_grover_bounds;
+          Alcotest.test_case "schedules" `Quick test_grover_schedules;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "ghz" `Quick test_ghz;
+          Alcotest.test_case "hidden shift" `Quick test_hidden_shift;
+          Alcotest.test_case "random clifford+t" `Quick test_random_clifford_t;
+          Alcotest.test_case "registry" `Quick test_new_registry_families;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "adder4.qasm" `Quick test_fixture_adder;
+          Alcotest.test_case "qft5.qasm" `Quick test_fixture_qft;
+          Alcotest.test_case "peres.real" `Quick test_fixture_peres;
+          Alcotest.test_case "hwb4.real" `Quick test_fixture_hwb4;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the benchmark-circuit generators. *)
+
+module B = Qec_benchmarks
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module Dag = Qec_circuit.Dag
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_qft_counts () =
+  (* n H gates + n(n-1)/2 controlled phases *)
+  List.iter
+    (fun n ->
+      let c = B.Qft.circuit n in
+      check_int
+        (Printf.sprintf "qft%d gates" n)
+        (n + (n * (n - 1) / 2))
+        (C.length c);
+      check_int "qubits" n (C.num_qubits c))
+    [ 1; 2; 5; 16; 50 ]
+
+let test_qft_swaps () =
+  let c = B.Qft.circuit ~with_swaps:true 6 in
+  check_int "3 swaps" 3 (C.count_if (function G.Swap _ -> true | _ -> false) c)
+
+let test_qft_angles_halve () =
+  let c = B.Qft.circuit 3 in
+  let angles =
+    Array.to_list (C.gates c)
+    |> List.filter_map (function G.Cphase (_, _, a) -> Some a | _ -> None)
+  in
+  match angles with
+  | [ a1; a2; a3 ] ->
+    Alcotest.(check (float 1e-9)) "pi/2" (Float.pi /. 2.) a1;
+    Alcotest.(check (float 1e-9)) "pi/4" (Float.pi /. 4.) a2;
+    Alcotest.(check (float 1e-9)) "pi/2 again" (Float.pi /. 2.) a3
+  | _ -> Alcotest.fail "expected 3 phases"
+
+let test_bv_counts () =
+  (* BV-100 = 299 gates in the paper: n H + (n-1) CX + n H *)
+  let c = B.Bv.circuit 100 in
+  check_int "bv100 gates" 299 (C.length c);
+  check_int "cx count" 99 (C.count_if (function G.Cx _ -> true | _ -> false) c)
+
+let test_bv_secret () =
+  let secret = [| true; false; true |] in
+  let c = B.Bv.circuit ~secret 4 in
+  check_int "2 cx" 2 (C.count_if (function G.Cx _ -> true | _ -> false) c)
+
+let test_bv_no_cx_parallelism () =
+  (* every oracle CX shares the ancilla: CX layers have width 1 (Fig. 6) *)
+  let d = Dag.of_circuit (B.Bv.circuit 20) in
+  List.iter
+    (fun (k, _) -> check_bool "layer width <= 1" true (k <= 1))
+    (Dag.two_qubit_layer_histogram d)
+
+let test_cc_counts () =
+  (* CC-100 = 198 gates in the paper *)
+  check_int "cc100" 198 (C.length (B.Cc.circuit 100))
+
+let test_ising_structure () =
+  let c = B.Ising.circuit ~steps:1 10 in
+  (* 10 Rx + 9 links x (2 CX + 1 Rz) *)
+  check_int "gates" (10 + (9 * 3)) (C.length c);
+  let k = Qec_circuit.Coupling.of_circuit c in
+  check_bool "degree two" true (Qec_circuit.Coupling.is_degree_two k)
+
+let test_ising_parallelism () =
+  (* n/2 simultaneous CX in the even sublayer (Fig. 7) *)
+  let d = Dag.of_circuit (B.Ising.circuit ~steps:1 10) in
+  let widths = List.map fst (Dag.two_qubit_layer_histogram d) in
+  check_bool "has width-5 layer" true (List.mem 5 widths)
+
+let test_qaoa_regular () =
+  let es = B.Qaoa.edges ~degree:3 40 in
+  check_int "edge count" (40 * 3 / 2) (List.length es);
+  let deg = Array.make 40 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    es;
+  Array.iteri (fun i d -> check_int (Printf.sprintf "deg q%d" i) 3 d) deg;
+  (* no self loops / multi-edges *)
+  check_int "simple" (List.length es)
+    (List.length (List.sort_uniq compare es));
+  check_bool "no self loop" true (List.for_all (fun (u, v) -> u <> v) es)
+
+let test_qaoa_deterministic () =
+  let a = B.Qaoa.circuit ~seed:5 20 and b = B.Qaoa.circuit ~seed:5 20 in
+  check_bool "same circuit" true (C.gates a = C.gates b);
+  let c = B.Qaoa.circuit ~seed:6 20 in
+  check_bool "different seed differs" false (C.gates a = C.gates c)
+
+let test_qaoa_invalid () =
+  check_bool "odd n*degree" true
+    (match B.Qaoa.edges ~degree:3 5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bwt_shape () =
+  let c = B.Bwt.circuit ~height:4 () in
+  check_int "qubits" (B.Bwt.num_qubits ~height:4) (C.num_qubits c);
+  check_int "qubits formula" 31 (C.num_qubits c);
+  check_bool "has gates" true (C.length c > 30);
+  (* sequential walker updates make the DAG deep relative to its size *)
+  let d = Dag.of_circuit c in
+  check_bool "deep" true (Dag.depth d > 15)
+
+let test_bwt_deterministic () =
+  let a = B.Bwt.circuit ~height:3 () and b = B.Bwt.circuit ~height:3 () in
+  check_bool "same" true (C.gates a = C.gates b)
+
+let test_shor_shape () =
+  let c = B.Shor.circuit ~bits:8 () in
+  check_int "qubits" 19 (C.num_qubits c);
+  check_bool "cphase heavy" true
+    (C.count_if (function G.Cphase _ -> true | _ -> false) c
+    > C.length c / 2);
+  check_int "measures" 8
+    (C.count_if (function G.Measure _ -> true | _ -> false) c)
+
+let test_shor_multipliers_scale () =
+  let small = B.Shor.circuit ~multipliers:2 ~bits:8 () in
+  let big = B.Shor.circuit ~multipliers:8 ~bits:8 () in
+  check_bool "more multipliers -> more gates" true
+    (C.length big > C.length small)
+
+let test_building_blocks () =
+  List.iter
+    (fun name ->
+      let c = B.Building_blocks.by_name name in
+      check_bool (name ^ " nonempty") true (C.length c > 0);
+      check_bool (name ^ " narrow") true
+        (C.count_if
+           (fun g -> not (G.is_single_qubit g || G.is_two_qubit g))
+           c
+        = 0))
+    B.Building_blocks.names
+
+let test_building_blocks_sizes () =
+  (* qubit counts must match the paper's Table 2 *)
+  let expect = [ ("4gt11_8", 5); ("rd32-v0", 4); ("urf2_277", 8); ("squar7", 15) ] in
+  List.iter
+    (fun (name, q) ->
+      check_int name q (C.num_qubits (B.Building_blocks.by_name name)))
+    expect
+
+let test_building_blocks_gate_calibration () =
+  (* elementary count lands within 10% of the Table 2 target *)
+  let c = B.Building_blocks.by_name "urf2_277" in
+  let g = C.length c in
+  check_bool "calibrated" true (g > 18000 && g < 23000)
+
+let test_registry_family () =
+  let c = B.Registry.build "qft10" in
+  check_int "qft10" 10 (C.num_qubits c);
+  let c = B.Registry.build "bv50" in
+  check_int "bv50" 50 (C.num_qubits c)
+
+let test_registry_fixed () =
+  let c = B.Registry.build "urf2_277" in
+  check_int "urf2" 8 (C.num_qubits c);
+  let c = B.Registry.build "shor471" in
+  check_int "shor471 qubits" 471 (C.num_qubits c);
+  check_bool "shor471 ~36.5K gates" true
+    (C.length c > 30000 && C.length c < 45000)
+
+let test_registry_unknown () =
+  check_bool "unknown raises" true
+    (match B.Registry.build "nonsense" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_registry_all_names () =
+  check_bool "names listed" true (List.length (B.Registry.all_names ()) > 10)
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "qft",
+        [
+          Alcotest.test_case "counts" `Quick test_qft_counts;
+          Alcotest.test_case "swaps" `Quick test_qft_swaps;
+          Alcotest.test_case "angles" `Quick test_qft_angles_halve;
+        ] );
+      ( "bv/cc",
+        [
+          Alcotest.test_case "bv counts" `Quick test_bv_counts;
+          Alcotest.test_case "bv secret" `Quick test_bv_secret;
+          Alcotest.test_case "bv serial" `Quick test_bv_no_cx_parallelism;
+          Alcotest.test_case "cc counts" `Quick test_cc_counts;
+        ] );
+      ( "ising",
+        [
+          Alcotest.test_case "structure" `Quick test_ising_structure;
+          Alcotest.test_case "parallelism" `Quick test_ising_parallelism;
+        ] );
+      ( "qaoa",
+        [
+          Alcotest.test_case "regular graph" `Quick test_qaoa_regular;
+          Alcotest.test_case "deterministic" `Quick test_qaoa_deterministic;
+          Alcotest.test_case "invalid" `Quick test_qaoa_invalid;
+        ] );
+      ( "bwt/shor",
+        [
+          Alcotest.test_case "bwt shape" `Quick test_bwt_shape;
+          Alcotest.test_case "bwt deterministic" `Quick test_bwt_deterministic;
+          Alcotest.test_case "shor shape" `Quick test_shor_shape;
+          Alcotest.test_case "shor multipliers" `Quick test_shor_multipliers_scale;
+        ] );
+      ( "building blocks",
+        [
+          Alcotest.test_case "all parse" `Quick test_building_blocks;
+          Alcotest.test_case "qubit counts" `Quick test_building_blocks_sizes;
+          Alcotest.test_case "gate calibration" `Quick test_building_blocks_gate_calibration;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "family" `Quick test_registry_family;
+          Alcotest.test_case "fixed" `Quick test_registry_fixed;
+          Alcotest.test_case "unknown" `Quick test_registry_unknown;
+          Alcotest.test_case "names" `Quick test_registry_all_names;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* End-to-end tests of the `autobraid` CLI binary: every subcommand is
+   exercised through a real process, checking exit codes and output. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* dune runtest runs in _build/default/test; `dune exec` from the root. *)
+let cli =
+  let candidates =
+    [ "../bin/autobraid_cli.exe"; "_build/default/bin/autobraid_cli.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "CLI binary not found (build bin/ first)"
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Run the CLI with args; return (exit_code, stdout++stderr). *)
+let run args =
+  let out = Filename.temp_file "autobraid_cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote cli) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let text = read_file out in
+  Sys.remove out;
+  (code, text)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_list () =
+  let code, out = run "list" in
+  check_int "exit 0" 0 code;
+  check_bool "families" true (contains out "qft<n>");
+  check_bool "fixed" true (contains out "urf2_277")
+
+let test_compile_builtin () =
+  let code, out = run "compile bv20" in
+  check_int "exit 0" 0 code;
+  check_bool "report printed" true (contains out "total cycles");
+  check_bool "cp ratio" true (contains out "vs critical path");
+  check_bool "reliability" true (contains out "failure prob.")
+
+let test_compile_baseline_and_sp () =
+  let code, _ = run "compile qft9 -s baseline" in
+  check_int "baseline ok" 0 code;
+  let code, _ = run "compile qft9 -s sp --initial metis" in
+  check_int "sp ok" 0 code
+
+let test_compile_optimize () =
+  let code, out = run "compile 4gt11_8 -O" in
+  check_int "exit 0" 0 code;
+  check_bool "peephole line" true (contains out "peephole:")
+
+let test_info () =
+  let code, out = run "info qft9" in
+  check_int "exit 0" 0 code;
+  check_bool "qubits" true (contains out "qubits             9");
+  check_bool "parallelism" true (contains out "CX parallelism")
+
+let test_emit_roundtrip () =
+  let tmp = Filename.temp_file "autobraid_emit" ".qasm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let code, _ = run (Printf.sprintf "emit qft5 -o %s" tmp) in
+      check_int "exit 0" 0 code;
+      let c = Qec_qasm.Frontend.of_file tmp in
+      check_int "5 qubits" 5 (Qec_circuit.Circuit.num_qubits c);
+      check_int "qft5 gate count" 15 (Qec_circuit.Circuit.length c))
+
+let test_compile_from_file () =
+  let tmp = Filename.temp_file "autobraid_in" ".qasm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n";
+      close_out oc;
+      let code, out = run (Printf.sprintf "compile %s" (Filename.quote tmp)) in
+      check_int "exit 0" 0 code;
+      check_bool "3 qubits" true (contains out "logical qubits");
+      check_bool "2x2 lattice" true (contains out "2x2 tiles"))
+
+let test_sweep () =
+  let code, out = run "sweep bv8" in
+  check_int "exit 0" 0 code;
+  check_bool "header" true (contains out "# p  cycles");
+  check_int "10 points + header" 11
+    (List.length (String.split_on_char '\n' (String.trim out)))
+
+let test_trace () =
+  let code, out = run "trace bv8 --rounds 2" in
+  check_int "exit 0" 0 code;
+  check_bool "valid" true (contains out "trace: VALID");
+  check_bool "rendered" true (contains out "round 0:")
+
+let test_export_formats () =
+  let code, out = run "export bv8 -f json" in
+  check_int "json ok" 0 code;
+  check_bool "json has result" true (contains out "\"total_cycles\"");
+  let code, out = run "export bv8 -f dot" in
+  check_int "dot ok" 0 code;
+  check_bool "dot graph" true (contains out "graph coupling");
+  let code, out = run "export bv8 -f csv" in
+  check_int "csv ok" 0 code;
+  check_bool "csv header" true (contains out "p,cycles")
+
+let test_resources () =
+  let code, out = run "resources 5000 --pl 1e-22" in
+  check_int "exit 0" 0 code;
+  check_bool "physical count" true (contains out "total physical qubits")
+
+let test_error_handling () =
+  let code, out = run "compile definitely_not_a_circuit" in
+  check_int "exit 2" 2 code;
+  check_bool "message" true (contains out "unknown circuit");
+  let code, _ = run "frobnicate" in
+  check_bool "unknown subcommand fails" true (code <> 0);
+  let code, _ = run "compile qft9 -p 1.5" in
+  check_bool "invalid threshold fails" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "list" `Quick test_list;
+          Alcotest.test_case "compile builtin" `Quick test_compile_builtin;
+          Alcotest.test_case "compile schedulers" `Quick test_compile_baseline_and_sp;
+          Alcotest.test_case "compile -O" `Quick test_compile_optimize;
+          Alcotest.test_case "info" `Quick test_info;
+          Alcotest.test_case "emit round trip" `Quick test_emit_roundtrip;
+          Alcotest.test_case "compile from file" `Quick test_compile_from_file;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "export formats" `Quick test_export_formats;
+          Alcotest.test_case "resources" `Quick test_resources;
+          Alcotest.test_case "errors" `Quick test_error_handling;
+        ] );
+    ]

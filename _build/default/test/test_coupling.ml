@@ -1,0 +1,131 @@
+(* Tests for the qubit coupling graph. *)
+
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module K = Qec_circuit.Coupling
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let chain n =
+  (* 0-1-2-...-(n-1) path coupling *)
+  C.create ~num_qubits:n
+    (List.init (n - 1) (fun i -> G.Cx (i, i + 1)))
+
+let test_weights () =
+  let c = C.create ~num_qubits:3 G.[ Cx (0, 1); Cx (1, 0); Cz (1, 2) ] in
+  let k = K.of_circuit c in
+  check_int "0-1 weight (symmetric)" 2 (K.weight k 0 1);
+  check_int "1-0 weight" 2 (K.weight k 1 0);
+  check_int "1-2 weight" 1 (K.weight k 1 2);
+  check_int "0-2 absent" 0 (K.weight k 0 2);
+  check_int "total" 3 (K.total_weight k)
+
+let test_wide_gates_contribute () =
+  let c = C.create ~num_qubits:3 [ G.Ccx (0, 1, 2) ] in
+  let k = K.of_circuit c in
+  check_int "0-1" 1 (K.weight k 0 1);
+  check_int "0-2" 1 (K.weight k 0 2);
+  check_int "1-2" 1 (K.weight k 1 2)
+
+let test_neighbors_degree () =
+  let k = K.of_circuit (chain 5) in
+  Alcotest.(check (list (pair int int)))
+    "neighbors of 2"
+    [ (1, 1); (3, 1) ]
+    (K.neighbors k 2);
+  check_int "deg endpoint" 1 (K.degree k 0);
+  check_int "deg middle" 2 (K.degree k 2);
+  check_int "max degree" 2 (K.max_degree k)
+
+let test_edges_sorted () =
+  let k = K.of_circuit (chain 4) in
+  Alcotest.(check (list (triple int int int)))
+    "edges" [ (0, 1, 1); (1, 2, 1); (2, 3, 1) ]
+    (K.edges k)
+
+let test_density () =
+  let k = K.of_circuit (chain 4) in
+  Alcotest.(check (float 1e-9)) "density" 0.5 (K.density k);
+  let full =
+    C.create ~num_qubits:3 G.[ Cx (0, 1); Cx (0, 2); Cx (1, 2) ]
+  in
+  Alcotest.(check (float 1e-9)) "complete" 1.0 (K.density (K.of_circuit full))
+
+let test_degree_two_detection () =
+  check_bool "chain" true (K.is_degree_two (K.of_circuit (chain 6)));
+  let star =
+    C.create ~num_qubits:4 G.[ Cx (0, 1); Cx (0, 2); Cx (0, 3) ]
+  in
+  check_bool "star" false (K.is_degree_two (K.of_circuit star))
+
+let test_chain_order_path () =
+  let k = K.of_circuit (chain 5) in
+  match K.chain_order k with
+  | None -> Alcotest.fail "expected an order"
+  | Some order ->
+    check_int "length" 5 (List.length order);
+    (* every coupled pair must be adjacent in the order *)
+    let pos = Array.make 5 0 in
+    List.iteri (fun i q -> pos.(q) <- i) order;
+    List.iter
+      (fun (a, b, _) ->
+        check_int (Printf.sprintf "adj %d-%d" a b) 1 (abs (pos.(a) - pos.(b))))
+      (K.edges k)
+
+let test_chain_order_ring () =
+  let ring =
+    C.create ~num_qubits:4 G.[ Cx (0, 1); Cx (1, 2); Cx (2, 3); Cx (3, 0) ]
+  in
+  let k = K.of_circuit ring in
+  match K.chain_order k with
+  | None -> Alcotest.fail "expected an order for a ring"
+  | Some order ->
+    check_int "length" 4 (List.length order);
+    check_int "all qubits" 4 (List.length (List.sort_uniq compare order))
+
+let test_chain_order_star_none () =
+  let star = C.create ~num_qubits:4 G.[ Cx (0, 1); Cx (0, 2); Cx (0, 3) ] in
+  check_bool "no order" true (K.chain_order (K.of_circuit star) = None)
+
+let test_chain_order_isolated () =
+  (* isolated qubits appended after the chain *)
+  let c = C.create ~num_qubits:5 G.[ Cx (0, 1); Cx (1, 2) ] in
+  match K.chain_order (K.of_circuit c) with
+  | None -> Alcotest.fail "expected order"
+  | Some order ->
+    check_int "all present" 5 (List.length (List.sort_uniq compare order))
+
+let prop_weight_symmetric =
+  QCheck.Test.make ~name:"weight symmetric" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 7) (int_bound 7)))
+    (fun pairs ->
+      let gates =
+        List.filter_map
+          (fun (a, b) -> if a <> b then Some (G.Cx (a, b)) else None)
+          pairs
+      in
+      let k = K.of_circuit (C.create ~num_qubits:8 gates) in
+      List.for_all
+        (fun a -> List.for_all (fun b -> K.weight k a b = K.weight k b a)
+            (List.init 8 (fun i -> i)))
+        (List.init 8 (fun i -> i)))
+
+let () =
+  Alcotest.run "coupling"
+    [
+      ( "coupling",
+        [
+          Alcotest.test_case "weights" `Quick test_weights;
+          Alcotest.test_case "wide gates" `Quick test_wide_gates_contribute;
+          Alcotest.test_case "neighbors/degree" `Quick test_neighbors_degree;
+          Alcotest.test_case "edges" `Quick test_edges_sorted;
+          Alcotest.test_case "density" `Quick test_density;
+          Alcotest.test_case "degree-two" `Quick test_degree_two_detection;
+          Alcotest.test_case "chain order (path)" `Quick test_chain_order_path;
+          Alcotest.test_case "chain order (ring)" `Quick test_chain_order_ring;
+          Alcotest.test_case "chain order (star)" `Quick test_chain_order_star_none;
+          Alcotest.test_case "chain order (isolated)" `Quick test_chain_order_isolated;
+          QCheck_alcotest.to_alcotest prop_weight_symmetric;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Unit tests for the Gate ADT. *)
+
+module G = Qec_circuit.Gate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ilist = Alcotest.(check (list int))
+
+let test_qubits () =
+  check_ilist "h" [ 3 ] (G.qubits (G.H 3));
+  check_ilist "cx" [ 1; 2 ] (G.qubits (G.Cx (1, 2)));
+  check_ilist "ccx" [ 0; 1; 2 ] (G.qubits (G.Ccx (0, 1, 2)));
+  check_ilist "mcx" [ 4; 5; 6; 7 ] (G.qubits (G.Mcx ([ 4; 5; 6 ], 7)));
+  check_ilist "barrier" [ 1; 3 ] (G.qubits (G.Barrier [ 1; 3 ]));
+  check_ilist "cphase" [ 9; 2 ] (G.qubits (G.Cphase (9, 2, 0.5)))
+
+let test_arity () =
+  check_int "single" 1 (G.arity (G.T 0));
+  check_int "two" 2 (G.arity (G.Swap (0, 1)));
+  check_int "three" 3 (G.arity (G.Ccx (0, 1, 2)))
+
+let all_single =
+  G.[ H 0; X 0; Y 0; Z 0; S 0; Sdg 0; T 0; Tdg 0; Rx (0, 1.); Ry (0, 1.);
+      Rz (0, 1.); U3 (0, 1., 2., 3.); Measure 0 ]
+
+let all_two = G.[ Cx (0, 1); Cz (0, 1); Cphase (0, 1, 0.5); Swap (0, 1) ]
+
+let test_classification () =
+  List.iter
+    (fun g ->
+      check_bool (G.name g ^ " single") true (G.is_single_qubit g);
+      check_bool (G.name g ^ " not two") false (G.is_two_qubit g);
+      check_bool (G.name g ^ " not wide") false (G.is_wide g))
+    all_single;
+  List.iter
+    (fun g ->
+      check_bool (G.name g ^ " two") true (G.is_two_qubit g);
+      check_bool (G.name g ^ " not single") false (G.is_single_qubit g))
+    all_two;
+  List.iter
+    (fun g -> check_bool (G.name g ^ " wide") true (G.is_wide g))
+    G.[ Ccx (0, 1, 2); Mcx ([ 0; 1; 2 ], 3) ];
+  check_bool "barrier neither" false
+    (G.is_single_qubit (G.Barrier [ 0 ]) || G.is_two_qubit (G.Barrier [ 0 ]))
+
+let test_two_qubit_operands () =
+  Alcotest.(check (option (pair int int)))
+    "cx" (Some (3, 7))
+    (G.two_qubit_operands (G.Cx (3, 7)));
+  Alcotest.(check (option (pair int int)))
+    "h" None
+    (G.two_qubit_operands (G.H 3))
+
+let test_map_qubits () =
+  let g = G.map_qubits (fun q -> q + 10) (G.Ccx (0, 1, 2)) in
+  check_ilist "shifted" [ 10; 11; 12 ] (G.qubits g);
+  let g = G.map_qubits (fun q -> q * 2) (G.Mcx ([ 1; 2 ], 3)) in
+  check_ilist "mcx shifted" [ 2; 4; 6 ] (G.qubits g)
+
+let test_names_and_pp () =
+  Alcotest.(check string) "cx name" "cx" (G.name (G.Cx (0, 1)));
+  Alcotest.(check string) "tdg name" "tdg" (G.name (G.Tdg 0));
+  Alcotest.(check string) "pp cx" "cx q3, q7" (G.to_string (G.Cx (3, 7)));
+  check_bool "pp rz has angle" true
+    (String.length (G.to_string (G.Rz (2, 0.7854))) > 6)
+
+let test_equal () =
+  check_bool "equal" true (G.equal (G.Cx (0, 1)) (G.Cx (0, 1)));
+  check_bool "different operands" false (G.equal (G.Cx (0, 1)) (G.Cx (1, 0)));
+  check_bool "different gate" false (G.equal (G.Cx (0, 1)) (G.Cz (0, 1)))
+
+let prop_map_identity =
+  QCheck.Test.make ~name:"map_qubits id = id" ~count:100
+    QCheck.(pair (int_bound 20) (int_bound 20))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let g = G.Cx (a, b) in
+      G.equal g (G.map_qubits (fun q -> q) g))
+
+let () =
+  Alcotest.run "gate"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "qubits" `Quick test_qubits;
+          Alcotest.test_case "arity" `Quick test_arity;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "two_qubit_operands" `Quick test_two_qubit_operands;
+          Alcotest.test_case "map_qubits" `Quick test_map_qubits;
+          Alcotest.test_case "names/pp" `Quick test_names_and_pp;
+          Alcotest.test_case "equal" `Quick test_equal;
+          QCheck_alcotest.to_alcotest prop_map_identity;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Cross-library integration tests: file formats in, schedules out. *)
+
+module S = Autobraid.Scheduler
+module T = Qec_surface.Timing
+module C = Qec_circuit.Circuit
+module G = Qec_circuit.Gate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let timing = T.make ~d:33 ()
+
+let write_temp suffix contents =
+  let path = Filename.temp_file "autobraid_test" suffix in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let qasm_adder =
+  {|OPENQASM 2.0;
+include "qelib1.inc";
+qreg cin[1];
+qreg a[4];
+qreg b[4];
+qreg cout[1];
+creg ans[5];
+gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+gate unmaj a,b,c { ccx a,b,c; cx c,a; cx a,b; }
+x a[0];
+x b;
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+majority a[1],b[2],a[2];
+majority a[2],b[3],a[3];
+cx a[3],cout[0];
+unmaj a[2],b[3],a[3];
+unmaj a[1],b[2],a[2];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];
+measure b[0] -> ans[0];
+measure b[1] -> ans[1];
+measure b[2] -> ans[2];
+measure b[3] -> ans[3];
+measure cout[0] -> ans[4];
+|}
+
+let test_qasm_file_to_schedule () =
+  let path = write_temp ".qasm" qasm_adder in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let c = Qec_qasm.Frontend.of_file path in
+      check_int "10 qubits" 10 (C.num_qubits c);
+      check_bool "gates elaborated" true (C.length c > 20);
+      let r = S.run timing c in
+      check_bool "scheduled" true (r.S.total_cycles > 0);
+      check_bool "CP bound" true (r.S.critical_path_cycles <= r.S.total_cycles))
+
+let revlib_sample =
+  {|.version 2.0
+.numvars 6
+.variables a b c d e f
+.begin
+t1 a
+t2 a b
+t3 a b c
+t4 a b c d
+f3 d e f
+v a f
+v+ a f
+.end
+|}
+
+let test_revlib_file_to_schedule () =
+  let path = write_temp ".real" revlib_sample in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let c = Qec_revlib.Real_parser.of_file path in
+      check_int "6 lines" 6 (C.num_qubits c);
+      let r = S.run timing c in
+      check_bool "scheduled" true (r.S.total_cycles > 0))
+
+let test_print_reparse_same_schedule () =
+  (* QASM round-trip must not change the schedule *)
+  let c = Qec_benchmarks.Qft.circuit 8 in
+  let r1 = S.run timing c in
+  let c' = Qec_qasm.Frontend.of_string (Qec_qasm.Printer.to_string c) in
+  let r2 = S.run timing c' in
+  check_int "identical cycles" r1.S.total_cycles r2.S.total_cycles;
+  check_int "identical rounds" r1.S.rounds r2.S.rounds
+
+let test_registry_roundtrip_schedules () =
+  (* every registry family instantiates and schedules at a small size *)
+  List.iter
+    (fun (e : Qec_benchmarks.Registry.entry) ->
+      let n = if e.name = "bwt" then 15 else if e.name = "shor" then 19 else 12 in
+      let c = e.sized n in
+      let r = S.run timing c in
+      check_bool (e.name ^ " schedules") true
+        (r.S.total_cycles >= r.S.critical_path_cycles))
+    Qec_benchmarks.Registry.families
+
+let test_building_block_schedules () =
+  let c = Qec_benchmarks.Building_blocks.by_name "4gt11_8" in
+  let r = S.run timing c in
+  let b = Gp_baseline.run timing c in
+  check_bool "auto <= base" true (r.S.total_cycles <= b.S.total_cycles)
+
+let test_paper_magnitude_bv100 () =
+  (* Table 2: BV-100 executes in 15.2Kus for both autobraid and CP *)
+  let r = S.run timing (Qec_benchmarks.Bv.circuit 100) in
+  let us = S.time_us timing r in
+  check_bool "14-18 Kus" true (us > 13000. && us < 19000.);
+  check_int "equals CP" r.S.critical_path_cycles r.S.total_cycles
+
+let test_mixed_format_equivalence () =
+  (* the same Toffoli expressed via QASM and via RevLib schedules the same *)
+  let qasm =
+    Qec_qasm.Frontend.of_string
+      "OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];"
+  in
+  let real =
+    Qec_revlib.Real_parser.of_string ".numvars 3\n.variables a b c\n.begin\nt3 a b c\n.end\n"
+  in
+  let rq = S.run timing qasm and rr = S.run timing real in
+  check_int "same gates" rq.S.num_gates rr.S.num_gates;
+  check_int "same cycles" rq.S.total_cycles rr.S.total_cycles
+
+let test_error_propagation () =
+  check_bool "qasm syntax error" true
+    (match Qec_qasm.Frontend.of_string "OPENQASM 2.0; qreg q[2" with
+    | exception Qec_qasm.Parser.Error _ -> true
+    | _ -> false);
+  check_bool "missing file" true
+    (match Qec_qasm.Frontend.of_file "/nonexistent/foo.qasm" with
+    | exception Sys_error _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "qasm -> schedule" `Quick test_qasm_file_to_schedule;
+          Alcotest.test_case "revlib -> schedule" `Quick test_revlib_file_to_schedule;
+          Alcotest.test_case "print/reparse stable" `Quick test_print_reparse_same_schedule;
+          Alcotest.test_case "registry families" `Slow test_registry_roundtrip_schedules;
+          Alcotest.test_case "building block" `Quick test_building_block_schedules;
+          Alcotest.test_case "bv100 magnitude" `Quick test_paper_magnitude_bv100;
+          Alcotest.test_case "format equivalence" `Quick test_mixed_format_equivalence;
+          Alcotest.test_case "errors propagate" `Quick test_error_propagation;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Tests for the CX interference graph. *)
+
+module Grid = Qec_lattice.Grid
+module Placement = Qec_lattice.Placement
+module Task = Autobraid.Task
+module I = Autobraid.Interference
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let placement_at l coords =
+  let grid = Grid.create l in
+  let cells =
+    Array.of_list (List.map (fun (x, y) -> Grid.cell_id grid ~x ~y) coords)
+  in
+  Placement.create grid ~num_qubits:(Array.length cells) ~cells
+
+let tasks n = List.init n (fun i -> { Task.id = i; q1 = 2 * i; q2 = (2 * i) + 1 })
+
+(* three gates: 0 and 1 overlap, 2 is far away *)
+let sample () =
+  let p = placement_at 10 [ (0, 0); (2, 2); (1, 1); (3, 3); (8, 8); (9, 9) ] in
+  (p, I.build p (tasks 3))
+
+let test_build () =
+  let _, ig = sample () in
+  check_int "nodes" 3 (I.node_count ig);
+  check_int "original" 3 (I.original_count ig);
+  check_int "deg 0" 1 (I.degree ig 0);
+  check_int "deg 1" 1 (I.degree ig 1);
+  check_int "deg 2" 0 (I.degree ig 2);
+  check_int "max degree" 1 (I.max_degree ig)
+
+let test_neighbors () =
+  let _, ig = sample () in
+  Alcotest.(check (list int))
+    "nbrs of 0" [ 1 ]
+    (List.map (fun t -> t.Task.id) (I.neighbors ig 0));
+  Alcotest.(check (list int))
+    "nbrs of 2" []
+    (List.map (fun t -> t.Task.id) (I.neighbors ig 2))
+
+let test_max_degree_nodes () =
+  let _, ig = sample () in
+  Alcotest.(check (list int))
+    "max nodes" [ 0; 1 ]
+    (List.map (fun t -> t.Task.id) (I.max_degree_nodes ig))
+
+let test_remove () =
+  let _, ig = sample () in
+  I.remove ig 0;
+  check_int "nodes after" 2 (I.node_count ig);
+  check_int "original unchanged" 3 (I.original_count ig);
+  check_int "degree updated" 0 (I.degree ig 1);
+  check_bool "mem removed" false (I.mem ig 0);
+  check_bool "raises on absent" true
+    (match I.degree ig 0 with exception Not_found -> true | _ -> false)
+
+let test_empty () =
+  let p = placement_at 4 [ (0, 0) ] in
+  let ig = I.build p [] in
+  check_int "empty nodes" 0 (I.node_count ig);
+  check_int "max degree" 0 (I.max_degree ig);
+  Alcotest.(check (list int)) "no max nodes" []
+    (List.map (fun t -> t.Task.id) (I.max_degree_nodes ig))
+
+let test_clique () =
+  (* four mutually overlapping gates -> K4 *)
+  let p =
+    placement_at 10
+      [ (0, 0); (3, 3); (1, 1); (4, 4); (2, 2); (5, 5); (0, 3); (3, 0) ]
+  in
+  let ig = I.build p (tasks 4) in
+  check_int "max degree" 3 (I.max_degree ig);
+  List.iter (fun i -> check_int "deg" 3 (I.degree ig i)) [ 0; 1; 2; 3 ];
+  I.remove ig 3;
+  List.iter (fun i -> check_int "deg after" 2 (I.degree ig i)) [ 0; 1; 2 ]
+
+let prop_degrees_symmetric =
+  QCheck.Test.make ~name:"edge degrees consistent" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 10)
+              (pair (pair (int_bound 7) (int_bound 7))
+                 (pair (int_bound 7) (int_bound 7))))
+    (fun coords ->
+      let flat = List.concat_map (fun ((a, b), (c, d)) -> [ (a, b); (c, d) ]) coords in
+      let distinct = List.sort_uniq compare flat in
+      QCheck.assume (List.length distinct = List.length flat);
+      let p = placement_at 8 flat in
+      let k = List.length coords in
+      let ig = I.build p (tasks k) in
+      (* sum of degrees is even, and each neighbor listing is mutual *)
+      let sum =
+        List.fold_left (fun acc i -> acc + I.degree ig i) 0
+          (List.init k (fun i -> i))
+      in
+      sum mod 2 = 0
+      && List.for_all
+           (fun i ->
+             List.for_all
+               (fun t ->
+                 List.exists (fun u -> u.Task.id = i) (I.neighbors ig t.Task.id))
+               (I.neighbors ig i))
+           (List.init k (fun i -> i)))
+
+let () =
+  Alcotest.run "interference"
+    [
+      ( "interference",
+        [
+          Alcotest.test_case "build" `Quick test_build;
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "max degree nodes" `Quick test_max_degree_nodes;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "clique" `Quick test_clique;
+          QCheck_alcotest.to_alcotest prop_degrees_symmetric;
+        ] );
+    ]

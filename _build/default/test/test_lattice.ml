@@ -1,0 +1,323 @@
+(* Tests for grid geometry, bounding boxes, paths, occupancy, placement. *)
+
+module Grid = Qec_lattice.Grid
+module Bbox = Qec_lattice.Bbox
+module Path = Qec_lattice.Path
+module Occupancy = Qec_lattice.Occupancy
+module Placement = Qec_lattice.Placement
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                                 *)
+
+let test_grid_sizes () =
+  let g = Grid.create 4 in
+  check_int "side" 4 (Grid.side g);
+  check_int "cells" 16 (Grid.num_cells g);
+  check_int "vertices" 25 (Grid.num_vertices g)
+
+let test_grid_vertex_ids () =
+  let g = Grid.create 3 in
+  check_int "origin" 0 (Grid.vertex_id g ~x:0 ~y:0);
+  check_int "last" 15 (Grid.vertex_id g ~x:3 ~y:3);
+  Alcotest.(check (pair int int)) "roundtrip" (2, 1)
+    (Grid.vertex_xy g (Grid.vertex_id g ~x:2 ~y:1))
+
+let test_grid_cell_corners () =
+  let g = Grid.create 3 in
+  let c = Grid.cell_id g ~x:1 ~y:1 in
+  Alcotest.(check (list int))
+    "corners"
+    [ Grid.vertex_id g ~x:1 ~y:1; Grid.vertex_id g ~x:2 ~y:1;
+      Grid.vertex_id g ~x:1 ~y:2; Grid.vertex_id g ~x:2 ~y:2 ]
+    (Array.to_list (Grid.cell_corners g c))
+
+let test_grid_neighbors () =
+  let g = Grid.create 2 in
+  (* corner vertex has 2 neighbors, center has 4 *)
+  check_int "corner" 2 (List.length (Grid.vertex_neighbors g 0));
+  let center = Grid.vertex_id g ~x:1 ~y:1 in
+  check_int "center" 4 (List.length (Grid.vertex_neighbors g center));
+  (* neighbors are symmetric *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun nb ->
+          check_bool "symmetric" true
+            (List.mem v (Grid.vertex_neighbors g nb)))
+        (Grid.vertex_neighbors g v))
+    (List.init (Grid.num_vertices g) (fun i -> i))
+
+let test_grid_distances () =
+  let g = Grid.create 4 in
+  let a = Grid.vertex_id g ~x:0 ~y:0 and b = Grid.vertex_id g ~x:3 ~y:2 in
+  check_int "vertex manhattan" 5 (Grid.vertex_distance g a b);
+  let ca = Grid.cell_id g ~x:0 ~y:0 and cb = Grid.cell_id g ~x:2 ~y:2 in
+  check_int "cell manhattan" 4 (Grid.cell_distance g ca cb);
+  (* corner-to-corner min distance is cell distance minus the spans *)
+  check_int "corner distance" 2 (Grid.cell_to_cell_vertex_distance g ca cb);
+  (* adjacent cells share corners: distance 0 *)
+  let cc = Grid.cell_id g ~x:1 ~y:0 in
+  check_int "adjacent" 0 (Grid.cell_to_cell_vertex_distance g ca cc)
+
+let test_grid_bounds () =
+  let g = Grid.create 2 in
+  check_bool "vertex oob" true
+    (match Grid.vertex_id g ~x:3 ~y:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "cell oob" true
+    (match Grid.cell_id g ~x:2 ~y:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "create 0" true
+    (match Grid.create 0 with exception Invalid_argument _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Bbox                                                                 *)
+
+let test_bbox_construction () =
+  let b = Bbox.of_cells (3, 1) (0, 2) in
+  check_int "x0" 0 b.Bbox.x0;
+  check_int "x1" 3 b.Bbox.x1;
+  check_int "width" 4 (Bbox.width b);
+  check_int "height" 2 (Bbox.height b);
+  check_int "area" 8 (Bbox.area b)
+
+let test_bbox_invalid () =
+  check_bool "inverted" true
+    (match Bbox.make ~x0:2 ~y0:0 ~x1:1 ~y1:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bbox_of_points_join () =
+  let b = Bbox.of_points [ (1, 1); (4, 0); (2, 3) ] in
+  check_int "x1" 4 b.Bbox.x1;
+  check_int "y1" 3 b.Bbox.y1;
+  let j = Bbox.join b (Bbox.of_cells (0, 0) (0, 0)) in
+  check_int "joined x0" 0 j.Bbox.x0
+
+let test_bbox_intersections () =
+  let a = Bbox.of_cells (0, 0) (2, 2) in
+  let b = Bbox.of_cells (2, 2) (4, 4) in
+  let c = Bbox.of_cells (3, 3) (4, 4) in
+  let d = Bbox.of_cells (4, 0) (5, 1) in
+  check_bool "share cell" true (Bbox.intersects a b);
+  check_bool "disjoint cells" false (Bbox.intersects a c);
+  (* a spans cells 0-2; c starts at 3: they share the channel column x=3 *)
+  check_bool "vertex touching" true (Bbox.touches_or_intersects a c);
+  check_bool "far apart" false (Bbox.touches_or_intersects a d)
+
+let test_bbox_nesting () =
+  let outer = Bbox.of_cells (0, 0) (5, 5) in
+  let inner = Bbox.of_cells (2, 2) (3, 3) in
+  let touching = Bbox.of_cells (0, 2) (3, 3) in
+  check_bool "contains" true (Bbox.contains outer inner);
+  check_bool "strict" true (Bbox.strictly_nests ~outer ~inner);
+  check_bool "not strict on boundary" false
+    (Bbox.strictly_nests ~outer ~inner:touching);
+  check_bool "contains on boundary" true (Bbox.contains outer touching);
+  check_bool "point" true (Bbox.contains_point outer (5, 0));
+  check_bool "point out" false (Bbox.contains_point inner (5, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                                 *)
+
+let grid5 = Grid.create 5
+
+let vid x y = Grid.vertex_id grid5 ~x ~y
+
+let test_path_valid () =
+  let p = Path.of_vertices grid5 [ vid 0 0; vid 1 0; vid 1 1; vid 2 1 ] in
+  check_int "length" 4 (Path.length p);
+  check_int "source" (vid 0 0) (Path.source p);
+  check_int "target" (vid 2 1) (Path.target p);
+  check_bool "mem" true (Path.mem p (vid 1 1));
+  check_bool "not mem" false (Path.mem p (vid 3 3))
+
+let test_path_single_vertex () =
+  let p = Path.of_vertices grid5 [ vid 2 2 ] in
+  check_int "length 1" 1 (Path.length p);
+  check_int "src=tgt" (Path.source p) (Path.target p)
+
+let test_path_invalid () =
+  check_bool "empty" true
+    (match Path.of_vertices grid5 [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "not adjacent" true
+    (match Path.of_vertices grid5 [ vid 0 0; vid 2 0 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "repeat" true
+    (match Path.of_vertices grid5 [ vid 0 0; vid 1 0; vid 0 0 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_path_disjoint () =
+  let p1 = Path.of_vertices grid5 [ vid 0 0; vid 1 0 ] in
+  let p2 = Path.of_vertices grid5 [ vid 0 1; vid 1 1 ] in
+  let p3 = Path.of_vertices grid5 [ vid 1 0; vid 1 1 ] in
+  check_bool "disjoint" true (Path.disjoint p1 p2);
+  check_bool "overlap p1" false (Path.disjoint p1 p3);
+  check_bool "overlap p2" false (Path.disjoint p2 p3)
+
+let test_path_connects_cells () =
+  let c00 = Grid.cell_id grid5 ~x:0 ~y:0 and c22 = Grid.cell_id grid5 ~x:2 ~y:2 in
+  let p = Path.of_vertices grid5 [ vid 1 1; vid 2 1; vid 2 2 ] in
+  check_bool "connects" true (Path.connects_cells grid5 p c00 c22);
+  check_bool "reversed" true (Path.connects_cells grid5 p c22 c00);
+  let c44 = Grid.cell_id grid5 ~x:4 ~y:4 in
+  check_bool "wrong cells" false (Path.connects_cells grid5 p c00 c44)
+
+let test_path_within_bbox () =
+  let box = Bbox.of_cells (0, 0) (1, 1) in
+  let inside = Path.of_vertices grid5 [ vid 0 0; vid 1 0; vid 2 0 ] in
+  let outside = Path.of_vertices grid5 [ vid 2 0; vid 3 0 ] in
+  check_bool "inside" true (Path.within_bbox grid5 box inside);
+  check_bool "outside" false (Path.within_bbox grid5 box outside)
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy                                                            *)
+
+let test_occupancy () =
+  let occ = Occupancy.create grid5 in
+  check_bool "free" true (Occupancy.is_free occ (vid 1 1));
+  let p = Path.of_vertices grid5 [ vid 0 0; vid 1 0 ] in
+  Occupancy.reserve_path occ p;
+  check_bool "taken" false (Occupancy.is_free occ (vid 1 0));
+  check_int "count" 2 (Occupancy.occupied_count occ);
+  Alcotest.(check (float 1e-9)) "utilization" (2. /. 36.) (Occupancy.utilization occ);
+  check_bool "double reserve" true
+    (match Occupancy.reserve_path occ p with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Occupancy.release_path occ p;
+  check_int "released" 0 (Occupancy.occupied_count occ);
+  check_bool "double release" true
+    (match Occupancy.release_path occ p with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Occupancy.reserve_path occ p;
+  Occupancy.clear occ;
+  check_int "cleared" 0 (Occupancy.occupied_count occ)
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                            *)
+
+let test_placement_basic () =
+  let p = Placement.identity grid5 ~num_qubits:10 in
+  check_int "qubits" 10 (Placement.num_qubits p);
+  check_int "cell of 3" 3 (Placement.cell_of_qubit p 3);
+  Alcotest.(check (option int)) "qubit of 3" (Some 3) (Placement.qubit_of_cell p 3);
+  Alcotest.(check (option int)) "empty cell" None (Placement.qubit_of_cell p 20)
+
+let test_placement_swap_move () =
+  let p = Placement.identity grid5 ~num_qubits:4 in
+  Placement.swap_qubits p 0 3;
+  check_int "0 at 3" 3 (Placement.cell_of_qubit p 0);
+  check_int "3 at 0" 0 (Placement.cell_of_qubit p 3);
+  Alcotest.(check (option int)) "cell 0 holds q3" (Some 3) (Placement.qubit_of_cell p 0);
+  Placement.move_qubit p ~qubit:1 ~cell:10;
+  check_int "moved" 10 (Placement.cell_of_qubit p 1);
+  Alcotest.(check (option int)) "old cell empty" None (Placement.qubit_of_cell p 1);
+  check_bool "move to occupied" true
+    (match Placement.move_qubit p ~qubit:2 ~cell:10 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_placement_invalid () =
+  check_bool "duplicate" true
+    (match Placement.create grid5 ~num_qubits:2 ~cells:[| 1; 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "too many" true
+    (match Placement.create (Grid.create 2) ~num_qubits:5 ~cells:[| 0; 1; 2; 3; 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_placement_snake () =
+  let g = Grid.create 3 in
+  let p = Placement.of_order g [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  (* consecutive qubits in the order are in adjacent cells *)
+  for q = 0 to 7 do
+    check_int
+      (Printf.sprintf "q%d adjacent to q%d" q (q + 1))
+      1
+      (Placement.distance p q (q + 1))
+  done
+
+let test_placement_of_order_permuted () =
+  let g = Grid.create 2 in
+  let p = Placement.of_order g [ 2; 0; 3; 1 ] in
+  (* q2 first in snake order -> cell 0 *)
+  check_int "q2 at cell 0" 0 (Placement.cell_of_qubit p 2);
+  check_int "q0 second" 1 (Placement.cell_of_qubit p 0)
+
+let test_placement_random_valid () =
+  let rng = Qec_util.Rng.create 3 in
+  let p = Placement.random rng grid5 ~num_qubits:20 in
+  let cells = Placement.to_array p in
+  check_int "distinct cells" 20
+    (List.length (List.sort_uniq compare (Array.to_list cells)))
+
+let test_placement_bbox () =
+  let p = Placement.identity grid5 ~num_qubits:25 in
+  (* qubit 0 at (0,0), qubit 12 at (2,2) on the 5-wide grid *)
+  let b = Placement.cx_bbox p 0 12 in
+  check_int "x0" 0 b.Bbox.x0;
+  check_int "x1" 2 b.Bbox.x1;
+  check_int "y1" 2 b.Bbox.y1
+
+let test_placement_copy_equal () =
+  let p = Placement.identity grid5 ~num_qubits:5 in
+  let q = Placement.copy p in
+  check_bool "equal" true (Placement.equal p q);
+  Placement.swap_qubits q 0 1;
+  check_bool "diverged" false (Placement.equal p q);
+  check_int "original intact" 0 (Placement.cell_of_qubit p 0)
+
+let () =
+  Alcotest.run "lattice"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "sizes" `Quick test_grid_sizes;
+          Alcotest.test_case "vertex ids" `Quick test_grid_vertex_ids;
+          Alcotest.test_case "cell corners" `Quick test_grid_cell_corners;
+          Alcotest.test_case "neighbors" `Quick test_grid_neighbors;
+          Alcotest.test_case "distances" `Quick test_grid_distances;
+          Alcotest.test_case "bounds" `Quick test_grid_bounds;
+        ] );
+      ( "bbox",
+        [
+          Alcotest.test_case "construction" `Quick test_bbox_construction;
+          Alcotest.test_case "invalid" `Quick test_bbox_invalid;
+          Alcotest.test_case "points/join" `Quick test_bbox_of_points_join;
+          Alcotest.test_case "intersections" `Quick test_bbox_intersections;
+          Alcotest.test_case "nesting" `Quick test_bbox_nesting;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "valid" `Quick test_path_valid;
+          Alcotest.test_case "single vertex" `Quick test_path_single_vertex;
+          Alcotest.test_case "invalid" `Quick test_path_invalid;
+          Alcotest.test_case "disjoint" `Quick test_path_disjoint;
+          Alcotest.test_case "connects cells" `Quick test_path_connects_cells;
+          Alcotest.test_case "within bbox" `Quick test_path_within_bbox;
+        ] );
+      ("occupancy", [ Alcotest.test_case "lifecycle" `Quick test_occupancy ]);
+      ( "placement",
+        [
+          Alcotest.test_case "basic" `Quick test_placement_basic;
+          Alcotest.test_case "swap/move" `Quick test_placement_swap_move;
+          Alcotest.test_case "invalid" `Quick test_placement_invalid;
+          Alcotest.test_case "snake" `Quick test_placement_snake;
+          Alcotest.test_case "of_order permuted" `Quick test_placement_of_order_permuted;
+          Alcotest.test_case "random" `Quick test_placement_random_valid;
+          Alcotest.test_case "bbox" `Quick test_placement_bbox;
+          Alcotest.test_case "copy/equal" `Quick test_placement_copy_equal;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the magic-state factory supply model. *)
+
+module M = Qec_magic.Factory_model
+module S = Autobraid.Scheduler
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module Grid = Qec_lattice.Grid
+module B = Qec_benchmarks
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let timing = Qec_surface.Timing.make ~d:33 ()
+
+let test_factory_cells_on_boundary () =
+  let grid = Grid.create 5 in
+  let cells = M.factory_cells grid 4 in
+  check_int "four factories" 4 (List.length cells);
+  List.iter
+    (fun c ->
+      let x, y = Grid.cell_xy grid c in
+      check_bool "on boundary" true (x = 0 || y = 0 || x = 4 || y = 4))
+    cells;
+  check_int "distinct" 4 (List.length (List.sort_uniq compare cells))
+
+let test_factory_cells_small_grid () =
+  let grid = Grid.create 1 in
+  check_int "single cell" 1 (List.length (M.factory_cells grid 4))
+
+let test_t_free_circuit_unaffected () =
+  (* without T gates the factory model reduces to autobraid-sp *)
+  let c = B.Bv.circuit 12 in
+  let plain = S.run ~options:{ S.default_options with variant = S.Sp } timing c in
+  let magic = M.run timing c in
+  check_int "same cycles" plain.S.total_cycles magic.M.scheduler.S.total_cycles;
+  check_int "no t gates" 0 magic.M.t_gates;
+  check_int "no deliveries" 0 magic.M.deliveries
+
+let t_heavy n =
+  (* alternating T and CX layers *)
+  let gates =
+    List.concat_map
+      (fun i ->
+        [ G.T (i mod n); G.Cx (i mod n, (i + 1) mod n); G.Tdg ((i + 1) mod n) ])
+      (List.init 20 (fun i -> i))
+  in
+  C.create ~name:"t_heavy" ~num_qubits:n gates
+
+let test_t_gates_counted () =
+  let r = M.run timing (t_heavy 6) in
+  check_int "t gates" 40 r.M.t_gates;
+  check_bool "deliveries happened" true (r.M.deliveries > 0)
+
+let test_supply_slower_than_ideal () =
+  (* the ideal-supply assumption is a lower bound *)
+  let c = t_heavy 6 in
+  let ideal = S.run ~options:{ S.default_options with variant = S.Sp } timing c in
+  let magic = M.run timing c in
+  check_bool "factories cost time" true
+    (magic.M.scheduler.S.total_cycles >= ideal.S.total_cycles)
+
+let test_more_factories_help () =
+  let c = t_heavy 8 in
+  let run k =
+    let options = { (M.default_options ()) with M.num_factories = k } in
+    (M.run ~options timing c).M.scheduler.S.total_cycles
+  in
+  check_bool "8 factories <= 1 factory" true (run 8 <= run 1)
+
+let test_faster_production_helps () =
+  let c = t_heavy 8 in
+  let run prod =
+    let options = { (M.default_options ()) with M.production_cycles = prod } in
+    (M.run ~options timing c).M.scheduler.S.total_cycles
+  in
+  check_bool "fast production <= slow" true (run 33 <= run 3300)
+
+let test_everything_completes () =
+  let r = M.run timing (B.Grover.circuit ~iterations:1 5) in
+  check_bool "finished" true (r.M.scheduler.S.total_cycles > 0);
+  check_bool "cp bound" true
+    (r.M.scheduler.S.critical_path_cycles <= r.M.scheduler.S.total_cycles)
+
+let test_invalid_options () =
+  let bad f =
+    match M.run ~options:(f (M.default_options ())) timing (t_heavy 4) with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "factories<1" true (bad (fun o -> { o with M.num_factories = 0 }));
+  check_bool "production<1" true
+    (bad (fun o -> { o with M.production_cycles = 0 }));
+  check_bool "capacity<1" true (bad (fun o -> { o with M.capacity = 0 }))
+
+let test_deterministic () =
+  let a = M.run timing (t_heavy 6) in
+  let b = M.run timing (t_heavy 6) in
+  check_int "same" a.M.scheduler.S.total_cycles b.M.scheduler.S.total_cycles
+
+let () =
+  Alcotest.run "magic"
+    [
+      ( "factories",
+        [
+          Alcotest.test_case "boundary placement" `Quick test_factory_cells_on_boundary;
+          Alcotest.test_case "small grid" `Quick test_factory_cells_small_grid;
+        ] );
+      ( "supply model",
+        [
+          Alcotest.test_case "t-free unaffected" `Quick test_t_free_circuit_unaffected;
+          Alcotest.test_case "t gates counted" `Quick test_t_gates_counted;
+          Alcotest.test_case "slower than ideal" `Quick test_supply_slower_than_ideal;
+          Alcotest.test_case "more factories help" `Quick test_more_factories_help;
+          Alcotest.test_case "faster production helps" `Quick test_faster_production_helps;
+          Alcotest.test_case "completes" `Quick test_everything_completes;
+          Alcotest.test_case "invalid options" `Quick test_invalid_options;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

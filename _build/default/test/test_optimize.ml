@@ -1,0 +1,174 @@
+(* Tests for the peephole optimizer. *)
+
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module O = Qec_circuit.Optimize
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let opt gates =
+  let c = C.create ~num_qubits:6 gates in
+  O.peephole c
+
+let gates_of c = Array.to_list (C.gates c)
+
+let test_cancel_simple_pairs () =
+  let out, stats = opt G.[ H 0; H 0 ] in
+  check_int "empty" 0 (C.length out);
+  check_int "one pair" 1 stats.O.cancelled_pairs;
+  let out, _ = opt G.[ X 1; X 1; Y 2; Y 2; Z 3; Z 3 ] in
+  check_int "all gone" 0 (C.length out)
+
+let test_cancel_adjoints () =
+  let out, _ = opt G.[ S 0; Sdg 0; Tdg 1; T 1 ] in
+  check_int "adjoints cancel" 0 (C.length out);
+  let out, _ = opt G.[ Rz (0, 0.5); Rz (0, -0.5) ] in
+  check_int "opposite rotations cancel" 0 (C.length out)
+
+let test_cancel_two_qubit () =
+  let out, _ = opt G.[ Cx (0, 1); Cx (0, 1) ] in
+  check_int "cx pair" 0 (C.length out);
+  (* reversed operands do NOT cancel *)
+  let out, _ = opt G.[ Cx (0, 1); Cx (1, 0) ] in
+  check_int "reversed kept" 2 (C.length out);
+  let out, _ = opt G.[ Swap (2, 3); Swap (2, 3); Ccx (0, 1, 2); Ccx (0, 1, 2) ] in
+  check_int "swap+ccx pairs" 0 (C.length out)
+
+let test_intervening_gate_blocks () =
+  (* an intervening gate on a shared wire blocks cancellation *)
+  let out, _ = opt G.[ H 0; T 0; H 0 ] in
+  check_int "blocked" 3 (C.length out);
+  (* a bystander on an unrelated wire does not block *)
+  let out, _ = opt G.[ H 0; T 5; H 0 ] in
+  check_int "bystander ok" 1 (C.length out);
+  check_bool "the bystander survives" true
+    (List.exists (G.equal (G.T 5)) (gates_of out))
+
+let test_partial_overlap_blocks () =
+  (* CX(0,1) then CX(1,2): shared wire, different operand sets *)
+  let out, _ = opt G.[ Cx (0, 1); Cx (1, 2); Cx (0, 1) ] in
+  check_int "kept" 3 (C.length out)
+
+let test_chain_collapse () =
+  (* nested palindromes collapse inside-out *)
+  let out, stats = opt G.[ Cx (0, 1); H 2; H 2; Cx (0, 1) ] in
+  check_int "everything cancels" 0 (C.length out);
+  check_int "two pairs" 2 stats.O.cancelled_pairs;
+  let out, _ = opt G.[ H 0; H 0; H 0 ] in
+  check_int "odd chain leaves one" 1 (C.length out)
+
+let test_rotation_merge () =
+  let out, stats = opt G.[ Rz (0, 0.25); Rz (0, 0.5) ] in
+  check_int "merged to one" 1 (C.length out);
+  check_int "merge counted" 1 stats.O.merged_rotations;
+  (match C.gate out 0 with
+  | G.Rz (0, a) -> Alcotest.(check (float 1e-12)) "sum" 0.75 a
+  | _ -> Alcotest.fail "expected rz");
+  let out, _ = opt G.[ Cphase (0, 1, 0.25); Cphase (0, 1, 0.25) ] in
+  check_int "cphase merge" 1 (C.length out)
+
+let test_merge_to_zero_drops () =
+  let out, _ = opt G.[ Rx (0, 0.5); Rx (0, -0.25); Rx (0, -0.25) ] in
+  check_int "fused to zero" 0 (C.length out)
+
+let test_barrier_blocks () =
+  let out, _ = opt G.[ H 0; Barrier [ 0 ]; H 0 ] in
+  check_int "barrier blocks" 3 (C.length out)
+
+let test_measure_not_cancelled () =
+  let out, _ = opt G.[ Measure 0; Measure 0 ] in
+  check_int "measures kept" 2 (C.length out)
+
+let test_revlib_uncompute_shrinks () =
+  (* a compute/uncompute ladder (mcx via ladder) has a cancellable core *)
+  let gs = Qec_circuit.Decompose.mcx_gates ~ancillas:[ 4; 5 ] [ 0; 1; 2 ] 3 in
+  (* applying it twice must collapse the palindrome interface *)
+  let c = C.create ~num_qubits:6 (gs @ gs) in
+  let out, stats = O.peephole c in
+  check_bool "shrank" true (C.length out < C.length c);
+  check_bool "cancelled some" true (stats.O.cancelled_pairs > 0)
+
+let test_preserves_order_of_survivors () =
+  let out, _ = opt G.[ H 0; Cx (0, 1); T 1; Tdg 1; Cx (0, 1) ] in
+  (* T Tdg cancels, then the CXs cancel; H survives *)
+  check_int "one survivor" 1 (C.length out);
+  check_bool "h first" true (G.equal (C.gate out 0) (G.H 0))
+
+(* Properties: idempotence, and never increasing gate count. *)
+let gate_gen =
+  QCheck.Gen.(
+    let q = int_range 0 4 in
+    let angle = map (fun i -> float_of_int (i - 4) /. 4.) (int_range 0 8) in
+    frequency
+      [
+        (3, map (fun a -> G.H a) q);
+        (2, map (fun a -> G.T a) q);
+        (2, map (fun a -> G.Tdg a) q);
+        (2, map2 (fun a x -> G.Rz (a, x)) q angle);
+        (3, map2 (fun a b -> G.Cx (a, b)) q q);
+      ])
+
+let circuit_gen =
+  QCheck.Gen.(
+    let* gs = list_size (int_range 0 60) gate_gen in
+    let gs =
+      List.filter
+        (fun g ->
+          let qs = G.qubits g in
+          List.length (List.sort_uniq compare qs) = List.length qs)
+        gs
+    in
+    return (C.create ~num_qubits:5 gs))
+
+let prop_never_grows =
+  QCheck.Test.make ~name:"peephole never grows the circuit" ~count:300
+    (QCheck.make circuit_gen) (fun c ->
+      C.length (O.peephole_circuit c) <= C.length c)
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"peephole is idempotent" ~count:300
+    (QCheck.make circuit_gen) (fun c ->
+      let once = O.peephole_circuit c in
+      let twice = O.peephole_circuit once in
+      C.gates once = C.gates twice)
+
+let prop_schedulable =
+  QCheck.Test.make ~name:"optimized circuits still schedule" ~count:50
+    (QCheck.make circuit_gen) (fun c ->
+      let timing = Qec_surface.Timing.make ~d:3 () in
+      let out = O.peephole_circuit c in
+      C.length out = 0
+      ||
+      let r = Autobraid.Scheduler.run timing out in
+      r.Autobraid.Scheduler.total_cycles
+      >= r.Autobraid.Scheduler.critical_path_cycles)
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "cancellation",
+        [
+          Alcotest.test_case "simple pairs" `Quick test_cancel_simple_pairs;
+          Alcotest.test_case "adjoints" `Quick test_cancel_adjoints;
+          Alcotest.test_case "two-qubit" `Quick test_cancel_two_qubit;
+          Alcotest.test_case "intervening blocks" `Quick test_intervening_gate_blocks;
+          Alcotest.test_case "partial overlap" `Quick test_partial_overlap_blocks;
+          Alcotest.test_case "chain collapse" `Quick test_chain_collapse;
+          Alcotest.test_case "barrier blocks" `Quick test_barrier_blocks;
+          Alcotest.test_case "measure kept" `Quick test_measure_not_cancelled;
+          Alcotest.test_case "uncompute ladder" `Quick test_revlib_uncompute_shrinks;
+          Alcotest.test_case "survivor order" `Quick test_preserves_order_of_survivors;
+        ] );
+      ( "merging",
+        [
+          Alcotest.test_case "rotations" `Quick test_rotation_merge;
+          Alcotest.test_case "zero drops" `Quick test_merge_to_zero_drops;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_never_grows;
+          QCheck_alcotest.to_alcotest prop_idempotent;
+          QCheck_alcotest.to_alcotest prop_schedulable;
+        ] );
+    ]

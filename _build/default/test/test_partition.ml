@@ -1,0 +1,186 @@
+(* Tests for the graph bisection and grid embedding (METIS stand-in). *)
+
+module Bisect = Qec_partition.Bisect
+module Embed = Qec_partition.Embed
+module K = Qec_circuit.Coupling
+module C = Qec_circuit.Circuit
+module G = Qec_circuit.Gate
+module Grid = Qec_lattice.Grid
+module Placement = Qec_lattice.Placement
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* weighted graph as an assoc of ((a,b), w) *)
+let graph_fns edges =
+  let weight a b =
+    match List.assoc_opt (min a b, max a b) edges with
+    | Some w -> w
+    | None -> 0
+  in
+  let neighbors v =
+    List.filter_map
+      (fun ((a, b), _) -> if a = v then Some b else if b = v then Some a else None)
+      edges
+  in
+  (weight, neighbors)
+
+let rng () = Qec_util.Rng.create 7
+
+let test_bisect_sizes () =
+  let weight, neighbors = graph_fns [] in
+  let a, b = Bisect.bisect ~rng:(rng ()) ~weight ~neighbors ~size_a:3 [ 0; 1; 2; 3; 4; 5; 6 ] in
+  check_int "side a" 3 (List.length a);
+  check_int "side b" 4 (List.length b);
+  check_int "partition" 7 (List.length (List.sort_uniq compare (a @ b)))
+
+let test_bisect_extremes () =
+  let weight, neighbors = graph_fns [] in
+  let a, b = Bisect.bisect ~rng:(rng ()) ~weight ~neighbors ~size_a:0 [ 1; 2 ] in
+  check_int "empty a" 0 (List.length a);
+  check_int "all b" 2 (List.length b);
+  let a, b = Bisect.bisect ~rng:(rng ()) ~weight ~neighbors ~size_a:2 [ 1; 2 ] in
+  check_int "all a" 2 (List.length a);
+  check_int "empty b" 0 (List.length b);
+  check_bool "bad size" true
+    (match Bisect.bisect ~rng:(rng ()) ~weight ~neighbors ~size_a:5 [ 1; 2 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bisect_keeps_cliques_together () =
+  (* two 4-cliques joined by one weak edge: the cut must be the weak edge *)
+  let clique base =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if i < j then Some ((base + i, base + j), 10) else None)
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  let edges = clique 0 @ clique 4 @ [ ((3, 4), 1) ] in
+  let weight, neighbors = graph_fns edges in
+  let a, _b =
+    Bisect.bisect ~rng:(rng ()) ~weight ~neighbors ~size_a:4
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let sorted = List.sort compare a in
+  check_bool "one clique per side" true
+    (sorted = [ 0; 1; 2; 3 ] || sorted = [ 4; 5; 6; 7 ])
+
+let test_cut_weight () =
+  let weight, _ = graph_fns [ ((0, 1), 3); ((1, 2), 5) ] in
+  check_int "cut" 3 (Bisect.cut_weight ~weight [ 0 ] [ 1; 2 ]);
+  check_int "no cut" 0 (Bisect.cut_weight ~weight [ 0 ] [ 2 ])
+
+let test_embed_valid_placement () =
+  let c = Qec_benchmarks.Qaoa.circuit 16 in
+  let grid = Grid.create 4 in
+  let p = Embed.layout (K.of_circuit c) grid in
+  check_int "all qubits placed" 16 (Placement.num_qubits p);
+  let cells = Placement.to_array p in
+  check_int "distinct cells" 16
+    (List.length (List.sort_uniq compare (Array.to_list cells)))
+
+let test_embed_partial_grid () =
+  (* fewer qubits than cells *)
+  let c = C.create ~num_qubits:5 G.[ Cx (0, 1); Cx (2, 3); Cx (3, 4) ] in
+  let grid = Grid.create 3 in
+  let p = Embed.layout (K.of_circuit c) grid in
+  check_int "placed" 5 (Placement.num_qubits p)
+
+let test_embed_too_small () =
+  let c = C.create ~num_qubits:5 [] in
+  check_bool "grid too small" true
+    (match Embed.layout (K.of_circuit c) (Grid.create 2) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_embed_locality () =
+  (* strongly-coupled pairs end up close: average coupled distance should
+     beat the identity layout clearly on a clustered graph *)
+  let gates =
+    List.concat_map
+      (fun base ->
+        List.init 6 (fun i -> G.Cx (base + (i mod 4), base + ((i + 1) mod 4))))
+      [ 0; 4; 8; 12 ]
+  in
+  let c = C.create ~num_qubits:16 gates in
+  let k = K.of_circuit c in
+  let grid = Grid.create 4 in
+  let avg_distance p =
+    let total, cnt =
+      List.fold_left
+        (fun (acc, cnt) (a, b, w) ->
+          (acc + (w * Placement.distance p a b), cnt + w))
+        (0, 0) (K.edges k)
+    in
+    float_of_int total /. float_of_int cnt
+  in
+  let embedded = Embed.layout k grid in
+  check_bool "coupled pairs nearby" true (avg_distance embedded <= 2.0)
+
+let test_embed_snake_toggle () =
+  let c = Qec_benchmarks.Ising.circuit ~steps:1 9 in
+  let k = K.of_circuit c in
+  let grid = Grid.create 3 in
+  let with_snake = Embed.layout ~snake:true k grid in
+  let without = Embed.layout ~snake:false k grid in
+  (* snake: all coupled pairs adjacent *)
+  List.iter
+    (fun (a, b, _) ->
+      check_int "snake adjacency" 1 (Placement.distance with_snake a b))
+    (K.edges k);
+  (* both are valid placements *)
+  check_int "without snake still places" 9 (Placement.num_qubits without)
+
+let test_embed_deterministic () =
+  let c = Qec_benchmarks.Qaoa.circuit 16 in
+  let k = K.of_circuit c in
+  let grid = Grid.create 4 in
+  let p1 = Embed.layout ~seed:9 k grid in
+  let p2 = Embed.layout ~seed:9 k grid in
+  check_bool "same seed same layout" true (Placement.equal p1 p2)
+
+let prop_bisect_partitions =
+  QCheck.Test.make ~name:"bisect always partitions exactly" ~count:200
+    QCheck.(pair (int_range 1 20) (list_of_size (Gen.int_range 0 30)
+                                     (pair (int_bound 19) (int_bound 19))))
+    (fun (n, raw_edges) ->
+      let nodes = List.init n (fun i -> i) in
+      let edges =
+        List.filter_map
+          (fun (a, b) ->
+            if a < n && b < n && a <> b then Some ((min a b, max a b), 1)
+            else None)
+          raw_edges
+      in
+      let weight, neighbors = graph_fns edges in
+      let size_a = n / 2 in
+      let a, b =
+        Bisect.bisect ~rng:(rng ()) ~weight ~neighbors ~size_a nodes
+      in
+      List.length a = size_a
+      && List.length b = n - size_a
+      && List.sort compare (a @ b) = nodes)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "bisect",
+        [
+          Alcotest.test_case "sizes" `Quick test_bisect_sizes;
+          Alcotest.test_case "extremes" `Quick test_bisect_extremes;
+          Alcotest.test_case "cliques stay together" `Quick test_bisect_keeps_cliques_together;
+          Alcotest.test_case "cut weight" `Quick test_cut_weight;
+          QCheck_alcotest.to_alcotest prop_bisect_partitions;
+        ] );
+      ( "embed",
+        [
+          Alcotest.test_case "valid placement" `Quick test_embed_valid_placement;
+          Alcotest.test_case "partial grid" `Quick test_embed_partial_grid;
+          Alcotest.test_case "grid too small" `Quick test_embed_too_small;
+          Alcotest.test_case "locality" `Quick test_embed_locality;
+          Alcotest.test_case "snake toggle" `Quick test_embed_snake_toggle;
+          Alcotest.test_case "deterministic" `Quick test_embed_deterministic;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+(* Tests for the RevLib .real parser. *)
+
+module R = Qec_revlib.Real_parser
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample =
+  {|# a tiny reversible circuit
+.version 2.0
+.numvars 3
+.variables a b c
+.constants --0
+.garbage ---
+.begin
+t1 a
+t2 a b
+t3 a b c
+.end
+|}
+
+let test_parse_sample () =
+  let c = R.of_string ~name:"sample" sample in
+  check_int "qubits" 3 (C.num_qubits c);
+  check_int "gates" 3 (C.length c);
+  check_bool "not" true (G.equal (C.gate c 0) (G.X 0));
+  check_bool "cnot" true (G.equal (C.gate c 1) (G.Cx (0, 1)));
+  check_bool "toffoli" true (G.equal (C.gate c 2) (G.Ccx (0, 1, 2)))
+
+let test_mct_wide () =
+  let src = ".numvars 5\n.variables a b c d e\n.begin\nt5 a b c d e\n.end\n" in
+  let c = R.of_string src in
+  check_int "one gate" 1 (C.length c);
+  check_bool "mcx" true (G.equal (C.gate c 0) (G.Mcx ([ 0; 1; 2; 3 ], 4)))
+
+let test_negative_control () =
+  let src = ".numvars 3\n.variables a b c\n.begin\nt3 -a b c\n.end\n" in
+  let c = R.of_string src in
+  (* X a; CCX a b c; X a *)
+  check_int "3 gates" 3 (C.length c);
+  check_bool "x before" true (G.equal (C.gate c 0) (G.X 0));
+  check_bool "ccx" true (G.equal (C.gate c 1) (G.Ccx (0, 1, 2)));
+  check_bool "x after" true (G.equal (C.gate c 2) (G.X 0))
+
+let test_fredkin () =
+  let src = ".numvars 3\n.variables a b c\n.begin\nf3 a b c\n.end\n" in
+  let c = R.of_string src in
+  (* controlled swap = 3 Toffoli-like gates *)
+  check_int "3 gates" 3 (C.length c);
+  check_int "all ccx" 3 (C.count_if (function G.Ccx _ -> true | _ -> false) c)
+
+let test_fredkin_plain_swap () =
+  let src = ".numvars 2\n.variables a b\n.begin\nf2 a b\n.end\n" in
+  let c = R.of_string src in
+  check_int "3 cx" 3 (C.count_if (function G.Cx _ -> true | _ -> false) c)
+
+let test_v_gates () =
+  let src = ".numvars 2\n.variables a b\n.begin\nv a b\nv+ a b\n.end\n" in
+  let c = R.of_string src in
+  check_int "6 gates (2 x H.CP.H)" 6 (C.length c);
+  check_int "2 cphase" 2
+    (C.count_if (function G.Cphase _ -> true | _ -> false) c);
+  (* dagger has opposite angle *)
+  let angles =
+    Array.to_list (C.gates c)
+    |> List.filter_map (function G.Cphase (_, _, a) -> Some a | _ -> None)
+  in
+  match angles with
+  | [ a1; a2 ] -> Alcotest.(check (float 1e-9)) "opposite" 0. (a1 +. a2)
+  | _ -> Alcotest.fail "expected two angles"
+
+let test_numeric_variables () =
+  (* files without .variables can address lines by index *)
+  let src = ".numvars 3\n.begin\nt2 0 2\n.end\n" in
+  let c = R.of_string src in
+  check_bool "cx by index" true (G.equal (C.gate c 0) (G.Cx (0, 2)))
+
+let test_inline_comments () =
+  let src = ".numvars 2\n.variables a b\n.begin\nt2 a b # comment\n.end\n" in
+  check_int "1 gate" 1 (C.length (R.of_string src))
+
+let test_content_after_end_ignored () =
+  let src = ".numvars 2\n.variables a b\n.begin\nt1 a\n.end\nt1 b\n" in
+  check_int "1 gate" 1 (C.length (R.of_string src))
+
+let test_errors () =
+  let raises src =
+    match R.of_string src with
+    | exception R.Error _ -> true
+    | _ -> false
+  in
+  check_bool "unknown variable" true
+    (raises ".numvars 2\n.variables a b\n.begin\nt2 a z\n.end\n");
+  check_bool "arity mismatch" true
+    (raises ".numvars 3\n.variables a b c\n.begin\nt3 a b\n.end\n");
+  check_bool "unknown gate" true
+    (raises ".numvars 2\n.variables a b\n.begin\nq2 a b\n.end\n");
+  check_bool "gate outside body" true
+    (raises ".numvars 2\n.variables a b\nt2 a b\n.begin\n.end\n");
+  check_bool "variables mismatch" true
+    (raises ".numvars 3\n.variables a b\n.begin\n.end\n");
+  check_bool "no numvars" true (raises ".variables a b\n")
+
+let test_error_line_numbers () =
+  match R.of_string ".numvars 2\n.variables a b\n.begin\nt2 a z\n.end\n" with
+  | exception R.Error { line; _ } -> check_int "line 4" 4 line
+  | _ -> Alcotest.fail "expected error"
+
+let test_lowering_composes () =
+  (* a parsed file lowers to scheduler gates without error *)
+  let src = ".numvars 5\n.variables a b c d e\n.begin\nt5 a b c d e\nt3 a b c\nf3 c d e\n.end\n" in
+  let c = Qec_circuit.Decompose.to_scheduler_gates (R.of_string src) in
+  check_bool "narrow only" true
+    (C.count_if (fun g -> not (G.is_single_qubit g || G.is_two_qubit g)) c = 0)
+
+
+(* Robustness: .real parsing either succeeds or raises R.Error. *)
+let real_ish_gen =
+  QCheck.Gen.(
+    let token =
+      oneofl
+        [ ".version"; ".numvars"; "3"; ".variables"; "a"; "b"; "c"; ".begin";
+          ".end"; "t1"; "t2"; "t3"; "f3"; "v"; "v+"; "-a"; "#x"; "2.0"; "q9" ]
+    in
+    map
+      (fun lines -> String.concat "\n" (List.map (String.concat " ") lines))
+      (list_size (int_range 0 15) (list_size (int_range 0 5) token)))
+
+let prop_fuzz_real =
+  QCheck.Test.make ~name:".real parser never crashes" ~count:500
+    (QCheck.make real_ish_gen) (fun src ->
+      match R.of_string src with
+      | _ -> true
+      | exception R.Error _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "revlib"
+    [
+      ( "real parser",
+        [
+          Alcotest.test_case "sample" `Quick test_parse_sample;
+          Alcotest.test_case "wide mct" `Quick test_mct_wide;
+          Alcotest.test_case "negative control" `Quick test_negative_control;
+          Alcotest.test_case "fredkin" `Quick test_fredkin;
+          Alcotest.test_case "fredkin swap" `Quick test_fredkin_plain_swap;
+          Alcotest.test_case "v gates" `Quick test_v_gates;
+          Alcotest.test_case "numeric variables" `Quick test_numeric_variables;
+          Alcotest.test_case "inline comments" `Quick test_inline_comments;
+          Alcotest.test_case "after .end" `Quick test_content_after_end_ignored;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error lines" `Quick test_error_line_numbers;
+          Alcotest.test_case "lowering composes" `Quick test_lowering_composes;
+          QCheck_alcotest.to_alcotest prop_fuzz_real;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Tests for A* and dimension-ordered routing. *)
+
+module Grid = Qec_lattice.Grid
+module Path = Qec_lattice.Path
+module Occupancy = Qec_lattice.Occupancy
+module Router = Qec_lattice.Router
+module Bbox = Qec_lattice.Bbox
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let grid = Grid.create 6
+let router = Router.create grid
+let cell x y = Grid.cell_id grid ~x ~y
+let vid x y = Grid.vertex_id grid ~x ~y
+
+let fresh_occ () = Occupancy.create grid
+
+let test_route_exists_empty () =
+  let occ = fresh_occ () in
+  match Router.route router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 5 5) with
+  | None -> Alcotest.fail "no path on empty grid"
+  | Some p ->
+    check_bool "connects" true
+      (Path.connects_cells grid p (cell 0 0) (cell 5 5));
+    (* shortest: best corners are (1,1) and (5,5): distance 8, 9 vertices *)
+    check_int "shortest" 9 (Path.length p)
+
+let test_route_adjacent_cells () =
+  let occ = fresh_occ () in
+  match Router.route router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 1 0) with
+  | None -> Alcotest.fail "no path between neighbors"
+  | Some p -> check_int "single shared corner" 1 (Path.length p)
+
+let test_route_same_cell_invalid () =
+  let occ = fresh_occ () in
+  check_bool "same cell" true
+    (match Router.route router occ ~src_cell:3 ~dst_cell:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let wall occ x_at =
+  (* occupy the whole vertical channel column x = x_at *)
+  for y = 0 to Grid.side grid do
+    let p = Path.of_vertices grid [ vid x_at y ] in
+    Occupancy.reserve_path occ p
+  done
+
+let test_route_detours () =
+  let occ = fresh_occ () in
+  (* wall column 3, leaving a hole at the bottom (y = 6) *)
+  for y = 0 to 5 do
+    Occupancy.reserve_path occ (Path.of_vertices grid [ vid 3 y ])
+  done;
+  match Router.route router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 5 0) with
+  | None -> Alcotest.fail "should detour through the hole"
+  | Some p ->
+    check_bool "uses the hole" true (Path.mem p (vid 3 6));
+    check_bool "valid path" true
+      (Path.connects_cells grid p (cell 0 0) (cell 5 0))
+
+let test_route_blocked () =
+  let occ = fresh_occ () in
+  wall occ 3;
+  check_bool "disconnected" true
+    (Router.route router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 5 0) = None)
+
+let test_route_blocked_corners () =
+  let occ = fresh_occ () in
+  (* occupy all four corners of the target cell *)
+  Array.iter
+    (fun v -> Occupancy.reserve_path occ (Path.of_vertices grid [ v ]))
+    (Grid.cell_corners grid (cell 4 4));
+  check_bool "no free corner" true
+    (Router.route router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 4 4) = None)
+
+let test_route_and_reserve () =
+  let occ = fresh_occ () in
+  (match Router.route_and_reserve router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 2 0) with
+  | None -> Alcotest.fail "route failed"
+  | Some p ->
+    List.iter
+      (fun v -> check_bool "reserved" false (Occupancy.is_free occ v))
+      (Path.vertices p));
+  (* a second identical route must pick different vertices or fail *)
+  match Router.route_and_reserve router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 2 0) with
+  | None -> ()
+  | Some p2 ->
+    check_int "occupancy consistent"
+      (Occupancy.occupied_count occ)
+      (Occupancy.occupied_count occ);
+    check_bool "valid" true (Path.connects_cells grid p2 (cell 0 0) (cell 2 0))
+
+let test_route_bounds () =
+  let occ = fresh_occ () in
+  let bounds = Bbox.of_cells (0, 0) (2, 0) in
+  (match Router.route ~bounds router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 2 0) with
+  | None -> Alcotest.fail "in-bounds route failed"
+  | Some p -> check_bool "stays inside" true (Path.within_bbox grid bounds p));
+  (* Block the in-bounds corridor with two plugs: (2,0) stops the y=0 row,
+     (1,1) stops the y=1 row. Bounded search must fail; the unbounded one
+     detours below through y=2. *)
+  Occupancy.reserve_path occ (Path.of_vertices grid [ vid 2 0 ]);
+  Occupancy.reserve_path occ (Path.of_vertices grid [ vid 1 1 ]);
+  check_bool "bounded fails" true
+    (Router.route ~bounds router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 2 0)
+    = None);
+  check_bool "unbounded detours" true
+    (Router.route router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 2 0) <> None)
+
+let test_dimension_ordered_straight () =
+  let occ = fresh_occ () in
+  match
+    Router.route_dimension_ordered router occ ~src_cell:(cell 0 0)
+      ~dst_cell:(cell 3 0)
+  with
+  | None -> Alcotest.fail "no L route"
+  | Some p ->
+    check_bool "connects" true (Path.connects_cells grid p (cell 0 0) (cell 3 0));
+    (* straight line: min corners (1,y) to (3,y): 3 vertices *)
+    check_int "straight" 3 (Path.length p)
+
+let test_dimension_ordered_bend () =
+  let occ = fresh_occ () in
+  match
+    Router.route_dimension_ordered router occ ~src_cell:(cell 0 0)
+      ~dst_cell:(cell 3 3)
+  with
+  | None -> Alcotest.fail "no L route"
+  | Some p ->
+    (* one bend: length = manhattan + 1 = (3-1)+(3-1)+1 = 5 *)
+    check_int "L length" 5 (Path.length p)
+
+let test_dimension_ordered_stalls () =
+  let occ = fresh_occ () in
+  (* Block both bend corridors between (0,0) and (2,2) but leave a detour:
+     dimension-ordered must fail where A* succeeds. *)
+  for i = 0 to 6 do
+    if i <> 6 then Occupancy.reserve_path occ (Path.of_vertices grid [ vid 2 i ]);
+    if i <> 0 && i <> 2 && i <> 6 then
+      Occupancy.reserve_path occ (Path.of_vertices grid [ vid i 2 ])
+  done;
+  (* ensure target corners reachable: cells (0,0) and (4,4) *)
+  let l = Router.route_dimension_ordered router occ ~src_cell:(cell 0 0)
+            ~dst_cell:(cell 4 4) in
+  let a = Router.route router occ ~src_cell:(cell 0 0) ~dst_cell:(cell 4 4) in
+  check_bool "L stalls" true (l = None);
+  check_bool "A* detours" true (a <> None)
+
+let prop_route_valid =
+  QCheck.Test.make ~name:"A* paths are valid corner-to-corner paths" ~count:200
+    QCheck.(quad (int_bound 5) (int_bound 5) (int_bound 5) (int_bound 5))
+    (fun (x1, y1, x2, y2) ->
+      QCheck.assume ((x1, y1) <> (x2, y2));
+      let occ = fresh_occ () in
+      match
+        Router.route router occ ~src_cell:(cell x1 y1) ~dst_cell:(cell x2 y2)
+      with
+      | None -> false (* empty grid must always route *)
+      | Some p ->
+        Path.connects_cells grid p (cell x1 y1) (cell x2 y2)
+        && Path.length p
+           >= Grid.cell_to_cell_vertex_distance grid (cell x1 y1) (cell x2 y2)
+              + 1
+           - 1)
+
+let prop_route_shortest_on_empty =
+  QCheck.Test.make ~name:"A* is shortest on the empty grid" ~count:200
+    QCheck.(quad (int_bound 5) (int_bound 5) (int_bound 5) (int_bound 5))
+    (fun (x1, y1, x2, y2) ->
+      QCheck.assume ((x1, y1) <> (x2, y2));
+      let occ = fresh_occ () in
+      match
+        Router.route router occ ~src_cell:(cell x1 y1) ~dst_cell:(cell x2 y2)
+      with
+      | None -> false
+      | Some p ->
+        Path.length p
+        = Grid.cell_to_cell_vertex_distance grid (cell x1 y1) (cell x2 y2) + 1)
+
+let prop_reserved_paths_disjoint =
+  QCheck.Test.make ~name:"successively reserved paths are vertex-disjoint"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 8)
+              (pair (pair (int_bound 5) (int_bound 5))
+                 (pair (int_bound 5) (int_bound 5))))
+    (fun pairs ->
+      let occ = fresh_occ () in
+      let paths =
+        List.filter_map
+          (fun ((x1, y1), (x2, y2)) ->
+            if (x1, y1) = (x2, y2) then None
+            else
+              Router.route_and_reserve router occ ~src_cell:(cell x1 y1)
+                ~dst_cell:(cell x2 y2))
+          pairs
+      in
+      let rec all_disjoint = function
+        | [] -> true
+        | p :: rest ->
+          List.for_all (fun q -> Path.disjoint p q) rest && all_disjoint rest
+      in
+      all_disjoint paths)
+
+let () =
+  Alcotest.run "router"
+    [
+      ( "astar",
+        [
+          Alcotest.test_case "empty grid" `Quick test_route_exists_empty;
+          Alcotest.test_case "adjacent cells" `Quick test_route_adjacent_cells;
+          Alcotest.test_case "same cell" `Quick test_route_same_cell_invalid;
+          Alcotest.test_case "detours" `Quick test_route_detours;
+          Alcotest.test_case "blocked" `Quick test_route_blocked;
+          Alcotest.test_case "blocked corners" `Quick test_route_blocked_corners;
+          Alcotest.test_case "reserve" `Quick test_route_and_reserve;
+          Alcotest.test_case "bounds" `Quick test_route_bounds;
+          QCheck_alcotest.to_alcotest prop_route_valid;
+          QCheck_alcotest.to_alcotest prop_route_shortest_on_empty;
+          QCheck_alcotest.to_alcotest prop_reserved_paths_disjoint;
+        ] );
+      ( "dimension ordered",
+        [
+          Alcotest.test_case "straight" `Quick test_dimension_ordered_straight;
+          Alcotest.test_case "bend" `Quick test_dimension_ordered_bend;
+          Alcotest.test_case "stalls where A* detours" `Quick test_dimension_ordered_stalls;
+        ] );
+    ]

@@ -1,0 +1,399 @@
+(* Semantic validation via the state-vector simulator: gate algebra,
+   decomposition correctness, optimizer soundness, and algorithm-level
+   checks of the benchmark generators. *)
+
+module Sim = Qec_sim.Statevector
+module G = Qec_circuit.Gate
+module C = Qec_circuit.Circuit
+module D = Qec_circuit.Decompose
+module B = Qec_benchmarks
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_close = Alcotest.(check (float 1e-9))
+
+let circ n gates = C.create ~num_qubits:n gates
+
+(* ------------------------------------------------------------------ *)
+(* Gate algebra                                                         *)
+
+let test_basic_states () =
+  let s = Sim.init 2 in
+  check_close "starts in |00>" 1. (Sim.probability s 0);
+  check_close "normalized" 1. (Sim.norm s);
+  let s = Sim.of_basis 2 3 in
+  check_close "|11>" 1. (Sim.probability s 3)
+
+let test_x_flips () =
+  let s = Sim.run (circ 2 [ G.X 1 ]) in
+  check_close "|10>" 1. (Sim.probability s 2)
+
+let test_h_superposes () =
+  let s = Sim.run (circ 1 [ G.H 0 ]) in
+  check_close "p0" 0.5 (Sim.probability s 0);
+  check_close "p1" 0.5 (Sim.probability s 1)
+
+let test_bell_state () =
+  let s = Sim.run (circ 2 G.[ H 0; Cx (0, 1) ]) in
+  check_close "p00" 0.5 (Sim.probability s 0);
+  check_close "p11" 0.5 (Sim.probability s 3);
+  check_close "p01" 0. (Sim.probability s 1)
+
+let test_involutions () =
+  List.iter
+    (fun g ->
+      check_bool (G.name g ^ " self-inverse") true
+        (Sim.circuits_equivalent (circ 3 [ g; g ]) (circ 3 [])))
+    G.[ H 0; X 1; Y 2; Z 0; Cx (0, 1); Cz (1, 2); Swap (0, 2); Ccx (0, 1, 2) ]
+
+let test_adjoint_pairs () =
+  List.iter
+    (fun (a, b) ->
+      check_bool (G.name a ^ " adjoint") true
+        (Sim.circuits_equivalent (circ 2 [ a; b ]) (circ 2 [])))
+    G.[ (S 0, Sdg 0); (T 1, Tdg 1); (Rz (0, 0.7), Rz (0, -0.7));
+        (Rx (1, 1.1), Rx (1, -1.1)); (Cphase (0, 1, 0.4), Cphase (0, 1, -0.4)) ]
+
+let test_gate_identities () =
+  (* S = T^2, Z = S^2, HZH = X, CZ symmetric *)
+  check_bool "T^2 = S" true
+    (Sim.circuits_equivalent (circ 1 G.[ T 0; T 0 ]) (circ 1 [ G.S 0 ]));
+  check_bool "S^2 = Z" true
+    (Sim.circuits_equivalent (circ 1 G.[ S 0; S 0 ]) (circ 1 [ G.Z 0 ]));
+  check_bool "HZH = X" true
+    (Sim.circuits_equivalent (circ 1 G.[ H 0; Z 0; H 0 ]) (circ 1 [ G.X 0 ]));
+  check_bool "CZ symmetric" true
+    (Sim.circuits_equivalent (circ 2 [ G.Cz (0, 1) ]) (circ 2 [ G.Cz (1, 0) ]));
+  check_bool "H Cz H = Cx" true
+    (Sim.circuits_equivalent
+       (circ 2 G.[ H 1; Cz (0, 1); H 1 ])
+       (circ 2 [ G.Cx (0, 1) ]))
+
+let test_u3_specials () =
+  (* u3(pi/2, 0, pi) = H up to global phase *)
+  check_bool "u3 H" true
+    (Sim.circuits_equivalent
+       (circ 1 [ G.U3 (0, Float.pi /. 2., 0., Float.pi) ])
+       (circ 1 [ G.H 0 ]));
+  (* u3(pi, 0, pi) = X *)
+  check_bool "u3 X" true
+    (Sim.circuits_equivalent
+       (circ 1 [ G.U3 (0, Float.pi, 0., Float.pi) ])
+       (circ 1 [ G.X 0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition correctness                                            *)
+
+let test_swap_decomposition () =
+  let swap = circ 3 [ G.Swap (0, 2) ] in
+  check_bool "swap = 3 cx" true
+    (Sim.circuits_equivalent (D.swaps_to_cx swap) swap)
+
+let test_ccx_decomposition () =
+  let ccx = circ 3 [ G.Ccx (0, 1, 2) ] in
+  check_bool "15-gate network" true
+    (Sim.circuits_equivalent (D.ccx_to_clifford_t ccx) ccx);
+  (* other operand orders too *)
+  let ccx = circ 3 [ G.Ccx (2, 0, 1) ] in
+  check_bool "permuted operands" true
+    (Sim.circuits_equivalent (D.ccx_to_clifford_t ccx) ccx)
+
+let test_mcx_ladder_semantics () =
+  (* The ancilla ladder equals C^3X on the clean-ancilla subspace (like
+     every ancilla-assisted decomposition): for every basis input with
+     ancillas |00>, outputs must agree and the ancillas must return to 0.
+     (Full unitary equality does NOT hold — dirty ancillas change the
+     temporary AND values — which the simulator correctly detects.) *)
+  let mcx = circ 6 [ G.Mcx ([ 0; 1; 2 ], 3) ] in
+  let ladder = circ 6 (D.mcx_gates ~ancillas:[ 4; 5 ] [ 0; 1; 2 ] 3) in
+  for k = 0 to 15 do
+    (* inputs over qubits 0..3 only; ancillas 4,5 start clean *)
+    let s_mcx = Sim.run ~initial:(Sim.of_basis 6 k) mcx in
+    let s_lad = Sim.run ~initial:(Sim.of_basis 6 k) ladder in
+    check_bool
+      (Printf.sprintf "input %d agrees" k)
+      true
+      (Sim.equal_up_to_phase s_mcx s_lad);
+    (* ancillas restored: no support on states with bit 4 or 5 set *)
+    let dirty = ref 0. in
+    Array.iteri
+      (fun i p -> if i land 0b110000 <> 0 then dirty := !dirty +. p)
+      (Sim.probabilities s_lad);
+    check_bool "ancillas clean" true (!dirty < 1e-12)
+  done
+
+let test_mcx_free_semantics () =
+  let mcx = circ 4 [ G.Mcx ([ 0; 1; 2 ], 3) ] in
+  let free = circ 4 (D.mcx_gates [ 0; 1; 2 ] 3) in
+  check_bool "ancilla-free = mcx" true (Sim.circuits_equivalent free mcx)
+
+let test_full_lowering_semantics () =
+  let c =
+    circ 5 G.[ H 0; Ccx (0, 1, 2); Swap (2, 3); T 4; Cx (3, 4); Ccx (4, 3, 0) ]
+  in
+  check_bool "to_scheduler_gates preserves unitary" true
+    (Sim.circuits_equivalent (D.to_scheduler_gates c) c)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer soundness                                                  *)
+
+let test_optimizer_preserves_unitary () =
+  let c =
+    circ 4
+      G.[
+          H 0; H 0; T 1; Tdg 1; Cx (0, 1); Cx (0, 1); Rz (2, 0.4); Rz (2, 0.3);
+          Cx (1, 2); S 3; Sdg 3; Cx (1, 2); H 2;
+        ]
+  in
+  let out = Qec_circuit.Optimize.peephole_circuit c in
+  check_bool "smaller" true (C.length out < C.length c);
+  check_bool "same unitary" true (Sim.circuits_equivalent out c)
+
+let optimizer_gate_gen =
+  QCheck.Gen.(
+    let q = int_range 0 3 in
+    let angle = map (fun i -> float_of_int (i - 4) /. 4.) (int_range 0 8) in
+    frequency
+      [
+        (3, map (fun a -> G.H a) q);
+        (2, map (fun a -> G.T a) q);
+        (2, map (fun a -> G.Tdg a) q);
+        (2, map2 (fun a x -> G.Rz (a, x)) q angle);
+        (2, map (fun a -> G.S a) q);
+        (3, map2 (fun a b -> G.Cx (a, b)) q q);
+      ])
+
+let prop_optimizer_sound =
+  QCheck.Test.make ~name:"peephole preserves the unitary" ~count:150
+    QCheck.(make Gen.(list_size (int_range 0 25) optimizer_gate_gen))
+    (fun gs ->
+      let gs =
+        List.filter
+          (fun g ->
+            let qs = G.qubits g in
+            List.length (List.sort_uniq compare qs) = List.length qs)
+          gs
+      in
+      let c = circ 4 gs in
+      Sim.circuits_equivalent (Qec_circuit.Optimize.peephole_circuit c) c)
+
+(* ------------------------------------------------------------------ *)
+(* Frontend round trips preserve semantics                              *)
+
+let test_qasm_roundtrip_semantics () =
+  let c =
+    circ 3
+      G.[ H 0; Cx (0, 1); T 2; Cphase (1, 2, 0.5); Swap (0, 2); Rz (1, -0.7) ]
+  in
+  let c' = Qec_qasm.Frontend.of_string (Qec_qasm.Printer.to_string c) in
+  check_bool "round trip equivalent" true (Sim.circuits_equivalent c c')
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm-level checks of the generators                             *)
+
+let test_bv_recovers_secret () =
+  (* measure-free BV prefix: data qubits must end in the secret pattern;
+     ancilla needs |-> preparation which our generator does via H on |0>,
+     so apply the textbook X on the ancilla first. *)
+  let n = 6 in
+  let secret = [| true; false; true; true; false |] in
+  let bv = B.Bv.circuit ~secret n in
+  let prep = circ n [ G.X (n - 1) ] in
+  let s = Sim.run ~initial:(Sim.run prep) bv in
+  let outcome = Sim.most_likely s in
+  Array.iteri
+    (fun i bit ->
+      check_bool
+        (Printf.sprintf "bit %d" i)
+        bit
+        (outcome land (1 lsl i) <> 0))
+    secret
+
+let test_ghz_state () =
+  let s = Sim.run (B.Misc_circuits.ghz 4) in
+  check_close "p(0000)" 0.5 (Sim.probability s 0);
+  check_close "p(1111)" 0.5 (Sim.probability s 15);
+  let star = Sim.run (B.Misc_circuits.ghz_star 4) in
+  check_bool "chain and star agree" true (Sim.equal_up_to_phase s star)
+
+let test_qft_uniform_from_zero () =
+  (* QFT|0> is the uniform superposition *)
+  let n = 4 in
+  let s = Sim.run (B.Qft.circuit n) in
+  Array.iteri
+    (fun _ p -> check_bool "uniform" true (abs_float (p -. (1. /. 16.)) < 1e-9))
+    (Sim.probabilities s)
+
+let test_qft_inverse_is_identity () =
+  (* QFT then its reverse-conjugate is the identity; build the inverse by
+     reversing the gate list and negating phases *)
+  let n = 4 in
+  let fwd = B.Qft.circuit n in
+  let inv_gates =
+    Array.to_list (C.gates fwd)
+    |> List.rev_map (function
+         | G.Cphase (a, b, t) -> G.Cphase (a, b, -.t)
+         | g -> g)
+  in
+  let both = C.append fwd (circ n inv_gates) in
+  check_bool "QFT . QFT^-1 = I" true
+    (Sim.circuits_equivalent both (circ n []))
+
+let test_grover_amplifies_marked () =
+  let n = 4 in
+  let marked = 0b1010 in
+  let c = B.Grover.circuit ~iterations:3 ~marked n in
+  let s = Sim.run c in
+  (* ancillas are above bit n-1 and must be |0>; the most likely outcome's
+     low n bits must be the marked state *)
+  let outcome = Sim.most_likely s in
+  check_int "marked found" marked (outcome land ((1 lsl n) - 1));
+  check_bool "amplified well above uniform" true
+    (Sim.probability s outcome > 0.5)
+
+let test_cuccaro_adds () =
+  (* prepare a=5, b=3 (cin=0): after the adder b must hold 5+3=8 mod 16,
+     cout the carry-out. Layout: cin=0, b_i = 1+2i, a_i = 2+2i, cout=9. *)
+  let bits = 4 in
+  let a_val = 5 and b_val = 3 in
+  let prep =
+    List.concat
+      (List.init bits (fun i ->
+           (if a_val land (1 lsl i) <> 0 then [ G.X (2 + (2 * i)) ] else [])
+           @ if b_val land (1 lsl i) <> 0 then [ G.X (1 + (2 * i)) ] else []))
+  in
+  let n = B.Arith.cuccaro_num_qubits ~bits in
+  let s = Sim.run ~initial:(Sim.run (circ n prep)) (B.Arith.cuccaro_adder bits) in
+  let outcome = Sim.most_likely s in
+  let b_out =
+    List.fold_left
+      (fun acc i ->
+        if outcome land (1 lsl (1 + (2 * i))) <> 0 then acc lor (1 lsl i)
+        else acc)
+      0
+      (List.init bits (fun i -> i))
+  in
+  let cout = if outcome land (1 lsl (n - 1)) <> 0 then 1 else 0 in
+  check_int "sum" ((a_val + b_val) land 15) b_out;
+  check_int "carry" ((a_val + b_val) lsr 4) cout;
+  (* a register must be restored *)
+  let a_out =
+    List.fold_left
+      (fun acc i ->
+        if outcome land (1 lsl (2 + (2 * i))) <> 0 then acc lor (1 lsl i)
+        else acc)
+      0
+      (List.init bits (fun i -> i))
+  in
+  check_int "a preserved" a_val a_out
+
+let test_hidden_shift_finds_shift () =
+  let n = 4 in
+  let shift = 0b0110 in
+  let s = Sim.run (B.Misc_circuits.hidden_shift ~shift n) in
+  check_int "recovers shift" shift (Sim.most_likely s)
+
+(* appended: QPE semantic check *)
+
+let test_draper_adds () =
+  (* Draper adder: b += a (mod 2^bits) for EVERY computational-basis input
+     pair. a in bits 0..2, b in bits 3..5. *)
+  let bits = 3 in
+  let n = B.Arith.draper_num_qubits ~bits in
+  let adder = B.Arith.draper_adder bits in
+  for a_val = 0 to 7 do
+    for b_val = 0 to 7 do
+      let s =
+        Sim.run ~initial:(Sim.of_basis n (a_val lor (b_val lsl bits))) adder
+      in
+      let outcome = Sim.most_likely s in
+      check_bool "deterministic" true (Sim.probability s outcome > 0.999);
+      check_int
+        (Printf.sprintf "a preserved (%d,%d)" a_val b_val)
+        a_val (outcome land 0b111);
+      check_int
+        (Printf.sprintf "%d + %d mod 8" a_val b_val)
+        ((a_val + b_val) land 7)
+        ((outcome lsr 3) land 0b111)
+    done
+  done
+
+let test_mcx_sizes_semantics () =
+  (* ancilla-free recursion for 4 and 5 controls against the reference *)
+  List.iter
+    (fun k ->
+      let n = k + 1 in
+      let controls = List.init k (fun i -> i) in
+      let mcx = circ n [ G.Mcx (controls, k) ] in
+      let free = circ n (D.mcx_gates controls k) in
+      check_bool
+        (Printf.sprintf "k=%d ancilla-free" k)
+        true
+        (Sim.circuits_equivalent free mcx))
+    [ 4; 5 ]
+
+let test_shor_structure_sane () =
+  (* not a full factoring check (too large): the exponent register must be
+     in uniform superposition right after the H layer *)
+  let c = B.Shor.circuit ~multipliers:1 ~bits:2 () in
+  let s = Sim.run c in
+  check_bool "normalized" true (abs_float (Sim.norm s -. 1.) < 1e-9)
+
+let test_qpe_recovers_phase () =
+  (* exact case: phase = 3/8 with 3 counting bits -> outcome 3 *)
+  let c = B.Qpe.circuit ~phase:0.375 ~precision:3 () in
+  let s = Sim.run c in
+  let outcome = Sim.most_likely s in
+  let counting = outcome land 0b111 in
+  check_int "counting register reads 3" 3 counting;
+  check_close "exact phase is certain" 1.
+    (Sim.probability s (counting lor (1 lsl 3)));
+  (* inexact case: 1/3 with 4 bits -> most likely round(16/3) = 5 *)
+  let c = B.Qpe.circuit ~phase:(1. /. 3.) ~precision:4 () in
+  let s = Sim.run c in
+  check_int "best 4-bit estimate of 1/3" 5 (Sim.most_likely s land 0b1111)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "gates",
+        [
+          Alcotest.test_case "basic states" `Quick test_basic_states;
+          Alcotest.test_case "x" `Quick test_x_flips;
+          Alcotest.test_case "h" `Quick test_h_superposes;
+          Alcotest.test_case "bell" `Quick test_bell_state;
+          Alcotest.test_case "involutions" `Quick test_involutions;
+          Alcotest.test_case "adjoints" `Quick test_adjoint_pairs;
+          Alcotest.test_case "identities" `Quick test_gate_identities;
+          Alcotest.test_case "u3 specials" `Quick test_u3_specials;
+        ] );
+      ( "decompositions",
+        [
+          Alcotest.test_case "swap" `Quick test_swap_decomposition;
+          Alcotest.test_case "ccx" `Quick test_ccx_decomposition;
+          Alcotest.test_case "mcx ladder" `Quick test_mcx_ladder_semantics;
+          Alcotest.test_case "mcx ancilla-free" `Quick test_mcx_free_semantics;
+          Alcotest.test_case "full lowering" `Quick test_full_lowering_semantics;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "preserves unitary" `Quick test_optimizer_preserves_unitary;
+          QCheck_alcotest.to_alcotest prop_optimizer_sound;
+        ] );
+      ( "frontends",
+        [ Alcotest.test_case "qasm round trip" `Quick test_qasm_roundtrip_semantics ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "bv secret" `Quick test_bv_recovers_secret;
+          Alcotest.test_case "ghz" `Quick test_ghz_state;
+          Alcotest.test_case "qft uniform" `Quick test_qft_uniform_from_zero;
+          Alcotest.test_case "qft inverse" `Quick test_qft_inverse_is_identity;
+          Alcotest.test_case "grover" `Quick test_grover_amplifies_marked;
+          Alcotest.test_case "cuccaro adds" `Quick test_cuccaro_adds;
+          Alcotest.test_case "hidden shift" `Quick test_hidden_shift_finds_shift;
+          Alcotest.test_case "qpe phase" `Quick test_qpe_recovers_phase;
+          Alcotest.test_case "draper adds" `Quick test_draper_adds;
+          Alcotest.test_case "mcx sizes" `Quick test_mcx_sizes_semantics;
+          Alcotest.test_case "shor sane" `Quick test_shor_structure_sane;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the stack-based path finder, including the paper's Fig. 8
+   scenario and the Theorem 1/2 guarantees. *)
+
+module Grid = Qec_lattice.Grid
+module Placement = Qec_lattice.Placement
+module Occupancy = Qec_lattice.Occupancy
+module Router = Qec_lattice.Router
+module Path = Qec_lattice.Path
+module Task = Autobraid.Task
+module SF = Autobraid.Stack_finder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let placement_at l coords =
+  let grid = Grid.create l in
+  let cells =
+    Array.of_list (List.map (fun (x, y) -> Grid.cell_id grid ~x ~y) coords)
+  in
+  Placement.create grid ~num_qubits:(Array.length cells) ~cells
+
+let tasks n = List.init n (fun i -> { Task.id = i; q1 = 2 * i; q2 = (2 * i) + 1 })
+
+let run_finder placement ts =
+  let grid = Placement.grid placement in
+  let router = Router.create grid in
+  let occ = Occupancy.create grid in
+  (SF.find router occ placement ts, occ)
+
+let all_disjoint paths =
+  let rec go = function
+    | [] -> true
+    | p :: rest -> List.for_all (Path.disjoint p) rest && go rest
+  in
+  go (List.map snd paths)
+
+let paths_connect placement routed =
+  List.for_all
+    (fun ((t : Task.t), p) ->
+      let ca, cb = Task.cells placement t in
+      Path.connects_cells (Placement.grid placement) p ca cb)
+    routed
+
+let test_single_gate () =
+  let p = placement_at 6 [ (0, 0); (5, 5) ] in
+  let outcome, _ = run_finder p (tasks 1) in
+  check_int "routed" 1 (List.length outcome.SF.routed);
+  Alcotest.(check (float 1e-9)) "ratio" 1.0 outcome.SF.ratio
+
+let test_empty_round () =
+  let p = placement_at 4 [ (0, 0) ] in
+  let outcome, _ = run_finder p [] in
+  check_int "nothing" 0 (List.length outcome.SF.routed);
+  Alcotest.(check (float 1e-9)) "ratio 1 by convention" 1.0 outcome.SF.ratio
+
+(* Fig. 8: five CX gates A..E on one row of a wide lattice. In the bad
+   greedy order (A, B, E first) the lattice splits and C, D starve; the
+   stack-based finder must schedule all five simultaneously. Layout (on a
+   9x3 grid): A spans columns 0-8 on row 1 (the long gate), B..E are short
+   gates nested under it. *)
+let test_fig8_all_five () =
+  let p =
+    placement_at 9
+      [
+        (0, 1); (8, 1) (* A: widest, degree-4 *);
+        (1, 0); (2, 2) (* B *);
+        (3, 0); (4, 2) (* C *);
+        (5, 0); (6, 2) (* D *);
+        (7, 0); (8, 2) (* E *);
+      ]
+  in
+  let outcome, _ = run_finder p (tasks 5) in
+  check_int "all five scheduled" 5 (List.length outcome.SF.routed);
+  check_bool "disjoint" true (all_disjoint outcome.SF.routed);
+  check_bool "endpoints" true (paths_connect p outcome.SF.routed)
+
+(* The stack must defer the most-interfering gate: A (above) interferes
+   with all of B..E, so it is pushed and routed last. *)
+let test_stack_defers_max_degree () =
+  let p =
+    placement_at 9
+      [
+        (0, 1); (8, 1);
+        (1, 0); (2, 2);
+        (3, 0); (4, 2);
+        (5, 0); (6, 2);
+        (7, 0); (8, 2);
+      ]
+  in
+  let outcome, _ = run_finder p (tasks 5) in
+  match List.rev outcome.SF.routed with
+  | (last, _) :: _ -> check_int "A routed last" 0 last.Task.id
+  | [] -> Alcotest.fail "nothing routed"
+
+let test_theorem2_nested () =
+  (* strictly nested chain of 4 gates: all must route *)
+  let p =
+    placement_at 10
+      [ (4, 4); (5, 5); (3, 3); (6, 6); (2, 2); (7, 7); (1, 1); (8, 8) ]
+  in
+  let outcome, _ = run_finder p (tasks 4) in
+  check_int "all nested scheduled" 4 (List.length outcome.SF.routed)
+
+let test_reservations_match_occupancy () =
+  let p = placement_at 8 [ (0, 0); (3, 3); (1, 1); (4, 4); (6, 6); (7, 7) ] in
+  let outcome, occ = run_finder p (tasks 3) in
+  let total =
+    List.fold_left (fun acc (_, pth) -> acc + Path.length pth) 0 outcome.SF.routed
+  in
+  check_int "occupancy = sum of path lengths" total (Occupancy.occupied_count occ)
+
+let test_ratio () =
+  (* a tiny 2x2 grid with 2 crossing gates: at most one can route; ratio 0.5 *)
+  let p = placement_at 2 [ (0, 0); (1, 1); (1, 0); (0, 1) ] in
+  let outcome, _ = run_finder p (tasks 2) in
+  check_bool "at least one" true (List.length outcome.SF.routed >= 1);
+  check_bool "ratio consistent" true
+    (outcome.SF.ratio
+    = float_of_int (List.length outcome.SF.routed) /. 2.);
+  check_int "failed + routed = total" 2
+    (List.length outcome.SF.routed + List.length outcome.SF.failed)
+
+let test_route_in_order_respects_order () =
+  let p = placement_at 8 [ (0, 0); (1, 1); (6, 6); (7, 7) ] in
+  let grid = Placement.grid p in
+  let router = Router.create grid in
+  let occ = Occupancy.create grid in
+  let ts = tasks 2 in
+  let routed, failed = SF.route_in_order router occ p (List.rev ts) in
+  check_int "both" 2 (List.length routed);
+  check_int "no failures" 0 (List.length failed);
+  (* first routed is the first in the given order (task 1) *)
+  check_int "order respected" 1 (fst (List.hd routed)).Task.id
+
+(* Theorem 1 (qcheck): any LLG of <= 3 gates schedules fully on an
+   otherwise empty lattice, for arbitrary placements. *)
+let theorem1_gen =
+  QCheck.Gen.(
+    let* k = int_range 1 3 in
+    let* coords = list_repeat (2 * k) (pair (int_range 0 7) (int_range 0 7)) in
+    return (k, coords))
+
+let prop_theorem1 =
+  QCheck.Test.make ~name:"theorem 1: <=3 concurrent gates always schedule"
+    ~count:500 (QCheck.make theorem1_gen) (fun (k, coords) ->
+      let distinct = List.sort_uniq compare coords in
+      QCheck.assume (List.length distinct = 2 * k);
+      let p = placement_at 8 coords in
+      let outcome, _ = run_finder p (tasks k) in
+      List.length outcome.SF.routed = k)
+
+(* Theorem 2 (qcheck): strictly nested chains always schedule fully. *)
+let nested_gen =
+  QCheck.Gen.(
+    let* k = int_range 1 4 in
+    (* gate i spans (i,i)-(2k+1-i, 2k+1-i): strictly nested rings *)
+    return
+      (List.init k (fun i -> ((i, i), ((2 * k) + 1 - i, (2 * k) + 1 - i)))))
+
+let prop_theorem2 =
+  QCheck.Test.make ~name:"theorem 2: strictly nested chains schedule fully"
+    ~count:100 (QCheck.make nested_gen) (fun spans ->
+      let coords = List.concat_map (fun (a, b) -> [ a; b ]) spans in
+      let p = placement_at 10 coords in
+      let k = List.length spans in
+      let outcome, _ = run_finder p (tasks k) in
+      List.length outcome.SF.routed = k)
+
+(* Safety: whatever is routed is pairwise disjoint and connects the right
+   cells, for arbitrary task sets. *)
+let any_gen =
+  QCheck.Gen.(
+    let* k = int_range 1 14 in
+    let* coords = list_repeat (2 * k) (pair (int_range 0 7) (int_range 0 7)) in
+    return (k, coords))
+
+let prop_routed_paths_safe =
+  QCheck.Test.make ~name:"routed paths are disjoint and well-connected"
+    ~count:300 (QCheck.make any_gen) (fun (k, coords) ->
+      let distinct = List.sort_uniq compare coords in
+      QCheck.assume (List.length distinct = 2 * k);
+      let p = placement_at 8 coords in
+      let outcome, _ = run_finder p (tasks k) in
+      all_disjoint outcome.SF.routed
+      && paths_connect p outcome.SF.routed
+      && List.length outcome.SF.routed >= 1)
+
+(* The retry pass never schedules fewer gates than the first attempt. *)
+let prop_retry_no_worse =
+  QCheck.Test.make ~name:"failed-first retry is never worse" ~count:200
+    (QCheck.make any_gen) (fun (k, coords) ->
+      let distinct = List.sort_uniq compare coords in
+      QCheck.assume (List.length distinct = 2 * k);
+      let p = placement_at 8 coords in
+      let grid = Placement.grid p in
+      let router = Router.create grid in
+      let occ1 = Occupancy.create grid in
+      let with_retry = SF.find ~retry:true router occ1 p (tasks k) in
+      let occ2 = Occupancy.create grid in
+      let without = SF.find ~retry:false router occ2 p (tasks k) in
+      List.length with_retry.SF.routed >= List.length without.SF.routed)
+
+let () =
+  Alcotest.run "stack_finder"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "single gate" `Quick test_single_gate;
+          Alcotest.test_case "empty round" `Quick test_empty_round;
+          Alcotest.test_case "fig 8: all five" `Quick test_fig8_all_five;
+          Alcotest.test_case "stack defers max degree" `Quick test_stack_defers_max_degree;
+          Alcotest.test_case "theorem 2 nested" `Quick test_theorem2_nested;
+          Alcotest.test_case "occupancy accounting" `Quick test_reservations_match_occupancy;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+          Alcotest.test_case "route_in_order" `Quick test_route_in_order_respects_order;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_theorem1;
+          QCheck_alcotest.to_alcotest prop_theorem2;
+          QCheck_alcotest.to_alcotest prop_routed_paths_safe;
+          QCheck_alcotest.to_alcotest prop_retry_no_worse;
+        ] );
+    ]

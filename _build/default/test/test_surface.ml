@@ -1,0 +1,134 @@
+(* Tests for the surface-code error model, timing, and resource counts. *)
+
+module E = Qec_surface.Error_model
+module T = Qec_surface.Timing
+module R = Qec_surface.Resources
+module G = Qec_circuit.Gate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_eq1_paper_point () =
+  (* §2: p = 0.1%, p_th = 0.57%, d = 55 gives P_L ~ 9.3e-23. Our Eq. (1)
+     evaluation must land in the same decade. *)
+  let pl = E.logical_error_rate ~d:55 () in
+  check_bool "paper magnitude" true (pl > 1e-24 && pl < 1e-21)
+
+let test_eq1_monotone_in_d () =
+  let rates = List.map (fun d -> E.logical_error_rate ~d ()) [ 3; 5; 11; 21; 41 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_bool "P_L decreases with d" true (decreasing rates)
+
+let test_eq1_invalid () =
+  check_bool "d=0" true
+    (match E.logical_error_rate ~d:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "p >= threshold" true
+    (match
+       E.logical_error_rate ~params:{ E.p = 0.01; p_th = 0.0057 } ~d:3 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_distance_for_target () =
+  let d = E.distance_for_target ~target_pl:1e-12 () in
+  check_bool "odd" true (d mod 2 = 1);
+  check_bool "achieves target" true (E.logical_error_rate ~d () <= 1e-12);
+  check_bool "d-2 does not" true
+    (d <= 3 || E.logical_error_rate ~d:(d - 2) () > 1e-12)
+
+let test_distance_monotone () =
+  let d1 = E.distance_for_target ~target_pl:1e-6 () in
+  let d2 = E.distance_for_target ~target_pl:1e-15 () in
+  check_bool "tighter target needs larger d" true (d2 > d1)
+
+let test_distance_for_volume () =
+  let d = E.distance_for_volume ~volume:1e9 () in
+  check_int "same as 1/volume target" (E.distance_for_target ~target_pl:1e-9 ()) d
+
+let test_timing_costs () =
+  let t = T.make ~d:33 () in
+  check_int "single" 33 (T.single_qubit_cycles t);
+  check_int "braid" 66 (T.braid_cycles t);
+  check_int "swap layer" 198 (T.swap_layer_cycles t);
+  check_int "gate single" 33 (T.gate_cycles t (G.H 0));
+  check_int "gate braid" 66 (T.gate_cycles t (G.Cphase (0, 1, 0.1)));
+  check_bool "wide rejected" true
+    (match T.gate_cycles t (G.Ccx (0, 1, 2)) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_timing_conversions () =
+  let t = T.make ~d:33 () in
+  Alcotest.(check (float 1e-9)) "us" 220. (T.us_of_cycles t 100);
+  Alcotest.(check (float 1e-12)) "s" 2.2e-4 (T.seconds_of_cycles t 100);
+  check_int "default d" 33 T.default_d
+
+let test_timing_invalid () =
+  check_bool "d<1" true
+    (match T.make ~d:0 () with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "cycle<=0" true
+    (match T.make ~cycle_us:0. ~d:3 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bv100_critical_path_magnitude () =
+  (* Table 2: BV-100 critical path 15.2 Kus at d = 33. Our model should be
+     within ~20%. *)
+  let t = T.make ~d:33 () in
+  let dag = Qec_circuit.Dag.of_circuit (Qec_benchmarks.Bv.circuit 100) in
+  let cp = Qec_circuit.Dag.critical_path ~cost:(T.gate_cycles t) dag in
+  let us = T.us_of_cycles t cp in
+  check_bool "within 20% of 15.2Kus" true (us > 12000. && us < 18500.)
+
+let test_lattice_side () =
+  check_int "exact square" 10 (R.lattice_side ~num_logical:100);
+  check_int "round up" 11 (R.lattice_side ~num_logical:101);
+  check_int "single" 1 (R.lattice_side ~num_logical:1)
+
+let test_paper_physical_qubits () =
+  (* headline: 5,000 logical qubits ~ 1,620,000 physical qubits *)
+  let total = R.total_physical_qubits ~num_logical:5000 ~d:33 in
+  check_bool "within 5% of 1.62M" true
+    (float_of_int total > 1.54e6 && float_of_int total < 1.70e6)
+
+let test_resources_scale_with_d () =
+  check_bool "bigger d costs more" true
+    (R.physical_qubits_per_tile ~d:55 > R.physical_qubits_per_tile ~d:33)
+
+let test_summary () =
+  let s = R.summary ~num_logical:100 ~d:33 in
+  check_bool "has entries" true (List.length s = 5);
+  check_bool "lattice string" true (List.mem_assoc "lattice" s)
+
+let () =
+  Alcotest.run "surface"
+    [
+      ( "error model",
+        [
+          Alcotest.test_case "paper point" `Quick test_eq1_paper_point;
+          Alcotest.test_case "monotone in d" `Quick test_eq1_monotone_in_d;
+          Alcotest.test_case "invalid" `Quick test_eq1_invalid;
+          Alcotest.test_case "distance for target" `Quick test_distance_for_target;
+          Alcotest.test_case "distance monotone" `Quick test_distance_monotone;
+          Alcotest.test_case "distance for volume" `Quick test_distance_for_volume;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "costs" `Quick test_timing_costs;
+          Alcotest.test_case "conversions" `Quick test_timing_conversions;
+          Alcotest.test_case "invalid" `Quick test_timing_invalid;
+          Alcotest.test_case "bv100 magnitude" `Quick test_bv100_critical_path_magnitude;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "lattice side" `Quick test_lattice_side;
+          Alcotest.test_case "paper qubit count" `Quick test_paper_physical_qubits;
+          Alcotest.test_case "scales with d" `Quick test_resources_scale_with_d;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+    ]
