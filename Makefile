@@ -1,0 +1,29 @@
+# Convenience targets; `make check` is the one-stop pre-commit gate.
+
+.PHONY: all build test bench fmt check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Formatting is checked only when ocamlformat is available — the repo must
+# stay buildable in environments without it.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "fmt: ocamlformat not installed, skipping format check"; \
+	fi
+
+check: fmt build test
+	@echo "check: OK"
+
+clean:
+	dune clean

@@ -33,6 +33,19 @@ let run_full ?(grid_points = [ 0.0; 0.2; 0.4 ]) timing c =
 let header title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+(* Every section runs under an in-memory collector and closes with a
+   per-phase self-time profile, so BENCH_*.json trajectories can attribute
+   a compile-time regression to initial layout vs routing vs layout
+   optimization. *)
+let profiled name f =
+  let c = Qec_telemetry.Collector.create () in
+  let result =
+    Qec_telemetry.Telemetry.with_sink (Qec_telemetry.Collector.sink c) f
+  in
+  Printf.printf "\n[%s: per-phase self-time]\n" name;
+  Qec_telemetry.Collector.print_phases c;
+  result
+
 let us r = S.time_us timing33 r
 let cp_us r = S.critical_path_us timing33 r
 
@@ -701,28 +714,28 @@ let () =
   let section = match sections with s :: _ -> s | [] -> "all" in
   let t0 = Unix.gettimeofday () in
   (match section with
-  | "table1" -> table1 ~full ()
-  | "table2" -> table2 ~full ()
-  | "fig16" -> fig16 (run_sweep ~full ())
-  | "fig17" -> fig17 (run_sweep ~full ())
-  | "fig18" -> fig18 ~full ()
-  | "compile-time" -> compile_time ()
-  | "ablation" -> ablation ()
-  | "planar" -> planar ()
-  | "magic" -> magic ()
-  | "micro" -> micro ()
+  | "table1" -> profiled "table1" (table1 ~full)
+  | "table2" -> profiled "table2" (table2 ~full)
+  | "fig16" -> profiled "fig16" (fun () -> fig16 (run_sweep ~full ()))
+  | "fig17" -> profiled "fig17" (fun () -> fig17 (run_sweep ~full ()))
+  | "fig18" -> profiled "fig18" (fig18 ~full)
+  | "compile-time" -> profiled "compile-time" compile_time
+  | "ablation" -> profiled "ablation" ablation
+  | "planar" -> profiled "planar" planar
+  | "magic" -> profiled "magic" magic
+  | "micro" -> profiled "micro" micro
   | "all" ->
-    table1 ~full ();
-    table2 ~full ();
-    let points = run_sweep ~full () in
-    fig16 points;
-    fig17 points;
-    fig18 ~full ();
-    compile_time ();
-    ablation ();
-    planar ();
-    magic ();
-    micro ()
+    profiled "table1" (table1 ~full);
+    profiled "table2" (table2 ~full);
+    let points = profiled "sweep" (run_sweep ~full) in
+    profiled "fig16" (fun () -> fig16 points);
+    profiled "fig17" (fun () -> fig17 points);
+    profiled "fig18" (fig18 ~full);
+    profiled "compile-time" compile_time;
+    profiled "ablation" ablation;
+    profiled "planar" planar;
+    profiled "magic" magic;
+    profiled "micro" micro
   | other ->
     Printf.eprintf
       "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|micro|all)\n"

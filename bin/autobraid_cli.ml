@@ -90,6 +90,55 @@ let best_p_arg =
     & info [ "best-p" ]
         ~doc:"Sweep p over 0.0-0.9 and keep the best (slower)")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect telemetry and print counter / per-phase self-time \
+              summaries after the run")
+
+let telemetry_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE.jsonl"
+        ~doc:"Stream telemetry records (spans, counters, gauges, \
+              histograms) to FILE as JSON lines; see docs/observability.md")
+
+(* Install the requested sinks around [f] and print the --metrics summary
+   after whatever [f] printed itself. *)
+let with_telemetry ~metrics ~telemetry_out f =
+  if (not metrics) && telemetry_out = None then f ()
+  else begin
+    let collector =
+      if metrics then Some (Qec_telemetry.Collector.create ()) else None
+    in
+    let sinks =
+      (match collector with
+      | Some c -> [ Qec_telemetry.Collector.sink c ]
+      | None -> [])
+      @
+      match telemetry_out with
+      | Some path -> begin
+        match open_out path with
+        | oc -> [ Qec_telemetry.Jsonl.channel_sink ~close:true oc ]
+        | exception Sys_error msg ->
+          Printf.eprintf "cannot open telemetry output: %s\n" msg;
+          exit 2
+      end
+      | None -> []
+    in
+    let result =
+      Qec_telemetry.Telemetry.with_sink (Qec_telemetry.Telemetry.tee sinks) f
+    in
+    Option.iter
+      (fun c ->
+        print_newline ();
+        Qec_telemetry.Collector.print_summary c)
+      collector;
+    result
+  end
+
 (* ---------------- compile ---------------- *)
 
 let print_result timing (r : Autobraid.Scheduler.result) =
@@ -131,7 +180,8 @@ let print_result timing (r : Autobraid.Scheduler.result) =
   Qec_util.Tableprint.print t
 
 let compile_cmd =
-  let run spec d seed p sched initial best_p optimize =
+  let run spec d seed p sched initial best_p optimize metrics telemetry_out =
+    with_telemetry ~metrics ~telemetry_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
     let c =
@@ -178,7 +228,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Schedule a circuit's braiding paths")
     Term.(
       const run $ circuit_arg $ distance_arg $ seed_arg $ threshold_arg
-      $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg)
+      $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg $ metrics_arg
+      $ telemetry_out_arg)
 
 (* ---------------- info ---------------- *)
 
@@ -271,7 +322,8 @@ let emit_cmd =
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd =
-  let run spec d =
+  let run spec d metrics telemetry_out =
+    with_telemetry ~metrics ~telemetry_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
     let _, curve = Autobraid.Scheduler.run_best_p timing c in
@@ -289,7 +341,8 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"p-threshold sensitivity sweep (Fig. 18)")
-    Term.(const run $ circuit_arg $ distance_arg)
+    Term.(
+      const run $ circuit_arg $ distance_arg $ metrics_arg $ telemetry_out_arg)
 
 (* ---------------- export ---------------- *)
 

@@ -1,11 +1,13 @@
 module Path = Qec_lattice.Path
 module Occupancy = Qec_lattice.Occupancy
 module Router = Qec_lattice.Router
+module Tel = Qec_telemetry.Telemetry
 
 let total_vertices routed =
   List.fold_left (fun acc (_, p) -> acc + Path.length p) 0 routed
 
 let compact ?(max_passes = 3) router occ placement routed =
+  Tel.with_span "compaction" @@ fun () ->
   let arr = Array.of_list routed in
   let improved = ref true in
   let passes = ref 0 in
@@ -27,6 +29,7 @@ let compact ?(max_passes = 3) router occ placement routed =
           let src_cell, dst_cell = Task.cells placement task in
           match Router.route router occ ~src_cell ~dst_cell with
           | Some path' when Path.length path' < Path.length path ->
+            Tel.count "compaction.reroutes_improved";
             Occupancy.reserve_path occ path';
             arr.(i) <- (task, path');
             improved := true
@@ -36,4 +39,5 @@ let compact ?(max_passes = 3) router occ placement routed =
         end)
       order
   done;
+  Tel.count ~by:!passes "compaction.passes";
   Array.to_list arr

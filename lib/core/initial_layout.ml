@@ -3,6 +3,7 @@ module Dag = Qec_circuit.Dag
 module Coupling = Qec_circuit.Coupling
 module Grid = Qec_lattice.Grid
 module Placement = Qec_lattice.Placement
+module Tel = Qec_telemetry.Telemetry
 
 type method_ = Identity | Bisected | Partitioned | Annealed
 
@@ -109,6 +110,7 @@ let anneal ~rng ~iters placement layers =
     let step = ref 0 in
     while !step < iters && !rejections < 200 && total_census () > 0 do
       incr step;
+      Tel.count "anneal.proposals";
       if !stale && !step mod 32 = 0 then begin
         pool := oversize_pool ();
         stale := false
@@ -141,21 +143,28 @@ let anneal ~rng ~iters placement layers =
             || (after_census = before_census && after_dist < before_dist)
           in
           if accept then begin
+            Tel.count "anneal.accepted";
             List.iter (fun (li, c) -> layer_count.(li) <- c) after_counts;
             rejections := 0;
             stale := true
           end
           else begin
+            Tel.count "anneal.rejected";
             Placement.swap_qubits placement a b;
             incr rejections
           end
         end
-        else incr rejections
+        else begin
+          Tel.count "anneal.rejected";
+          incr rejections
+        end
       end
-    done
+    done;
+    Tel.gauge "anneal.final_census" (float_of_int (total_census ()))
   end
 
 let place ?(seed = 23) ?anneal_iters ?sample_layers ~method_ circuit grid =
+  Tel.with_span "initial_layout" @@ fun () ->
   let n = Circuit.num_qubits circuit in
   match method_ with
   | Identity -> Placement.identity grid ~num_qubits:n
@@ -184,5 +193,9 @@ let place ?(seed = 23) ?anneal_iters ?sample_layers ~method_ circuit grid =
         if n <= 200 then min 1200 (max 150 (6 * n))
         else max 80 (120_000 / n)
     in
-    anneal ~rng:(Qec_util.Rng.create (seed + 1)) ~iters placement layers;
+    Tel.gauge "anneal.iters_budget" (float_of_int iters);
+    (* The census-driven fine-tune is the static half of layout
+       optimization; Layout_opt.plan is the dynamic half. *)
+    Tel.with_span "layout_optimization" (fun () ->
+        anneal ~rng:(Qec_util.Rng.create (seed + 1)) ~iters placement layers);
     placement

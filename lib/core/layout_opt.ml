@@ -2,6 +2,7 @@ module Placement = Qec_lattice.Placement
 module Occupancy = Qec_lattice.Occupancy
 module Bbox = Qec_lattice.Bbox
 module Grid = Qec_lattice.Grid
+module Tel = Qec_telemetry.Telemetry
 
 type strategy = Greedy | Odd_even
 
@@ -72,6 +73,8 @@ let plan_greedy router placement ~pending =
             |> List.filter (fun (a, b) ->
                    (not (Hashtbl.mem used a)) && not (Hashtbl.mem used b))
           in
+          Tel.count ~by:(List.length candidates)
+            "layout_opt.candidates_considered";
           let objective () =
             Task.distance trial g1 + Task.distance trial g2
           in
@@ -92,6 +95,7 @@ let plan_greedy router placement ~pending =
           | Some (a, b, _gain) ->
             let candidate_layer = List.rev ((a, b) :: List.rev !swaps) in
             if layer_routable router placement candidate_layer then begin
+              Tel.count "layout_opt.swaps_chosen";
               swaps := candidate_layer;
               Placement.swap_qubits trial a b;
               Hashtbl.replace used a ();
@@ -140,10 +144,14 @@ let plan_odd_even router placement ~pending ~phase =
     let ca = snake.(!i) and cb = snake.(!i + 1) in
     (match (Placement.qubit_of_cell trial ca, Placement.qubit_of_cell trial cb) with
     | Some qa, Some qb ->
+      Tel.count "layout_opt.candidates_considered";
       let before = local_distance trial qa + local_distance trial qb in
       Placement.swap_qubits trial qa qb;
       let after = local_distance trial qa + local_distance trial qb in
-      if after < before then swaps := (qa, qb) :: !swaps
+      if after < before then begin
+        Tel.count "layout_opt.swaps_chosen";
+        swaps := (qa, qb) :: !swaps
+      end
       else Placement.swap_qubits trial qa qb (* revert *)
     | _ -> ());
     i := !i + 2
@@ -154,6 +162,7 @@ let plan_odd_even router placement ~pending ~phase =
   else begin
     (* Disjoint neighbor swaps should always route; if not (pathological
        occupancy interplay), fall back to a prefix that does. *)
+    Tel.count "layout_opt.prefix_fallbacks";
     let rec prefix k =
       if k = 0 then []
       else
@@ -165,6 +174,7 @@ let plan_odd_even router placement ~pending ~phase =
   end
 
 let plan strategy router placement ~pending ~phase =
+  Tel.with_span "layout_optimization" @@ fun () ->
   match strategy with
   | Greedy -> plan_greedy router placement ~pending
   | Odd_even -> plan_odd_even router placement ~pending ~phase

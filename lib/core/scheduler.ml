@@ -7,6 +7,7 @@ module Grid = Qec_lattice.Grid
 module Occupancy = Qec_lattice.Occupancy
 module Router = Qec_lattice.Router
 module Timing = Qec_surface.Timing
+module Tel = Qec_telemetry.Telemetry
 
 type variant = Sp | Full
 
@@ -69,6 +70,7 @@ let auto_strategy coupling =
 let run_impl ~record ~options timing circuit =
   if options.threshold_p < 0. || options.threshold_p >= 1. then
     invalid_arg "Scheduler.run: threshold_p out of [0, 1)";
+  Tel.with_span "scheduler.run" @@ fun () ->
   let t0 = Sys.time () in
   let circuit = Decompose.to_scheduler_gates circuit in
   let n = Circuit.num_qubits circuit in
@@ -127,6 +129,7 @@ let run_impl ~record ~options timing circuit =
   let initial_cells = Qec_lattice.Placement.to_array placement in
   let trace_rounds = ref [] in
   let emit round = if record then trace_rounds := round :: !trace_rounds in
+  Tel.span_open "routing_rounds";
   while not (Dag.Frontier.is_done frontier) do
     let ready = Dag.Frontier.ready frontier in
     let singles, cx_tasks =
@@ -143,6 +146,7 @@ let run_impl ~record ~options timing circuit =
       (* Purely local round. *)
       List.iter (Dag.Frontier.complete frontier) singles;
       emit (Trace.Local { gates = singles });
+      Tel.count "scheduler.local_rounds";
       cycles := !cycles + Timing.single_qubit_cycles timing;
       incr rounds;
       last_was_swap := false
@@ -166,6 +170,7 @@ let run_impl ~record ~options timing circuit =
             Stack_finder.route_in_order router occ placement
               outcome.Stack_finder.failed
           in
+          Tel.count ~by:(List.length rescued) "compaction.rescued_gates";
           let routed = routed @ rescued in
           {
             Stack_finder.routed;
@@ -177,12 +182,14 @@ let run_impl ~record ~options timing circuit =
         end
         else outcome
       in
+      Tel.sample "scheduler.scheduled_ratio" outcome.Stack_finder.ratio;
       let want_swap =
         options.variant = Full
         && outcome.Stack_finder.ratio < options.threshold_p
         && (not !last_was_swap)
         && List.length cx_tasks > 1
       in
+      if want_swap then Tel.count "scheduler.optimizer_triggers";
       let swaps =
         if want_swap then
           (* Plan over the whole concurrent front: the bottleneck pattern
@@ -199,6 +206,8 @@ let run_impl ~record ~options timing circuit =
           outcome.Stack_finder.routed;
         Layout_opt.apply placement swaps;
         emit (Trace.Swap_layer { swaps });
+        Tel.count "scheduler.swap_layers";
+        Tel.count ~by:(List.length swaps) "scheduler.swaps_inserted";
         cycles := !cycles + Timing.swap_layer_cycles timing;
         incr rounds;
         incr swap_layers;
@@ -218,6 +227,7 @@ let run_impl ~record ~options timing circuit =
         let u = Occupancy.utilization occ in
         util_sum := !util_sum +. u;
         if u > !util_peak then util_peak := u;
+        Tel.count "scheduler.braid_rounds";
         cycles := !cycles + Timing.braid_cycles timing;
         incr rounds;
         incr braid_rounds;
@@ -225,6 +235,7 @@ let run_impl ~record ~options timing circuit =
       end
     end
   done;
+  Tel.span_close ();
   let compile_time_s = Sys.time () -. t0 in
   let trace =
     {

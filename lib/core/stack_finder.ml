@@ -2,6 +2,7 @@ module Path = Qec_lattice.Path
 module Occupancy = Qec_lattice.Occupancy
 module Router = Qec_lattice.Router
 module Bbox = Qec_lattice.Bbox
+module Tel = Qec_telemetry.Telemetry
 
 type outcome = {
   routed : (Task.t * Path.t) list;
@@ -22,7 +23,9 @@ let route_in_order ?bounds_of router occ placement order =
       in
       match (match attempt bounds with
              | Some p -> Some p
-             | None when bounds <> None -> attempt None
+             | None when bounds <> None ->
+               Tel.count "stack_finder.confinement_fallbacks";
+               attempt None
              | None -> None)
       with
       | Some p -> routed := (task, p) :: !routed
@@ -49,6 +52,7 @@ let peel_stack placement ig =
             first candidates
         in
         stack := best :: !stack;
+        Tel.count "stack_finder.stack_pushes";
         Interference.remove ig best.Task.id
       end
   done;
@@ -104,10 +108,14 @@ let find ?(retry = true) ?(confine_llg = false) ?priority_of router occ
       if retry && failed <> [] then begin
         (* Failed-first retry: release our paths and try again with the
            blocked gates routed before everything else. *)
+        Tel.count "stack_finder.retry_rounds";
         List.iter (fun (_, p) -> Occupancy.release_path occ p) routed;
         let retry_order = failed @ List.map fst routed in
         let routed', failed' = route_in_order router occ placement retry_order in
-        if List.length routed' > List.length routed then (routed', failed')
+        if List.length routed' > List.length routed then begin
+          Tel.count "stack_finder.retry_wins";
+          (routed', failed')
+        end
         else begin
           (* Roll back to the first attempt. *)
           List.iter (fun (_, p) -> Occupancy.release_path occ p) routed';
@@ -117,6 +125,8 @@ let find ?(retry = true) ?(confine_llg = false) ?priority_of router occ
       end
       else (routed, failed)
     in
+    Tel.count ~by:(List.length routed) "stack_finder.gates_routed";
+    Tel.count ~by:(List.length failed) "stack_finder.gates_failed";
     {
       routed;
       failed;

@@ -1,3 +1,5 @@
+module Tel = Qec_telemetry.Telemetry
+
 type t = {
   grid : Grid.t;
   gen : int array; (* generation stamp per vertex *)
@@ -43,10 +45,12 @@ let route ?bounds t occ ~src_cell ~dst_cell =
     invalid_arg "Router.route: occupancy grid mismatch";
   t.generation <- t.generation + 1;
   Qec_util.Heap.clear t.open_list;
+  let expansions = ref 0 in
   let usable v = Occupancy.is_free occ v && in_bounds t.grid bounds v in
   let goals =
     Array.to_list (Grid.cell_corners t.grid dst_cell) |> List.filter usable
   in
+  let result =
   if goals = [] then None
   else begin
     let is_goal = Array.make 4 (-1) in
@@ -76,6 +80,7 @@ let route ?bounds t occ ~src_cell ~dst_cell =
         else if goal v then Some v
         else begin
           t.closed.(v) <- true;
+          incr expansions;
           let g' = t.gscore.(v) + 1 in
           List.iter
             (fun nb ->
@@ -100,6 +105,15 @@ let route ?bounds t occ ~src_cell ~dst_cell =
       in
       Some (Path.of_vertices t.grid (walk reached []))
   end
+  in
+  if Tel.enabled () then begin
+    Tel.count "router.routes";
+    Tel.count ~by:!expansions "router.expansions";
+    match result with
+    | Some p -> Tel.sample "router.path_length" (float_of_int (Path.length p))
+    | None -> Tel.count "router.route_failures"
+  end;
+  result
 
 let route_and_reserve ?bounds t occ ~src_cell ~dst_cell =
   match route ?bounds t occ ~src_cell ~dst_cell with
@@ -155,9 +169,18 @@ let route_dimension_ordered t occ ~src_cell ~dst_cell =
       candidates
   in
   let free p = List.for_all (Occupancy.is_free occ) p in
-  match List.find_opt free candidates with
-  | None -> None
-  | Some verts -> Some (Path.of_vertices t.grid verts)
+  let result =
+    match List.find_opt free candidates with
+    | None -> None
+    | Some verts -> Some (Path.of_vertices t.grid verts)
+  in
+  if Tel.enabled () then begin
+    Tel.count "router.dim_ordered_routes";
+    match result with
+    | Some p -> Tel.sample "router.path_length" (float_of_int (Path.length p))
+    | None -> Tel.count "router.dim_ordered_failures"
+  end;
+  result
 
 let route_dimension_ordered_and_reserve t occ ~src_cell ~dst_cell =
   match route_dimension_ordered t occ ~src_cell ~dst_cell with

@@ -91,6 +91,56 @@ let exposure_to_json ~d (e : Autobraid.Reliability.exposure) =
         Json.Float (Autobraid.Reliability.failure_probability ~d e) );
     ]
 
+let telemetry_to_json collector =
+  let module Tel = Qec_telemetry.Telemetry in
+  let module Col = Qec_telemetry.Collector in
+  let span_obj (s : Tel.span) =
+    Json.Obj
+      [
+        ("name", Json.String s.span_name);
+        ("depth", Json.Int s.depth);
+        ("start_s", Json.Float s.start_s);
+        ("total_s", Json.Float s.total_s);
+        ("self_s", Json.Float s.self_s);
+      ]
+  in
+  let hist_obj (h : Tel.histogram) =
+    Json.Obj
+      [
+        ("name", Json.String h.hist_name);
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+        ("min", Json.Float h.min_v);
+        ("max", Json.Float h.max_v);
+        ("mean", Json.Float h.mean);
+        ("p50", Json.Float h.p50);
+        ("p95", Json.Float h.p95);
+      ]
+  in
+  let phase_obj (p : Col.phase) =
+    Json.Obj
+      [
+        ("name", Json.String p.phase_name);
+        ("calls", Json.Int p.calls);
+        ("total_s", Json.Float p.total_s);
+        ("self_s", Json.Float p.self_s);
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Int v)) (Col.counters collector))
+      );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Float v)) (Col.gauges collector))
+      );
+      ("histograms", Json.List (List.map hist_obj (Col.histograms collector)));
+      ("spans", Json.List (List.map span_obj (Col.spans collector)));
+      ("phases", Json.List (List.map phase_obj (Col.phases collector)));
+    ]
+
 let coupling_to_dot coupling =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "graph coupling {\n  node [shape=circle];\n";

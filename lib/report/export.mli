@@ -18,6 +18,10 @@ val trace_to_json :
 val exposure_to_json :
   d:int -> Autobraid.Reliability.exposure -> Json.t
 
+val telemetry_to_json : Qec_telemetry.Collector.t -> Json.t
+(** Everything a collector gathered: counters and gauges as objects,
+    histograms / spans / aggregated phases as lists, all snake_case. *)
+
 val coupling_to_dot : Qec_circuit.Coupling.t -> string
 (** Undirected weighted graph; edge labels carry interaction counts. *)
 

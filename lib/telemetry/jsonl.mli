@@ -1,0 +1,14 @@
+(** JSONL telemetry sink: one JSON object per line, stable snake_case keys
+    ([type], [name], then per-record fields) — see docs/observability.md
+    for the schema and a [jq] walkthrough. *)
+
+val line : Telemetry.record -> string
+(** One record as a single JSON line (no trailing newline). *)
+
+val sink : (string -> unit) -> Telemetry.sink
+(** [sink write] calls [write] with one newline-terminated line per
+    record; [close] is a no-op. *)
+
+val channel_sink : ?close:bool -> out_channel -> Telemetry.sink
+(** Stream lines to [oc]. Closing the sink flushes, and also closes the
+    channel when [close] is [true] (default [false]). *)

@@ -1,0 +1,187 @@
+type span = {
+  span_name : string;
+  depth : int;
+  start_s : float;
+  total_s : float;
+  self_s : float;
+}
+
+type histogram = {
+  hist_name : string;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+}
+
+type record =
+  | Span of span
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of histogram
+
+type sink = { emit : record -> unit; close : unit -> unit }
+
+let null = { emit = ignore; close = ignore }
+
+let tee = function
+  | [] -> null
+  | [ s ] -> s
+  | sinks ->
+    {
+      emit = (fun r -> List.iter (fun s -> s.emit r) sinks);
+      close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+    }
+
+type frame = { frame_name : string; start : float; mutable child_total : float }
+
+type state = {
+  sink : sink;
+  clock : unit -> float;
+  epoch : float;
+  domain : int;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  samples : (string, float list ref) Hashtbl.t;
+  mutable stack : frame list;
+}
+
+(* The single global sink: [None] is the fast path, so an uninstrumented
+   run pays one pattern match per probe. State is single-domain mutable
+   (Hashtbls, span stack), so probes fire only on the installing domain —
+   Qec_util.Parallel workers run unrecorded instead of racing. *)
+let current : state option ref = ref None
+
+let active () =
+  match !current with
+  | Some st when st.domain = (Domain.self () :> int) -> Some st
+  | _ -> None
+
+let enabled () = Option.is_some (active ())
+
+let install ?(clock = Unix.gettimeofday) sink =
+  current :=
+    Some
+      {
+        sink;
+        clock;
+        epoch = clock ();
+        domain = (Domain.self () :> int);
+        counters = Hashtbl.create 64;
+        gauges = Hashtbl.create 16;
+        samples = Hashtbl.create 16;
+        stack = [];
+      }
+
+let count ?(by = 1) name =
+  match active () with
+  | None -> ()
+  | Some st -> (
+    match Hashtbl.find_opt st.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add st.counters name (ref by))
+
+let gauge name v =
+  match active () with
+  | None -> ()
+  | Some st -> Hashtbl.replace st.gauges name v
+
+let sample name v =
+  match active () with
+  | None -> ()
+  | Some st -> (
+    match Hashtbl.find_opt st.samples name with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.add st.samples name (ref [ v ]))
+
+let span_open name =
+  match active () with
+  | None -> ()
+  | Some st ->
+    st.stack <-
+      { frame_name = name; start = st.clock (); child_total = 0. } :: st.stack
+
+let span_close () =
+  match active () with
+  | None -> ()
+  | Some st -> (
+    match st.stack with
+    | [] -> ()
+    | f :: rest ->
+      let total = st.clock () -. f.start in
+      (match rest with
+      | parent :: _ -> parent.child_total <- parent.child_total +. total
+      | [] -> ());
+      st.stack <- rest;
+      st.sink.emit
+        (Span
+           {
+             span_name = f.frame_name;
+             depth = List.length rest;
+             start_s = f.start -. st.epoch;
+             total_s = total;
+             self_s = max 0. (total -. f.child_total);
+           }))
+
+let with_span name f =
+  match active () with
+  | None -> f ()
+  | Some _ ->
+    span_open name;
+    Fun.protect ~finally:span_close f
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let flush () =
+  match active () with
+  | None -> ()
+  | Some st ->
+    List.iter
+      (fun name ->
+        st.sink.emit (Counter { name; value = !(Hashtbl.find st.counters name) }))
+      (sorted_keys st.counters);
+    Hashtbl.reset st.counters;
+    List.iter
+      (fun name ->
+        st.sink.emit (Gauge { name; value = Hashtbl.find st.gauges name }))
+      (sorted_keys st.gauges);
+    Hashtbl.reset st.gauges;
+    List.iter
+      (fun name ->
+        let xs = !(Hashtbl.find st.samples name) in
+        let min_v, max_v = Qec_util.Stats.min_max xs in
+        st.sink.emit
+          (Histogram
+             {
+               hist_name = name;
+               count = List.length xs;
+               sum = List.fold_left ( +. ) 0. xs;
+               min_v;
+               max_v;
+               mean = Qec_util.Stats.mean xs;
+               p50 = Qec_util.Stats.percentile 50. xs;
+               p95 = Qec_util.Stats.percentile 95. xs;
+             }))
+      (sorted_keys st.samples);
+    Hashtbl.reset st.samples
+
+let uninstall () =
+  match !current with
+  | None -> ()
+  | Some st ->
+    flush ();
+    st.sink.close ();
+    current := None
+
+let with_sink ?clock sink f =
+  let previous = !current in
+  install ?clock sink;
+  Fun.protect
+    ~finally:(fun () ->
+      uninstall ();
+      current := previous)
+    f

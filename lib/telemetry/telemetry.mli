@@ -1,0 +1,87 @@
+(** Structured instrumentation for the AutoBraid pipeline.
+
+    Counters, gauges, sample histograms and nested monotonic timing spans,
+    delivered to a pluggable {!sink}. With no sink installed every probe is
+    a single branch on a [ref] — hot paths (the A* router, the scheduler
+    round loop) can stay instrumented unconditionally.
+
+    Spans stream to the sink as they close; counters, gauges and sample
+    histograms accumulate in the frontend and are emitted (sorted by name,
+    so output is deterministic) on {!flush} / {!uninstall}. *)
+
+type span = {
+  span_name : string;
+  depth : int;  (** nesting depth at open time; 0 = root *)
+  start_s : float;  (** seconds since the sink was installed *)
+  total_s : float;  (** wall time between open and close *)
+  self_s : float;  (** [total_s] minus the time spent in direct child spans *)
+}
+
+type histogram = {
+  hist_name : string;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+}
+
+type record =
+  | Span of span
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of histogram
+
+type sink = { emit : record -> unit; close : unit -> unit }
+
+val null : sink
+(** Discards everything. *)
+
+val tee : sink list -> sink
+(** Fan a record out to several sinks; [tee \[\]] is {!null}. *)
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed and the caller runs on the domain that
+    installed it — telemetry state is single-domain, so probes from
+    [Qec_util.Parallel] worker domains are silent no-ops rather than data
+    races. Use this to skip building expensive probe arguments. *)
+
+val install : ?clock:(unit -> float) -> sink -> unit
+(** Install [sink] as the active sink, replacing any previous one without
+    flushing it. [clock] (default [Unix.gettimeofday]) must be monotone
+    non-decreasing for span math to make sense; tests inject a fake. *)
+
+val uninstall : unit -> unit
+(** {!flush} accumulated aggregates, close the sink, disable telemetry.
+    No-op when nothing is installed. *)
+
+val with_sink : ?clock:(unit -> float) -> sink -> (unit -> 'a) -> 'a
+(** [with_sink sink f] installs [sink] for the duration of [f ()], then
+    flushes, closes and restores whatever was installed before — safe to
+    nest, exception-safe. *)
+
+val count : ?by:int -> string -> unit
+(** Add [by] (default 1) to the named counter. *)
+
+val gauge : string -> float -> unit
+(** Set the named gauge (last write wins). *)
+
+val sample : string -> float -> unit
+(** Record one observation of the named sample histogram. *)
+
+val span_open : string -> unit
+(** Open a nested timing span. Pair with {!span_close}. *)
+
+val span_close : unit -> unit
+(** Close the innermost open span and emit its record. Unbalanced closes
+    are ignored. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Scoped {!span_open}/{!span_close}; closes on exceptions too. When
+    disabled this is just [f ()]. *)
+
+val flush : unit -> unit
+(** Emit accumulated counters, gauges and histograms (each sorted by name)
+    and reset them. Spans already streamed on close. *)

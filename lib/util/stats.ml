@@ -40,19 +40,21 @@ let histogram ~buckets xs =
   if buckets <= 0 then invalid_arg "Stats.histogram: buckets <= 0";
   if xs = [] then invalid_arg "Stats.histogram: empty";
   let lo, hi = min_max xs in
-  let width =
-    let w = (hi -. lo) /. float_of_int buckets in
-    if w = 0. then 1. else w
-  in
-  let counts = Array.make buckets 0 in
-  List.iter
-    (fun x ->
-      let b = int_of_float ((x -. lo) /. width) in
-      let b = max 0 (min (buckets - 1) b) in
-      counts.(b) <- counts.(b) + 1)
-    xs;
-  Array.mapi
-    (fun i c ->
-      let blo = lo +. (float_of_int i *. width) in
-      (blo, blo +. width, c))
-    counts
+  (* Degenerate range: every sample equal. Equal-width bucketing would
+     divide by a zero range; collapse to one exact bucket instead. *)
+  if lo = hi then [| (lo, hi, List.length xs) |]
+  else begin
+    let width = (hi -. lo) /. float_of_int buckets in
+    let counts = Array.make buckets 0 in
+    List.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = max 0 (min (buckets - 1) b) in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    Array.mapi
+      (fun i c ->
+        let blo = lo +. (float_of_int i *. width) in
+        (blo, blo +. width, c))
+      counts
+  end

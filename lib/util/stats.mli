@@ -19,4 +19,6 @@ val percentile : float -> float list -> float
 
 val histogram : buckets:int -> float list -> (float * float * int) array
 (** Equal-width histogram: [(lo, hi, count)] per bucket over the data range.
-    Raises [Invalid_argument] if [buckets <= 0] or the input is empty. *)
+    A degenerate range (all samples equal) collapses to the single bucket
+    [(v, v, n)] rather than fabricating buckets of arbitrary width. Raises
+    [Invalid_argument] if [buckets <= 0] or the input is empty. *)

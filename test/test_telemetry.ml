@@ -1,0 +1,286 @@
+(* Qec_telemetry: counter/gauge/sample accumulation, span nesting and
+   self-time accounting (under an injected fake clock), JSONL golden
+   output, and the guarantee that instrumentation never changes scheduler
+   results. *)
+
+module Tel = Qec_telemetry.Telemetry
+module Collector = Qec_telemetry.Collector
+module Jsonl = Qec_telemetry.Jsonl
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A manual clock: tests advance [now] explicitly, so span timings are
+   exact and JSONL output is byte-stable. *)
+let manual_clock () =
+  let now = ref 0. in
+  ((fun () -> !now), fun t -> now := t)
+
+let with_collector ?clock f =
+  let c = Collector.create () in
+  Tel.with_sink ?clock (Collector.sink c) f;
+  c
+
+let test_disabled_noops () =
+  Alcotest.(check bool) "disabled" false (Tel.enabled ());
+  (* All probes must be silent no-ops without a sink. *)
+  Tel.count "x";
+  Tel.gauge "x" 1.;
+  Tel.sample "x" 1.;
+  Tel.span_open "x";
+  Tel.span_close ();
+  check_int "with_span passthrough" 7 (Tel.with_span "x" (fun () -> 7));
+  Tel.flush ();
+  Tel.uninstall ()
+
+let test_counters () =
+  let c =
+    with_collector (fun () ->
+        Alcotest.(check bool) "enabled" true (Tel.enabled ());
+        Tel.count "a";
+        Tel.count ~by:4 "a";
+        Tel.count "b";
+        Tel.count ~by:0 "zero")
+  in
+  check_int "a" 5 (Collector.counter c "a");
+  check_int "b" 1 (Collector.counter c "b");
+  check_int "zero" 0 (Collector.counter c "zero");
+  check_int "absent" 0 (Collector.counter c "never")
+
+let test_gauges_and_samples () =
+  let c =
+    with_collector (fun () ->
+        Tel.gauge "g" 1.5;
+        Tel.gauge "g" 2.5;
+        List.iter (Tel.sample "s") [ 1.; 2.; 3.; 4. ])
+  in
+  check_float "gauge last-write-wins" 2.5
+    (Option.get (Collector.gauge_opt c "g"));
+  let h = Option.get (Collector.histogram_opt c "s") in
+  check_int "count" 4 h.Tel.count;
+  check_float "sum" 10. h.Tel.sum;
+  check_float "mean" 2.5 h.Tel.mean;
+  check_float "min" 1. h.Tel.min_v;
+  check_float "max" 4. h.Tel.max_v;
+  check_float "p50" 2. h.Tel.p50;
+  check_float "p95" 4. h.Tel.p95
+
+let test_span_nesting () =
+  let clock, set = manual_clock () in
+  let c =
+    with_collector ~clock (fun () ->
+        Tel.span_open "outer";
+        set 1.;
+        Tel.span_open "inner";
+        set 3.;
+        Tel.span_close ();
+        (* 2s of dead time attributed to outer's self, not inner. *)
+        set 6.;
+        Tel.span_close ())
+  in
+  match Collector.spans c with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner name" "inner" inner.Tel.span_name;
+    check_int "inner depth" 1 inner.Tel.depth;
+    check_float "inner start" 1. inner.Tel.start_s;
+    check_float "inner total" 2. inner.Tel.total_s;
+    check_float "inner self" 2. inner.Tel.self_s;
+    Alcotest.(check string) "outer name" "outer" outer.Tel.span_name;
+    check_int "outer depth" 0 outer.Tel.depth;
+    check_float "outer total" 6. outer.Tel.total_s;
+    check_float "outer self" 4. outer.Tel.self_s
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_phase_aggregation () =
+  let clock, set = manual_clock () in
+  let c =
+    with_collector ~clock (fun () ->
+        Tel.span_open "route";
+        set 2.;
+        Tel.span_close ();
+        Tel.span_open "route";
+        set 5.;
+        Tel.span_close ())
+  in
+  match Collector.phases c with
+  | [ p ] ->
+    Alcotest.(check string) "phase" "route" p.Collector.phase_name;
+    check_int "calls" 2 p.Collector.calls;
+    check_float "total" 5. p.Collector.total_s;
+    check_float "self" 5. p.Collector.self_s
+  | ps -> Alcotest.failf "expected 1 phase, got %d" (List.length ps)
+
+let test_unbalanced_close_ignored () =
+  let c =
+    with_collector (fun () ->
+        Tel.span_close ();
+        (* no open span: ignored *)
+        Tel.count "after")
+  in
+  check_int "still records" 1 (Collector.counter c "after");
+  check_int "no spans" 0 (List.length (Collector.spans c))
+
+let test_with_span_exception () =
+  let clock, set = manual_clock () in
+  let c = Collector.create () in
+  (try
+     Tel.with_sink ~clock (Collector.sink c) (fun () ->
+         Tel.with_span "raises" (fun () ->
+             set 4.;
+             failwith "boom"))
+   with Failure _ -> ());
+  match Collector.spans c with
+  | [ s ] ->
+    Alcotest.(check string) "span closed on raise" "raises" s.Tel.span_name;
+    check_float "total" 4. s.Tel.total_s
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_jsonl_golden () =
+  let clock, set = manual_clock () in
+  let buf = Buffer.create 256 in
+  Tel.with_sink ~clock
+    (Jsonl.sink (Buffer.add_string buf))
+    (fun () ->
+      Tel.count "alpha";
+      Tel.count ~by:2 "alpha";
+      Tel.gauge "beta" 0.5;
+      Tel.sample "gamma" 1.;
+      Tel.sample "gamma" 3.;
+      Tel.span_open "outer";
+      set 1.;
+      Tel.span_open "inner";
+      set 3.;
+      Tel.span_close ();
+      set 6.;
+      Tel.span_close ());
+  let expected =
+    String.concat "\n"
+      [
+        {|{"type":"span","name":"inner","depth":1,"start_s":1,"total_s":2,"self_s":2}|};
+        {|{"type":"span","name":"outer","depth":0,"start_s":0,"total_s":6,"self_s":4}|};
+        {|{"type":"counter","name":"alpha","value":3}|};
+        {|{"type":"gauge","name":"beta","value":0.5}|};
+        {|{"type":"histogram","name":"gamma","count":2,"sum":4,"min":1,"max":3,"mean":2,"p50":1,"p95":3}|};
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden JSONL" expected (Buffer.contents buf)
+
+let test_jsonl_escaping () =
+  let line =
+    Jsonl.line (Tel.Counter { name = "we\"ird\\name\n"; value = 1 })
+  in
+  Alcotest.(check string) "escaped"
+    {|{"type":"counter","name":"we\"ird\\name\n","value":1}|} line
+
+let test_tee_and_null () =
+  let c1 = Collector.create () and c2 = Collector.create () in
+  Tel.with_sink
+    (Tel.tee [ Collector.sink c1; Tel.null; Collector.sink c2 ])
+    (fun () -> Tel.count "x");
+  check_int "first sink" 1 (Collector.counter c1 "x");
+  check_int "second sink" 1 (Collector.counter c2 "x")
+
+let test_nested_with_sink () =
+  let outer = Collector.create () in
+  let inner = Collector.create () in
+  Tel.with_sink (Collector.sink outer) (fun () ->
+      Tel.count "before";
+      Tel.with_sink (Collector.sink inner) (fun () -> Tel.count "during");
+      Tel.count "after");
+  check_int "inner got during" 1 (Collector.counter inner "during");
+  check_int "inner only during" 0 (Collector.counter inner "before");
+  check_int "outer before" 1 (Collector.counter outer "before");
+  check_int "outer after" 1 (Collector.counter outer "after")
+
+(* Enabling telemetry must not perturb scheduling: same circuit, same
+   seed, bit-identical result with and without a sink. *)
+let test_scheduler_determinism () =
+  let timing = Qec_surface.Timing.make ~d:Qec_surface.Timing.default_d () in
+  let circuit = Qec_benchmarks.Qft.circuit 50 in
+  let bare = Autobraid.Scheduler.run timing circuit in
+  let c = Collector.create () in
+  let instrumented =
+    Tel.with_sink (Collector.sink c) (fun () ->
+        Autobraid.Scheduler.run timing circuit)
+  in
+  check_int "total_cycles" bare.Autobraid.Scheduler.total_cycles
+    instrumented.Autobraid.Scheduler.total_cycles;
+  check_int "swaps_inserted" bare.Autobraid.Scheduler.swaps_inserted
+    instrumented.Autobraid.Scheduler.swaps_inserted;
+  check_int "rounds" bare.Autobraid.Scheduler.rounds
+    instrumented.Autobraid.Scheduler.rounds;
+  check_int "braid_rounds" bare.Autobraid.Scheduler.braid_rounds
+    instrumented.Autobraid.Scheduler.braid_rounds;
+  (* And the pipeline actually reported: one span per phase, counters. *)
+  let phase_names =
+    List.map (fun p -> p.Collector.phase_name) (Collector.phases c)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase %s present" name)
+        true
+        (List.mem name phase_names))
+    [ "scheduler.run"; "initial_layout"; "layout_optimization";
+      "routing_rounds" ];
+  check_int "braid rounds counter" bare.Autobraid.Scheduler.braid_rounds
+    (Collector.counter c "scheduler.braid_rounds");
+  Alcotest.(check bool)
+    "router instrumented" true
+    (Collector.counter c "router.expansions" > 0)
+
+let test_export_json () =
+  let clock, set = manual_clock () in
+  let c =
+    with_collector ~clock (fun () ->
+        Tel.count "hits";
+        Tel.sample "len" 2.;
+        Tel.span_open "phase";
+        set 1.;
+        Tel.span_close ())
+  in
+  let json = Qec_report.Json.to_string (Qec_report.Export.telemetry_to_json c) in
+  let has needle =
+    let nh = String.length json and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub json i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true
+        (has needle))
+    [ {|"counters"|}; {|"hits":1|}; {|"histograms"|}; {|"spans"|};
+      {|"phases"|}; {|"phase"|} ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "frontend",
+        [
+          Alcotest.test_case "disabled no-ops" `Quick test_disabled_noops;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges and samples" `Quick
+            test_gauges_and_samples;
+          Alcotest.test_case "span nesting self/total" `Quick
+            test_span_nesting;
+          Alcotest.test_case "phase aggregation" `Quick test_phase_aggregation;
+          Alcotest.test_case "unbalanced close" `Quick
+            test_unbalanced_close_ignored;
+          Alcotest.test_case "with_span on exception" `Quick
+            test_with_span_exception;
+          Alcotest.test_case "nested with_sink" `Quick test_nested_with_sink;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+          Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;
+          Alcotest.test_case "tee and null" `Quick test_tee_and_null;
+          Alcotest.test_case "export json" `Quick test_export_json;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "scheduler determinism (qft50)" `Quick
+            test_scheduler_determinism;
+        ] );
+    ]

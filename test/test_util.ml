@@ -266,6 +266,16 @@ let test_stats_histogram () =
   let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
   check_int "total" 4 (c0 + c1)
 
+(* Regression: all-equal samples used to spread over [buckets] fabricated
+   one-wide buckets; the degenerate range must collapse to one bucket. *)
+let test_stats_histogram_degenerate () =
+  let h = Stats.histogram ~buckets:4 [ 2.5; 2.5; 2.5 ] in
+  check_int "single bucket" 1 (Array.length h);
+  let lo, hi, c = h.(0) in
+  check_float "lo" 2.5 lo;
+  check_float "hi" 2.5 hi;
+  check_int "count" 3 c
+
 (* ------------------------------------------------------------------ *)
 (* Tableprint                                                           *)
 
@@ -395,6 +405,8 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "minmax/percentile" `Quick test_stats_minmax_percentile;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "histogram degenerate" `Quick
+            test_stats_histogram_degenerate;
         ] );
       ( "parallel",
         [
