@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench fmt check clean
+.PHONY: all build test bench fmt lint check clean
 
 all: build
 
@@ -22,7 +22,18 @@ fmt:
 		echo "fmt: ocamlformat not installed, skipping format check"; \
 	fi
 
-check: fmt build test
+# The repository's own inputs must stay diagnostic-free, warnings included.
+lint: build
+	@for f in fixtures/*.qasm; do \
+		echo "lint $$f"; \
+		dune exec bin/autobraid_cli.exe -- lint "$$f" --deny warning || exit 1; \
+	done
+	@for c in qft9 bv12 qaoa12 im12 ghz8 adder8; do \
+		echo "lint $$c"; \
+		dune exec bin/autobraid_cli.exe -- lint "$$c" --deny warning || exit 1; \
+	done
+
+check: fmt build test lint
 	@echo "check: OK"
 
 clean:

@@ -3,6 +3,7 @@
    Subcommands:
      compile    schedule a circuit and report latency/utilization
      info       static analysis: sizes, depth, parallelism, LLG census
+     lint       span-aware diagnostics (QLxxx rules, see docs/lint.md)
      resources  surface-code resource estimates for a qubit count / target P_L
      emit       write a built-in benchmark as OpenQASM 2.0
      sweep      p-threshold sensitivity sweep (Fig. 18 style)
@@ -11,6 +12,20 @@
    see `autobraid list`) or by a path to a .qasm / .real file. *)
 
 open Cmdliner
+
+(* Malformed inputs must exit 1 with file:line:col, never an OCaml
+   backtrace. Every subcommand body runs under this guard. *)
+let guarded spec f =
+  let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+  try f () with
+  | Qec_qasm.Lexer.Error { line; col; msg } -> die "%s:%d:%d: %s" spec line col msg
+  | Qec_qasm.Parser.Error { line; col; msg } -> die "%s:%d:%d: %s" spec line col msg
+  | Qec_qasm.Frontend.Unsupported { pos = Some { line; col }; msg } ->
+    die "%s:%d:%d: %s" spec line col msg
+  | Qec_qasm.Frontend.Unsupported { pos = None; msg } -> die "%s: %s" spec msg
+  | Qec_revlib.Real_parser.Error { line; msg } -> die "%s:%d: %s" spec line msg
+  | Qec_circuit.Circuit.Invalid msg -> die "%s: invalid circuit: %s" spec msg
+  | Sys_error msg -> die "%s" msg
 
 let load_circuit spec =
   if Sys.file_exists spec then
@@ -181,6 +196,7 @@ let print_result timing (r : Autobraid.Scheduler.result) =
 
 let compile_cmd =
   let run spec d seed p sched initial best_p optimize metrics telemetry_out =
+    guarded spec @@ fun () ->
     with_telemetry ~metrics ~telemetry_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
@@ -235,6 +251,7 @@ let compile_cmd =
 
 let info_cmd =
   let run spec =
+    guarded spec @@ fun () ->
     let c0 = load_circuit spec in
     let c = Qec_circuit.Decompose.to_scheduler_gates c0 in
     let dag = Qec_circuit.Dag.of_circuit c in
@@ -302,6 +319,7 @@ let resources_cmd =
 
 let emit_cmd =
   let run spec out =
+    guarded spec @@ fun () ->
     let c =
       Qec_circuit.Decompose.lower_mcx (load_circuit spec)
     in
@@ -323,6 +341,7 @@ let emit_cmd =
 
 let sweep_cmd =
   let run spec d metrics telemetry_out =
+    guarded spec @@ fun () ->
     with_telemetry ~metrics ~telemetry_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
@@ -348,6 +367,7 @@ let sweep_cmd =
 
 let export_cmd =
   let run spec d fmt out =
+    guarded spec @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
     let payload =
@@ -400,6 +420,7 @@ let export_cmd =
 
 let trace_cmd =
   let run spec d max_rounds svg_prefix =
+    guarded spec @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
     let result, trace = Autobraid.Scheduler.run_traced timing c in
@@ -442,6 +463,82 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Record, validate and render a schedule trace")
     Term.(const run $ circuit_arg $ distance_arg $ rounds_arg $ svg_arg)
 
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let run spec fmt deny schedule d p seed =
+    guarded spec @@ fun () ->
+    let deny_warning = deny = Some `Warning in
+    (* QASM files get the full span-aware pipeline; .real files and
+       benchmark names only exist as circuits, so only QL1xx applies. *)
+    let diags, source =
+      if Sys.file_exists spec && not (Filename.check_suffix spec ".real") then
+        let diags, src = Qec_lint.Lint.lint_file spec in
+        (diags, Some src)
+      else (Qec_lint.Lint.lint_circuit ~file:spec (load_circuit spec), None)
+    in
+    let diags =
+      diags @ Qec_lint.Schedule_lint.check_options ~file:spec ~threshold_p:p ~d ()
+    in
+    let diags =
+      if schedule && Qec_lint.Lint.error_count diags = 0 then begin
+        let timing = Qec_surface.Timing.make ~d () in
+        let options =
+          { Autobraid.Scheduler.default_options with threshold_p = p; seed }
+        in
+        let _, trace =
+          Autobraid.Scheduler.run_traced ~options timing (load_circuit spec)
+        in
+        diags @ Qec_lint.Schedule_lint.check_trace ~file:spec trace
+      end
+      else diags
+    in
+    (match fmt with
+    | `Text ->
+      List.iter
+        (fun d -> print_endline (Qec_lint.Diagnostic.render ?source d))
+        diags;
+      if diags <> [] then
+        print_endline (Qec_lint.Lint.summary ~deny_warning diags)
+    | `Jsonl ->
+      List.iter (fun d -> print_endline (Qec_lint.Diagnostic.to_jsonl d)) diags
+    | `Json ->
+      print_endline
+        (Qec_report.Json.to_string ~indent:true
+           (Qec_report.Export.diagnostics_to_json diags)));
+    exit (Qec_lint.Lint.exit_code ~deny_warning diags)
+  in
+  let fmt_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("jsonl", `Jsonl); ("json", `Json) ]) `Text
+      & info [ "f"; "format" ] ~docv:"FMT"
+          ~doc:"text (caret-annotated), jsonl (one JSON object per \
+                diagnostic), json (one array)")
+  in
+  let deny_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("warning", `Warning) ])) None
+      & info [ "deny" ] ~docv:"SEVERITY"
+          ~doc:"Treat warnings as errors for the exit code")
+  in
+  let schedule_arg =
+    Arg.(
+      value & flag
+      & info [ "schedule" ]
+          ~doc:"Also schedule the circuit and validate the recorded trace \
+                (QL210); slower")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis with stable QLxxx diagnostics (docs/lint.md). \
+             Exit 1 when any error (or, with --deny warning, any warning) \
+             fires; 0 otherwise.")
+    Term.(
+      const run $ circuit_arg $ fmt_arg $ deny_arg $ schedule_arg
+      $ distance_arg $ threshold_arg $ seed_arg)
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -462,7 +559,7 @@ let main =
   Cmd.group
     (Cmd.info "autobraid" ~version:"1.0.0"
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
-    [ compile_cmd; info_cmd; resources_cmd; emit_cmd; sweep_cmd; trace_cmd;
-       export_cmd; list_cmd ]
+    [ compile_cmd; info_cmd; lint_cmd; resources_cmd; emit_cmd; sweep_cmd;
+       trace_cmd; export_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

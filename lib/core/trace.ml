@@ -55,100 +55,120 @@ let placement_after t k =
 
 let final_placement t = placement_after t (num_rounds t)
 
-let validate t =
-  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
-  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+type violation = { round : int option; gate : int option; msg : string }
+
+let violation_to_string v =
+  match v.round with
+  | Some k -> Printf.sprintf "round %d: %s" k v.msg
+  | None -> v.msg
+
+(* Replay the whole trace, collecting every detectable violation instead of
+   stopping at the first. To limit cascades, a gate that fails a readiness
+   check (other than being out of range) is still marked executed before the
+   replay continues. *)
+let check t =
+  let violations = ref [] in
+  let add ?round ?gate fmt =
+    Printf.ksprintf
+      (fun msg -> violations := { round; gate; msg } :: !violations)
+      fmt
+  in
   let dag = Dag.of_circuit t.circuit in
   let n_gates = Circuit.length t.circuit in
   let executed = Array.make n_gates false in
   let placement = initial_placement t in
-  let check_gate_ready id =
-    if id < 0 || id >= n_gates then fail "gate id %d out of range" id
-    else if executed.(id) then fail "gate %d executed twice" id
-    else if List.exists (fun p -> not executed.(p)) (Dag.preds dag id) then
-      fail "gate %d executed before a predecessor" id
+  let check_gate_ready ~round id =
+    if id < 0 || id >= n_gates then
+      add ~round ~gate:id "gate id %d out of range" id
     else begin
-      executed.(id) <- true;
-      Ok ()
+      if executed.(id) then add ~round ~gate:id "gate %d executed twice" id
+      else if List.exists (fun p -> not executed.(p)) (Dag.preds dag id) then
+        add ~round ~gate:id "gate %d executed before a predecessor" id;
+      executed.(id) <- true
     end
   in
-  let rec check_locals = function
-    | [] -> Ok ()
-    | id :: rest ->
-      let* () = check_gate_ready id in
-      if Gate.is_two_qubit (Circuit.gate t.circuit id) then
-        fail "gate %d in a local slot is a two-qubit gate" id
-      else check_locals rest
+  let check_locals ~round ids =
+    List.iter
+      (fun id ->
+        check_gate_ready ~round id;
+        if
+          id >= 0 && id < n_gates
+          && Gate.is_two_qubit (Circuit.gate t.circuit id)
+        then add ~round ~gate:id "gate %d in a local slot is a two-qubit gate" id)
+      ids
   in
-  let check_braid_paths braids =
+  let check_braid_paths ~round braids =
     let rec disjoint = function
-      | [] -> Ok ()
-      | (t1, p1) :: rest ->
+      | [] -> ()
+      | ((t1 : Task.t), p1) :: rest ->
         if
           List.exists (fun ((_, p2) : Task.t * Path.t) ->
               not (Path.disjoint p1 p2))
             rest
-        then fail "gate %d's path collides with another path" t1.Task.id
-        else disjoint rest
+        then
+          add ~round ~gate:t1.Task.id "gate %d's path collides with another path"
+            t1.Task.id;
+        disjoint rest
     in
-    let rec each = function
-      | [] -> Ok ()
-      | ((task : Task.t), path) :: rest ->
-        let* () = check_gate_ready task.id in
-        let g = Circuit.gate t.circuit task.id in
-        if not (Gate.is_two_qubit g) then
-          fail "gate %d scheduled as a braid is not two-qubit" task.id
-        else begin
-          let ca = Placement.cell_of_qubit placement task.q1
-          and cb = Placement.cell_of_qubit placement task.q2 in
-          match Gate.two_qubit_operands g with
-          | Some (a, b) when (a, b) = (task.q1, task.q2) ->
-            if not (Path.connects_cells t.grid path ca cb) then
-              fail "gate %d's path does not connect its operand tiles"
+    List.iter
+      (fun ((task : Task.t), path) ->
+        check_gate_ready ~round task.id;
+        if task.id >= 0 && task.id < n_gates then begin
+          let g = Circuit.gate t.circuit task.id in
+          if not (Gate.is_two_qubit g) then
+            add ~round ~gate:task.id "gate %d scheduled as a braid is not two-qubit"
+              task.id
+          else begin
+            let ca = Placement.cell_of_qubit placement task.q1
+            and cb = Placement.cell_of_qubit placement task.q2 in
+            match Gate.two_qubit_operands g with
+            | Some (a, b) when (a, b) = (task.q1, task.q2) ->
+              if not (Path.connects_cells t.grid path ca cb) then
+                add ~round ~gate:task.id
+                  "gate %d's path does not connect its operand tiles" task.id
+            | Some _ ->
+              add ~round ~gate:task.id "gate %d's task operands mismatch the gate"
                 task.id
-            else each rest
-          | Some _ -> fail "gate %d's task operands mismatch the gate" task.id
-          | None -> fail "gate %d has no two-qubit operands" task.id
-        end
-    in
-    let* () = each braids in
+            | None ->
+              add ~round ~gate:task.id "gate %d has no two-qubit operands" task.id
+          end
+        end)
+      braids;
     disjoint braids
   in
-  let check_swaps swaps =
+  let check_swaps ~round swaps =
     let qubits = List.concat_map (fun (a, b) -> [ a; b ]) swaps in
     if List.length (List.sort_uniq compare qubits) <> List.length qubits then
-      fail "a swap layer touches a qubit twice"
-    else begin
-      List.iter (fun (a, b) -> Placement.swap_qubits placement a b) swaps;
-      Ok ()
-    end
+      add ~round "a swap layer touches a qubit twice";
+    List.iter (fun (a, b) -> Placement.swap_qubits placement a b) swaps
   in
-  let rec walk = function
-    | [] -> Ok ()
-    | Local { gates } :: rest ->
-      let* () =
-        if gates = [] then fail "empty local round" else check_locals gates
-      in
-      walk rest
-    | Braid { braids; locals } :: rest ->
-      let* () =
-        if braids = [] then fail "braid round without braids"
-        else check_braid_paths braids
-      in
-      let* () = check_locals locals in
-      walk rest
-    | Swap_layer { swaps } :: rest ->
-      let* () =
-        if swaps = [] then fail "empty swap layer" else check_swaps swaps
-      in
-      walk rest
-  in
-  let* () = walk t.rounds in
+  List.iteri
+    (fun round r ->
+      match r with
+      | Local { gates } ->
+        if gates = [] then add ~round "empty local round"
+        else check_locals ~round gates
+      | Braid { braids; locals } ->
+        if braids = [] then add ~round "braid round without braids"
+        else check_braid_paths ~round braids;
+        check_locals ~round locals
+      | Swap_layer { swaps } ->
+        if swaps = [] then add ~round "empty swap layer"
+        else check_swaps ~round swaps)
+    t.rounds;
   let missing = ref [] in
   Array.iteri (fun i done_ -> if not done_ then missing := i :: !missing) executed;
-  match !missing with
+  (match List.rev !missing with
+  | [] -> ()
+  | i :: rest ->
+    add ~gate:i "gate %d was never executed (%d gates missing in total)" i
+      (1 + List.length rest));
+  List.rev !violations
+
+let validate t =
+  match check t with
   | [] -> Ok ()
-  | i :: _ -> fail "gate %d was never executed" i
+  | v :: _ -> Error (violation_to_string v)
 
 let round_to_string t k =
   if k < 0 || k >= num_rounds t then invalid_arg "Trace.round_to_string";

@@ -39,7 +39,17 @@ val placement_after : t -> int -> Qec_lattice.Placement.t
 
 val final_placement : t -> Qec_lattice.Placement.t
 
-val validate : t -> (unit, string) result
+type violation = {
+  round : int option;  (** 0-based round index, when tied to one round *)
+  gate : int option;  (** gate id, when tied to one gate *)
+  msg : string;
+}
+(** One structured rule violation found while replaying a trace. *)
+
+val violation_to_string : violation -> string
+(** ["round K: msg"] when a round is known, [msg] otherwise. *)
+
+val check : t -> violation list
 (** Replay the trace and check, without consulting the scheduler:
 
     - every circuit gate is executed exactly once, and only after all of
@@ -51,7 +61,14 @@ val validate : t -> (unit, string) result
     - local rounds contain no two-qubit gates and braid entries are all
       two-qubit gates.
 
-    Returns [Error message] naming the first violation. *)
+    Returns every detectable violation in replay order ([] for a valid
+    trace). After a gate fails a readiness check the replay continues
+    best-effort, so later violations may be knock-on effects of earlier
+    ones; the first violation is always trustworthy. *)
+
+val validate : t -> (unit, string) result
+(** [Ok ()] when {!check} finds nothing, otherwise [Error msg] naming the
+    first violation. *)
 
 val round_to_string : t -> int -> string
 (** ASCII rendering ({!Qec_lattice.Render}) of one round's paths over the

@@ -1,0 +1,293 @@
+module Ast = Qec_qasm.Ast
+module Frontend = Qec_qasm.Frontend
+module D = Diagnostic
+
+(* One mutable pass over the program, mirroring the frontend's elaboration
+   environment closely enough that every Frontend.Unsupported failure mode
+   has a pre-flight rule here. *)
+
+type reg = { size : int; rpos : Ast.pos }
+
+type decl_info = { nparams : int; formals : string list }
+
+type st = {
+  file : string;
+  mutable diags : D.t list;
+  qregs : (string, reg) Hashtbl.t;
+  cregs : (string, reg) Hashtbl.t;
+  decls : (string, decl_info) Hashtbl.t;
+  measured : (string * int, unit) Hashtbl.t;
+  used_qubits : (string * int, unit) Hashtbl.t;
+  used_cregs : (string, unit) Hashtbl.t;
+  mutable first_gate : Ast.pos option;  (* first gate/measure/reset seen *)
+}
+
+let add st ?pos ?context ~code ~severity fmt =
+  Printf.ksprintf
+    (fun message ->
+      st.diags <- D.make ?pos ?context ~code ~severity ~file:st.file message :: st.diags)
+    fmt
+
+let error st ?pos ?context code fmt = add st ?pos ?context ~code ~severity:D.Error fmt
+
+let warning st ?pos ?context code fmt =
+  add st ?pos ?context ~code ~severity:D.Warning fmt
+
+let arg_name = function Ast.Whole r | Ast.Indexed (r, _) -> r
+
+let arg_to_string = function
+  | Ast.Whole r -> r
+  | Ast.Indexed (r, i) -> Printf.sprintf "%s[%d]" r i
+
+(* Quantum-register reference checks (QL001/QL002); returns the qubit
+   indices the argument denotes, [] when unresolvable. *)
+let resolve_qarg st pos arg =
+  let reg = arg_name arg in
+  match Hashtbl.find_opt st.qregs reg with
+  | None ->
+    error st ~pos "QL001" "unknown quantum register %s" reg;
+    []
+  | Some { size; _ } -> (
+    match arg with
+    | Ast.Whole _ -> List.init size (fun i -> (reg, i))
+    | Ast.Indexed (_, i) ->
+      if i < 0 || i >= size then begin
+        error st ~pos "QL002" "index %d out of range for qreg %s[%d]" i reg size;
+        []
+      end
+      else [ (reg, i) ])
+
+let resolve_carg st pos arg =
+  let reg = arg_name arg in
+  match Hashtbl.find_opt st.cregs reg with
+  | None ->
+    error st ~pos "QL001" "unknown classical register %s" reg;
+    None
+  | Some { size; _ } ->
+    (match arg with
+    | Ast.Whole _ -> ()
+    | Ast.Indexed (_, i) ->
+      if i < 0 || i >= size then
+        error st ~pos "QL002" "index %d out of range for creg %s[%d]" i reg size);
+    Hashtbl.replace st.used_cregs reg ();
+    Some size
+
+let mark_used st qubits =
+  List.iter (fun q -> Hashtbl.replace st.used_qubits q ()) qubits
+
+(* QL020: a gate touching a qubit whose latest operation was a measurement
+   (and no reset in between) has an unobservable or ill-defined effect. *)
+let check_use_after_measure st pos gname qubits =
+  List.iter
+    (fun (reg, i) ->
+      if Hashtbl.mem st.measured (reg, i) then
+        warning st ~pos "QL020" "%s uses qubit %s[%d] after it was measured"
+          gname reg i)
+    qubits
+
+let gate_signature st gname =
+  match Frontend.builtin_signature gname with
+  | Some (nparams, nargs) -> Some (nparams, nargs)
+  | None -> (
+    match Hashtbl.find_opt st.decls gname with
+    | Some { nparams; formals; _ } -> Some (nparams, List.length formals)
+    | None -> None)
+
+(* Application-site checks: QL003-QL007 plus register/measure tracking. *)
+let check_app st (app : Ast.gate_app) =
+  let pos = app.gpos in
+  (match gate_signature st app.gname with
+  | None -> error st ~pos "QL004" "unknown gate %s" app.gname
+  | Some (nparams, nargs) ->
+    let got_params = List.length app.gparams in
+    if got_params <> nparams then
+      error st ~pos "QL005" "%s expects %d parameter%s, got %d" app.gname nparams
+        (if nparams = 1 then "" else "s")
+        got_params;
+    let got_args = List.length app.gargs in
+    if got_args <> nargs then
+      error st ~pos "QL006" "%s expects %d operand%s, got %d" app.gname nargs
+        (if nargs = 1 then "" else "s")
+        got_args);
+  let resolved = List.map (fun a -> (a, resolve_qarg st pos a)) app.gargs in
+  (* QL007: whole-register operands of unequal sizes cannot broadcast. *)
+  let widths =
+    List.filter_map
+      (fun (_, qs) -> match List.length qs with 0 | 1 -> None | w -> Some w)
+      resolved
+  in
+  (match widths with
+  | w :: rest when List.exists (( <> ) w) rest ->
+    error st ~pos "QL007" "mismatched register sizes in broadcast application of %s"
+      app.gname
+  | _ -> ());
+  (* QL003: the same qubit twice in one application. Only exact, fully
+     resolved single-qubit operands are compared. *)
+  let singles =
+    List.filter_map (fun (a, qs) -> match qs with [ q ] -> Some (a, q) | _ -> None)
+      resolved
+  in
+  let rec dup_check = function
+    | [] -> ()
+    | (a, q) :: rest ->
+      if List.exists (fun (_, q') -> q' = q) rest then
+        error st ~pos "QL003" "duplicate operand %s in application of %s"
+          (arg_to_string a) app.gname;
+      dup_check rest
+  in
+  dup_check singles;
+  let qubits = List.concat_map snd resolved in
+  check_use_after_measure st pos app.gname qubits;
+  mark_used st qubits
+
+(* Gate-declaration checks: QL010 body validity, QL023 shadowing. *)
+let check_decl st pos name params formals (body : Ast.gate_app list) =
+  if Frontend.is_builtin name then
+    warning st ~pos "QL023" "gate declaration %s shadows a builtin gate" name
+  else if Hashtbl.mem st.decls name then
+    warning st ~pos "QL023" "gate declaration %s shadows an earlier declaration"
+      name;
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup formals with
+  | Some f -> error st ~pos "QL010" "gate %s repeats formal operand %s" name f
+  | None -> ());
+  List.iter
+    (fun (app : Ast.gate_app) ->
+      let bpos = app.gpos in
+      (match gate_signature st app.gname with
+      | None ->
+        (* The frontend rejects recursion and forward references alike. *)
+        error st ~pos:bpos "QL010" "gate %s body uses undeclared gate %s" name
+          app.gname
+      | Some (nparams, nargs) ->
+        if List.length app.gparams <> nparams then
+          error st ~pos:bpos "QL010" "gate %s body: %s expects %d parameter%s"
+            name app.gname nparams
+            (if nparams = 1 then "" else "s");
+        if List.length app.gargs <> nargs then
+          error st ~pos:bpos "QL010" "gate %s body: %s expects %d operand%s" name
+            app.gname nargs
+            (if nargs = 1 then "" else "s"));
+      List.iter
+        (function
+          | Ast.Indexed (r, i) ->
+            error st ~pos:bpos "QL010"
+              "gate %s body indexes register %s[%d] (only formal operands are \
+               allowed)"
+              name r i
+          | Ast.Whole f ->
+            if not (List.mem f formals) then
+              error st ~pos:bpos "QL010" "gate %s body uses unknown operand %s"
+                name f)
+        app.gargs;
+      let rec check_expr = function
+        | Ast.Ident id when not (List.mem id params) ->
+          error st ~pos:bpos "QL010" "gate %s body uses unknown parameter %s"
+            name id
+        | Ast.Num _ | Ast.Pi | Ast.Ident _ -> ()
+        | Ast.Neg e -> check_expr e
+        | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) | Ast.Div (a, b)
+        | Ast.Pow (a, b) ->
+          check_expr a;
+          check_expr b
+      in
+      List.iter check_expr app.gparams)
+    body;
+  Hashtbl.replace st.decls name { nparams = List.length params; formals }
+
+let note_gate_seen st pos =
+  if st.first_gate = None then st.first_gate <- Some pos
+
+let check_stmt st ({ stmt; pos } : Ast.node) =
+  match stmt with
+  | Ast.Version v ->
+    if v <> "2.0" then
+      error st ~pos "QL012" "unsupported OPENQASM version %s (only 2.0)" v
+  | Ast.Include _ -> ()
+  | Ast.Qreg (name, size) ->
+    if st.first_gate <> None then
+      error st ~pos "QL008" "qreg %s declared after the first gate" name;
+    if Hashtbl.mem st.qregs name then
+      error st ~pos "QL009" "duplicate declaration of qreg %s" name
+    else Hashtbl.replace st.qregs name { size; rpos = pos }
+  | Ast.Creg (name, size) ->
+    if Hashtbl.mem st.cregs name then
+      error st ~pos "QL009" "duplicate declaration of creg %s" name
+    else Hashtbl.replace st.cregs name { size; rpos = pos }
+  | Ast.Gate_decl { name; params; formals; body } ->
+    check_decl st pos name params formals body
+  | Ast.App app ->
+    note_gate_seen st pos;
+    check_app st app
+  | Ast.Measure (src, dst) ->
+    note_gate_seen st pos;
+    let qubits = resolve_qarg st pos src in
+    let csize = resolve_carg st pos dst in
+    (match (csize, (src, dst)) with
+    | Some cs, (Ast.Whole qr, Ast.Whole _) -> (
+      match Hashtbl.find_opt st.qregs qr with
+      | Some { size; _ } when size <> cs ->
+        warning st ~pos "QL024"
+          "measure broadcasts %s[%d] into a creg of size %d" qr size cs
+      | _ -> ())
+    | _ -> ());
+    mark_used st qubits;
+    List.iter (fun q -> Hashtbl.replace st.measured q ()) qubits
+  | Ast.Reset a ->
+    note_gate_seen st pos;
+    let qubits = resolve_qarg st pos a in
+    mark_used st qubits;
+    List.iter (fun q -> Hashtbl.remove st.measured q) qubits
+  | Ast.Barrier args ->
+    (* Structural only: validate references, but a barrier neither "uses" a
+       qubit for QL021 nor clears/sets measurement state. *)
+    List.iter (fun a -> ignore (resolve_qarg st pos a)) args
+
+(* Whole-program rules after the walk: QL011, QL021, QL022. *)
+let check_finish st (program : Ast.program) =
+  if Hashtbl.length st.qregs = 0 then begin
+    let pos = match program with { pos; _ } :: _ -> Some pos | [] -> None in
+    error st ?pos "QL011" "program declares no quantum register"
+  end;
+  Hashtbl.iter
+    (fun name { size; rpos } ->
+      let unused =
+        List.filter (fun i -> not (Hashtbl.mem st.used_qubits (name, i)))
+          (List.init size Fun.id)
+      in
+      match unused with
+      | [] -> ()
+      | _ when List.length unused = size ->
+        warning st ~pos:rpos "QL021" "qreg %s is never used" name
+      | _ ->
+        warning st ~pos:rpos "QL021" "%d of %d qubits of qreg %s are never used (%s)"
+          (List.length unused) size name
+          (String.concat ", "
+             (List.map (Printf.sprintf "%s[%d]" name) unused)))
+    st.qregs;
+  Hashtbl.iter
+    (fun name { rpos; _ } ->
+      if not (Hashtbl.mem st.used_cregs name) then
+        warning st ~pos:rpos "QL022" "creg %s is never used" name)
+    st.cregs
+
+let check ~file (program : Ast.program) =
+  let st =
+    {
+      file;
+      diags = [];
+      qregs = Hashtbl.create 4;
+      cregs = Hashtbl.create 4;
+      decls = Hashtbl.create 16;
+      measured = Hashtbl.create 16;
+      used_qubits = Hashtbl.create 64;
+      used_cregs = Hashtbl.create 4;
+      first_gate = None;
+    }
+  in
+  List.iter (check_stmt st) program;
+  check_finish st program;
+  List.stable_sort D.compare_by_pos (List.rev st.diags)

@@ -1,0 +1,31 @@
+(** AST-level lint passes (QL0xx) over a parsed OpenQASM program.
+
+    A single forward walk mirrors the frontend's elaboration environment,
+    so every [Frontend.Unsupported] failure mode has a span-carrying
+    pre-flight rule here, plus hygiene rules elaboration never checks
+    (unused qubits, shadowed declarations, use-after-measure).
+
+    Rules (catalog with examples in docs/lint.md):
+
+    - QL001 (error): use of an undeclared quantum/classical register
+    - QL002 (error): register index out of range
+    - QL003 (error): duplicate operand in one gate application
+    - QL004 (error): unknown gate
+    - QL005 (error): wrong parameter count
+    - QL006 (error): wrong operand count
+    - QL007 (error): mismatched register sizes in a broadcast application
+    - QL008 (error): qreg declared after the first gate
+    - QL009 (error): duplicate register declaration
+    - QL010 (error): invalid gate declaration body
+    - QL011 (error): program declares no quantum register
+    - QL012 (error): unsupported OPENQASM version
+    - QL020 (warning): qubit used after measurement without reset
+    - QL021 (warning): unused qubit(s) in a qreg
+    - QL022 (warning): unused creg
+    - QL023 (warning): gate declaration shadows a builtin or earlier one
+    - QL024 (warning): measure broadcast into a creg of different size *)
+
+val check : file:string -> Qec_qasm.Ast.program -> Diagnostic.t list
+(** Diagnostics in source order. An empty list means the program passes
+    every AST rule; elaboration may still fail only on conditions these
+    rules cannot see statically (none known today). *)

@@ -1,0 +1,109 @@
+module C = Qec_circuit.Circuit
+module G = Qec_circuit.Gate
+module D = Diagnostic
+
+let diag ?context ~code ~severity ~file fmt =
+  Printf.ksprintf (fun m -> D.make ?context ~code ~severity ~file m) fmt
+
+let gate_context c i =
+  Printf.sprintf "gate %d: %s" i (G.to_string (C.gate c i))
+
+(* QL101: a gate is dead when every operand qubit has already seen its final
+   measurement — nothing downstream can observe its effect. Circuits without
+   any measurement are left alone (they are states, not experiments). *)
+let dead_gates ~file c =
+  let n = C.num_qubits c in
+  let last_measure = Array.make n (-1) in
+  C.iter
+    (fun i g -> match g with G.Measure q -> last_measure.(q) <- i | _ -> ())
+    c;
+  if Array.for_all (fun m -> m < 0) last_measure then []
+  else begin
+    let out = ref [] in
+    C.iter
+      (fun i g ->
+        match g with
+        | G.Measure _ | G.Barrier _ -> ()
+        | _ ->
+          let qs = G.qubits g in
+          if
+            qs <> []
+            && List.for_all (fun q -> last_measure.(q) >= 0 && last_measure.(q) < i) qs
+          then
+            out :=
+              diag ~context:(gate_context c i) ~code:"QL101" ~severity:D.Warning
+                ~file "%s acts after the final measurement of all its qubits"
+                (G.name g)
+              :: !out)
+      c;
+    List.rev !out
+  end
+
+(* QL102: two identical CX gates with no intervening operation on either
+   qubit cancel to the identity; the scheduler would braid both. *)
+let cancelling_cx ~file c =
+  let n = C.num_qubits c in
+  let last = Array.make n (-1) in
+  let paired = Array.make (C.length c) false in
+  let out = ref [] in
+  C.iter
+    (fun i g ->
+      (match g with
+      | G.Cx (a, b)
+        when last.(a) >= 0 && last.(a) = last.(b)
+             && (not paired.(last.(a)))
+             && G.equal (C.gate c last.(a)) g ->
+        paired.(i) <- true;
+        out :=
+          diag ~context:(gate_context c i) ~code:"QL102" ~severity:D.Warning
+            ~file "adjacent self-cancelling cx pair (gates %d and %d)" last.(a)
+            i
+          :: !out
+      | _ -> ());
+      List.iter (fun q -> last.(q) <- i) (G.qubits g))
+    c;
+  List.rev !out
+
+(* QL103: without two-qubit gates there is nothing to braid; the Full
+   scheduler's layout optimization can only add overhead. *)
+let no_two_qubit ~file c =
+  if C.length c > 0 && C.two_qubit_count c = 0 then
+    [
+      diag ~code:"QL103" ~severity:D.Info ~file
+        "circuit has no two-qubit gates; Full scheduling adds nothing over \
+         trivial local rounds";
+    ]
+  else []
+
+(* QL104: untouched qubits still occupy lattice tiles. Warn when dropping
+   them would shrink the (square) lattice the scheduler allocates. *)
+let lattice_capacity ~file c =
+  let n = C.num_qubits c in
+  if n = 0 then []
+  else begin
+    let touched = Array.make n false in
+    C.iter
+      (fun _ g ->
+        match g with
+        | G.Barrier _ -> ()
+        | _ -> List.iter (fun q -> touched.(q) <- true) (G.qubits g))
+      c;
+    let used = Array.fold_left (fun acc t -> if t then acc + 1 else acc) 0 touched in
+    if used = 0 || used = n then []
+    else begin
+      let side = Qec_surface.Resources.lattice_side ~num_logical:n in
+      let side' = Qec_surface.Resources.lattice_side ~num_logical:used in
+      if side' < side then
+        [
+          diag ~code:"QL104" ~severity:D.Warning ~file
+            "%d of %d qubits are untouched; removing them would shrink the \
+             lattice from %dx%d to %dx%d tiles"
+            (n - used) n side side side' side';
+        ]
+      else []
+    end
+  end
+
+let check ~file c =
+  dead_gates ~file c @ cancelling_cx ~file c @ no_two_qubit ~file c
+  @ lattice_capacity ~file c

@@ -1,0 +1,18 @@
+(** Circuit- and DAG-level lint passes (QL1xx).
+
+    These run on the elaborated {!Qec_circuit.Circuit.t}, so they also
+    apply to circuits that never had QASM source (benchmark generators,
+    RevLib files). Diagnostics carry no source position; offending gates
+    are identified through the [context] field as ["gate ID: mnemonic"]. *)
+
+val check : file:string -> Qec_circuit.Circuit.t -> Diagnostic.t list
+(** Runs all passes, in rule-code order:
+
+    - QL101 (warning): gate past the final measurement of all its operand
+      qubits — its effect is unobservable;
+    - QL102 (warning): adjacent self-cancelling CX pair — two braids the
+      peephole optimizer would delete;
+    - QL103 (info): no two-qubit gates at all, so [Full] scheduling (and
+      its layout optimizer) is pointless;
+    - QL104 (warning): untouched qubits inflate the lattice side the
+      scheduler allocates. *)

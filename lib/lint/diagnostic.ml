@@ -1,0 +1,94 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  file : string;
+  pos : Qec_qasm.Ast.pos option;
+  context : string option;
+}
+
+let make ?pos ?context ~code ~severity ~file message =
+  { code; severity; message; file; pos; context }
+
+let compare_by_pos a b =
+  match (a.pos, b.pos) with
+  | Some pa, Some pb ->
+    let c = compare (pa.Qec_qasm.Ast.line, pa.col) (pb.Qec_qasm.Ast.line, pb.col) in
+    if c <> 0 then c else compare a.code b.code
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> compare a.code b.code
+
+let location_string t =
+  match t.pos with
+  | Some { Qec_qasm.Ast.line; col } -> Printf.sprintf "%s:%d:%d" t.file line col
+  | None -> t.file
+
+let to_string t =
+  Printf.sprintf "%s: %s[%s]: %s%s" (location_string t)
+    (severity_to_string t.severity)
+    t.code t.message
+    (match t.context with None -> "" | Some c -> " (" ^ c ^ ")")
+
+(* file:3:7: error[QL002]: index 9 out of range ...
+        cx q[9],q[1];
+           ^                                           *)
+let render ?source t =
+  let header = to_string t in
+  match (source, t.pos) with
+  | Some src, Some { Qec_qasm.Ast.line; col } when line >= 1 -> (
+    match List.nth_opt (String.split_on_char '\n' src) (line - 1) with
+    | Some text when col >= 1 && col <= String.length text + 1 ->
+      Printf.sprintf "%s\n    %s\n    %s^" header text
+        (String.map (fun c -> if c = '\t' then '\t' else ' ')
+           (String.sub text 0 (col - 1)))
+    | _ -> header)
+  | _ -> header
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_jsonl t =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let line, col =
+    match t.pos with
+    | Some { Qec_qasm.Ast.line; col } -> (line, col)
+    | None -> (0, 0)
+  in
+  let base =
+    [
+      field "code" (str t.code);
+      field "severity" (str (severity_to_string t.severity));
+      field "file" (str t.file);
+      field "line" (string_of_int line);
+      field "col" (string_of_int col);
+      field "message" (str t.message);
+    ]
+  in
+  let ctx =
+    match t.context with None -> [] | Some c -> [ field "context" (str c) ]
+  in
+  "{" ^ String.concat "," (base @ ctx) ^ "}"

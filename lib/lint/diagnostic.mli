@@ -1,0 +1,53 @@
+(** Structured lint diagnostics.
+
+    Every diagnostic carries a stable rule code ([QLxxx] — catalog in
+    docs/lint.md), a severity, the originating file, and — when the rule
+    fired on QASM source — a {!Qec_qasm.Ast.pos}. Circuit- and
+    schedule-level rules have no source position; they point at gates or
+    rounds via [context] instead. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val severity_rank : severity -> int
+(** [Info] = 0, [Warning] = 1, [Error] = 2 — for threshold comparisons. *)
+
+type t = {
+  code : string;  (** stable rule code, e.g. ["QL003"] *)
+  severity : severity;
+  message : string;
+  file : string;  (** file path, benchmark name, or circuit name *)
+  pos : Qec_qasm.Ast.pos option;  (** source position when known *)
+  context : string option;  (** e.g. ["gate 12: cx q3,q7"] or ["round 4"] *)
+}
+
+val make :
+  ?pos:Qec_qasm.Ast.pos ->
+  ?context:string ->
+  code:string ->
+  severity:severity ->
+  file:string ->
+  string ->
+  t
+
+val compare_by_pos : t -> t -> int
+(** Source order (position, then code); positionless diagnostics sort
+    last. *)
+
+val location_string : t -> string
+(** ["file:line:col"], or just ["file"] without a position. *)
+
+val to_string : t -> string
+(** One line: ["file:line:col: severity[QLxxx]: message (context)"]. *)
+
+val render : ?source:string -> t -> string
+(** {!to_string} plus, when [source] is given and the diagnostic has a
+    position inside it, the offending source line with a caret under the
+    column. *)
+
+val to_jsonl : t -> string
+(** One compact JSON object (no trailing newline) with fields [code],
+    [severity], [file], [line], [col], [message], and [context] when
+    present; positionless diagnostics report [line = 0], [col = 0]. *)

@@ -1,0 +1,36 @@
+(** Pass driver: run every applicable pass family over a source, program,
+    or circuit and fold the results into one diagnostic list.
+
+    Lint is strictly read-only — it never rewrites the program or the
+    circuit, so scheduling results are bit-identical with or without it
+    (asserted by test/test_lint.ml). *)
+
+val syntax_error_code : string
+(** ["QL000"] — a [Parser.Error] converted into a diagnostic. *)
+
+val elaboration_error_code : string
+(** ["QL013"] — elaboration failed in a way no AST rule pre-flighted. *)
+
+val lint_program : file:string -> Qec_qasm.Ast.program -> Diagnostic.t list
+(** AST passes only ({!Ast_lint.check}). *)
+
+val lint_circuit : file:string -> Qec_circuit.Circuit.t -> Diagnostic.t list
+(** Circuit passes only ({!Circuit_lint.check}). *)
+
+val lint_source : file:string -> string -> Diagnostic.t list
+(** Parse (syntax errors become QL000 diagnostics), run AST passes; when
+    they report no error-severity diagnostic, elaborate (failures become
+    QL013) and run circuit passes on the result. *)
+
+val lint_file : string -> Diagnostic.t list * string
+(** {!lint_source} on a file's contents; also returns the source text for
+    caret rendering. Raises [Sys_error] on I/O failure. *)
+
+val error_count : ?deny_warning:bool -> Diagnostic.t list -> int
+(** Diagnostics at error severity; [deny_warning] promotes warnings. *)
+
+val exit_code : ?deny_warning:bool -> Diagnostic.t list -> int
+(** The CLI exit-code policy: 1 when {!error_count} is positive, else 0. *)
+
+val summary : ?deny_warning:bool -> Diagnostic.t list -> string
+(** ["N error(s), M warning(s), K info"] after promotion. *)

@@ -1,0 +1,44 @@
+module D = Diagnostic
+
+let diag ?context ~code ~severity ~file fmt =
+  Printf.ksprintf (fun m -> D.make ?context ~code ~severity ~file m) fmt
+
+let check_options ~file ?threshold_p ?d () =
+  let tp =
+    match threshold_p with
+    | Some p when p < 0. || p >= 1. ->
+      [
+        diag ~code:"QL201" ~severity:D.Error ~file
+          "threshold_p = %g is outside [0, 1); Scheduler.run would reject it" p;
+      ]
+    | _ -> []
+  in
+  let dist =
+    match d with
+    | Some d when d < 3 ->
+      [
+        diag ~code:"QL202" ~severity:D.Warning ~file
+          "surface code distance %d cannot correct any error (d >= 3 needed)" d;
+      ]
+    | Some d when d mod 2 = 0 ->
+      [
+        diag ~code:"QL202" ~severity:D.Warning ~file
+          "even surface code distance %d corrects no more errors than %d" d
+          (d - 1);
+      ]
+    | _ -> []
+  in
+  tp @ dist
+
+let check_trace ~file trace =
+  List.map
+    (fun (v : Autobraid.Trace.violation) ->
+      let context =
+        match (v.round, v.gate) with
+        | Some r, Some g -> Some (Printf.sprintf "round %d, gate %d" r g)
+        | Some r, None -> Some (Printf.sprintf "round %d" r)
+        | None, Some g -> Some (Printf.sprintf "gate %d" g)
+        | None, None -> None
+      in
+      D.make ?context ~code:"QL210" ~severity:D.Error ~file v.msg)
+    (Autobraid.Trace.check trace)

@@ -1,3 +1,9 @@
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
 type expr =
   | Num of float
   | Pi
@@ -11,7 +17,12 @@ type expr =
 
 type arg = Whole of string | Indexed of string * int
 
-type gate_app = { gname : string; gparams : expr list; gargs : arg list }
+type gate_app = {
+  gname : string;
+  gparams : expr list;
+  gargs : arg list;
+  gpos : pos;
+}
 
 type stmt =
   | Version of string
@@ -29,7 +40,11 @@ type stmt =
   | Reset of arg
   | Barrier of arg list
 
-type program = stmt list
+type node = { stmt : stmt; pos : pos }
+
+type program = node list
+
+let strip program = List.map (fun n -> n.stmt) program
 
 let rec eval_expr env = function
   | Num f -> f

@@ -1,4 +1,19 @@
-(** Abstract syntax for the supported OpenQASM 2.0 subset. *)
+(** Abstract syntax for the supported OpenQASM 2.0 subset.
+
+    Every statement — and every gate application, including those inside
+    [gate] declaration bodies — carries the 1-based source position of its
+    first token, threaded from {!Lexer.t} by the parser. Positions power
+    the diagnostics in [Qec_lint] and the [file:line:col] error reporting
+    of the CLI. *)
+
+type pos = { line : int; col : int }
+(** 1-based source position. *)
+
+val no_pos : pos
+(** [{ line = 0; col = 0 }] — for synthesized nodes with no source. *)
+
+val pp_pos : Format.formatter -> pos -> unit
+(** Prints [line:col]. *)
 
 type expr =
   | Num of float
@@ -15,7 +30,12 @@ type arg =
   | Whole of string  (** a full register, broadcast over its qubits *)
   | Indexed of string * int
 
-type gate_app = { gname : string; gparams : expr list; gargs : arg list }
+type gate_app = {
+  gname : string;
+  gparams : expr list;
+  gargs : arg list;
+  gpos : pos;  (** position of the gate name token *)
+}
 
 type stmt =
   | Version of string
@@ -33,7 +53,13 @@ type stmt =
   | Reset of arg
   | Barrier of arg list
 
-type program = stmt list
+type node = { stmt : stmt; pos : pos }
+(** A statement with the position of its first token. *)
+
+type program = node list
+
+val strip : program -> stmt list
+(** Drop positions — convenience for pattern-matching on structure. *)
 
 val eval_expr : (string -> float) -> expr -> float
 (** Evaluate with the given binding for formal parameters. Raises

@@ -1,9 +1,10 @@
-exception Unsupported of string
+exception Unsupported of { pos : Ast.pos option; msg : string }
 
 module G = Qec_circuit.Gate
 module C = Qec_circuit.Circuit
 
-let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+let unsupported fmt =
+  Printf.ksprintf (fun s -> raise (Unsupported { pos = None; msg = s })) fmt
 
 type decl = { params : string list; formals : string list; body : Ast.gate_app list }
 
@@ -102,13 +103,18 @@ let apply_builtin env gname (ps : float list) (qs : int list) =
     bad_params ()
   | _ -> unsupported "unknown gate %s" gname
 
-let is_builtin name =
-  match name with
-  | "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "id" | "sx" | "sxdg"
-  | "rx" | "ry" | "rz" | "p" | "u1" | "u2" | "u3" | "u" | "U" | "cx" | "CX"
-  | "cz" | "cp" | "cu1" | "crz" | "swap" | "ccx" | "cswap" ->
-    true
-  | _ -> false
+let builtin_signature = function
+  | "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "id" | "sx" | "sxdg" ->
+    Some (0, 1)
+  | "rx" | "ry" | "rz" | "p" | "u1" -> Some (1, 1)
+  | "u2" -> Some (2, 1)
+  | "u3" | "u" | "U" -> Some (3, 1)
+  | "cx" | "CX" | "cz" | "swap" -> Some (0, 2)
+  | "cp" | "cu1" | "crz" -> Some (1, 2)
+  | "ccx" | "cswap" -> Some (0, 3)
+  | _ -> None
+
+let is_builtin name = builtin_signature name <> None
 
 (* Apply a (possibly user-declared) gate to concrete qubits with concrete
    parameter values. User gates expand recursively; QASM guarantees bodies
@@ -169,8 +175,7 @@ let elaborate ?(name = "qasm") program =
       env.builder :=
         Some (C.Builder.create ~name ~num_qubits:env.total_qubits ())
   in
-  List.iter
-    (fun stmt ->
+  let elaborate_stmt stmt =
       match (stmt : Ast.stmt) with
       | Ast.Version v ->
         if v <> "2.0" then unsupported "OPENQASM version %s" v
@@ -202,7 +207,15 @@ let elaborate ?(name = "qasm") program =
       | Ast.Barrier args ->
         ensure_builder ();
         let qs = List.concat_map (resolve_arg env) args in
-        C.Builder.add (builder env) (G.Barrier (List.sort_uniq compare qs)))
+        C.Builder.add (builder env) (G.Barrier (List.sort_uniq compare qs))
+  in
+  List.iter
+    (fun { Ast.stmt; pos } ->
+      (* Attach the statement's source position to errors raised anywhere
+         below it (including inside expanded user-gate bodies). *)
+      try elaborate_stmt stmt with
+      | Unsupported { pos = None; msg } ->
+        raise (Unsupported { pos = Some pos; msg }))
     program;
   ensure_builder ();
   match !(env.builder) with

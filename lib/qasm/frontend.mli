@@ -9,8 +9,19 @@
     is treated as [cp] (same interaction, different relative phase) and
     [reset] as a local measurement. *)
 
-exception Unsupported of string
-(** Raised on gate names or features outside the subset. *)
+exception Unsupported of { pos : Ast.pos option; msg : string }
+(** Raised on gate names or features outside the subset. [pos] is the
+    source position of the offending statement when elaboration started
+    from a parsed program; [None] for errors with no single source site
+    (e.g. a program that declares no quantum register). *)
+
+val is_builtin : string -> bool
+(** True for the natively supported gate names listed above. *)
+
+val builtin_signature : string -> (int * int) option
+(** [(parameter count, operand count)] for a builtin gate name; [None]
+    for unknown names. Used by [Qec_lint] to pre-flight applications
+    before elaboration can raise {!Unsupported}. *)
 
 val elaborate : ?name:string -> Ast.program -> Qec_circuit.Circuit.t
 (** Raises {!Unsupported}, or {!Qec_circuit.Circuit.Invalid} on

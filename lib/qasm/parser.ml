@@ -146,11 +146,13 @@ let parse_params st =
     end
   | _ -> []
 
-let parse_gate_app st name =
+let pos_of (tk : Lexer.t) = { Ast.line = tk.line; col = tk.col }
+
+let parse_gate_app st ~pos name =
   let gparams = parse_params st in
   let gargs = parse_args st in
   expect st Lexer.Semicolon ";";
-  { Ast.gname = name; gparams; gargs }
+  { Ast.gname = name; gparams; gargs; gpos = pos }
 
 let parse_gate_decl st =
   let name = expect_id st in
@@ -200,14 +202,15 @@ let parse_gate_decl st =
       body acc
     | Lexer.Id g ->
       advance st;
-      body (parse_gate_app st g :: acc)
+      body (parse_gate_app st ~pos:(pos_of t) g :: acc)
     | _ -> fail t "expected gate application in gate body"
   in
   let body = body [] in
   Ast.Gate_decl { name; params; formals; body }
 
-let parse_stmt st : Ast.stmt option =
+let parse_stmt st : Ast.node option =
   let t = peek st in
+  let at stmt = Some { Ast.stmt; pos = pos_of t } in
   match t.token with
   | Lexer.Eof -> None
   | Lexer.Id "OPENQASM" ->
@@ -223,7 +226,7 @@ let parse_stmt st : Ast.stmt option =
       | _ -> fail (peek st) "expected version number"
     in
     expect st Lexer.Semicolon ";";
-    Some (Ast.Version v)
+    at (Ast.Version v)
   | Lexer.Id "include" ->
     advance st;
     let f =
@@ -234,7 +237,7 @@ let parse_stmt st : Ast.stmt option =
       | _ -> fail (peek st) "expected file name string"
     in
     expect st Lexer.Semicolon ";";
-    Some (Ast.Include f)
+    at (Ast.Include f)
   | Lexer.Id "qreg" ->
     advance st;
     let name = expect_id st in
@@ -242,7 +245,7 @@ let parse_stmt st : Ast.stmt option =
     let size = expect_int st in
     expect st Lexer.Rbracket "]";
     expect st Lexer.Semicolon ";";
-    Some (Ast.Qreg (name, size))
+    at (Ast.Qreg (name, size))
   | Lexer.Id "creg" ->
     advance st;
     let name = expect_id st in
@@ -250,32 +253,32 @@ let parse_stmt st : Ast.stmt option =
     let size = expect_int st in
     expect st Lexer.Rbracket "]";
     expect st Lexer.Semicolon ";";
-    Some (Ast.Creg (name, size))
+    at (Ast.Creg (name, size))
   | Lexer.Id "gate" ->
     advance st;
-    Some (parse_gate_decl st)
+    at (parse_gate_decl st)
   | Lexer.Id "measure" ->
     advance st;
     let src = parse_arg st in
     expect st Lexer.Arrow "->";
     let dst = parse_arg st in
     expect st Lexer.Semicolon ";";
-    Some (Ast.Measure (src, dst))
+    at (Ast.Measure (src, dst))
   | Lexer.Id "reset" ->
     advance st;
     let a = parse_arg st in
     expect st Lexer.Semicolon ";";
-    Some (Ast.Reset a)
+    at (Ast.Reset a)
   | Lexer.Id "barrier" ->
     advance st;
     let args = parse_args st in
     expect st Lexer.Semicolon ";";
-    Some (Ast.Barrier args)
+    at (Ast.Barrier args)
   | Lexer.Id "if" -> fail t "classical control (if) is not supported"
   | Lexer.Id "opaque" -> fail t "opaque gates are not supported"
   | Lexer.Id g ->
     advance st;
-    Some (Ast.App (parse_gate_app st g))
+    at (Ast.App (parse_gate_app st ~pos:(pos_of t) g))
   | _ -> fail t "expected statement"
 
 let parse_tokens toks =

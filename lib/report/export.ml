@@ -188,3 +188,24 @@ let p_curve_to_csv curve =
            r.rounds r.swaps_inserted))
     curve;
   Buffer.contents buf
+
+let diagnostic_to_json (d : Qec_lint.Diagnostic.t) =
+  let line, col =
+    match d.pos with
+    | Some { Qec_qasm.Ast.line; col } -> (line, col)
+    | None -> (0, 0)
+  in
+  Json.Obj
+    ([
+       ("code", Json.String d.code);
+       ("severity", Json.String (Qec_lint.Diagnostic.severity_to_string d.severity));
+       ("file", Json.String d.file);
+       ("line", Json.Int line);
+       ("col", Json.Int col);
+       ("message", Json.String d.message);
+     ]
+    @ match d.context with
+      | None -> []
+      | Some c -> [ ("context", Json.String c) ])
+
+let diagnostics_to_json ds = Json.List (List.map diagnostic_to_json ds)

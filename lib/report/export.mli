@@ -31,3 +31,11 @@ val interference_to_dot :
 
 val p_curve_to_csv : (float * Autobraid.Scheduler.result) list -> string
 (** "p,cycles,time_us,rounds,swaps" rows, one per threshold. *)
+
+val diagnostic_to_json : Qec_lint.Diagnostic.t -> Json.t
+(** Fields [code], [severity], [file], [line], [col] (0 when the
+    diagnostic has no source position), [message], and [context] when
+    present — the same shape as [Qec_lint.Diagnostic.to_jsonl]. *)
+
+val diagnostics_to_json : Qec_lint.Diagnostic.t list -> Json.t
+(** A JSON array of {!diagnostic_to_json} objects. *)

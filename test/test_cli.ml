@@ -120,6 +120,86 @@ let test_resources () =
   check_int "exit 0" 0 code;
   check_bool "physical count" true (contains out "total physical qubits")
 
+let with_qasm_file contents f =
+  let tmp = Filename.temp_file "autobraid_lint" ".qasm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc contents;
+      close_out oc;
+      f tmp)
+
+let test_lint_clean () =
+  with_qasm_file
+    "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n"
+    (fun tmp ->
+      let code, out = run (Printf.sprintf "lint %s" (Filename.quote tmp)) in
+      check_int "exit 0" 0 code;
+      check_bool "no diagnostics" true (String.trim out = ""))
+
+let test_lint_corrupted () =
+  with_qasm_file "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[5];\n" (fun tmp ->
+      let code, out = run (Printf.sprintf "lint %s" (Filename.quote tmp)) in
+      check_int "exit 1" 1 code;
+      check_bool "rule code" true (contains out "QL002");
+      check_bool "file:line:col" true (contains out (tmp ^ ":3:1:"));
+      check_bool "caret" true (contains out "^");
+      check_bool "summary" true (contains out "1 error(s)"))
+
+let test_lint_deny_warning () =
+  (* an unused qubit is only a warning: exit 0 normally, 1 under --deny *)
+  with_qasm_file
+    "OPENQASM 2.0;\nqreg q[4];\ncx q[0],q[1];\nh q[2];\n" (fun tmp ->
+      let code, out = run (Printf.sprintf "lint %s" (Filename.quote tmp)) in
+      check_int "warnings pass" 0 code;
+      check_bool "QL021 reported" true (contains out "QL021");
+      let code, _ =
+        run (Printf.sprintf "lint %s --deny warning" (Filename.quote tmp))
+      in
+      check_int "denied warnings fail" 1 code)
+
+let test_lint_jsonl () =
+  with_qasm_file "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[5];\n" (fun tmp ->
+      let code, out =
+        run (Printf.sprintf "lint %s -f jsonl" (Filename.quote tmp))
+      in
+      check_int "exit 1" 1 code;
+      check_bool "json object" true (contains out "{\"code\":\"QL002\"");
+      check_bool "position fields" true (contains out "\"line\":3,\"col\":1"))
+
+let test_lint_benchmark () =
+  let code, _ = run "lint qft5" in
+  check_int "clean benchmark" 0 code;
+  let code, out = run "lint qft5 -p 1.5" in
+  check_int "bad threshold" 1 code;
+  check_bool "QL201" true (contains out "QL201")
+
+let test_malformed_input_handling () =
+  (* malformed files must produce file:line:col diagnostics on every
+     subcommand, not an uncaught exception *)
+  with_qasm_file "OPENQASM 2.0;\nqreg q[1]\nh q[0];\n" (fun tmp ->
+      List.iter
+        (fun sub ->
+          let code, out =
+            run (Printf.sprintf "%s %s" sub (Filename.quote tmp))
+          in
+          check_int (sub ^ " exits 1") 1 code;
+          (* the parser reports the unexpected token, i.e. the `h` on line 3 *)
+          check_bool (sub ^ " locates error") true (contains out (tmp ^ ":3:1:"));
+          check_bool
+            (sub ^ " no raw exception") false
+            (contains out "exception"))
+        [ "compile"; "info"; "lint" ]);
+  with_qasm_file "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n" (fun tmp ->
+      let code, out = run (Printf.sprintf "compile %s" (Filename.quote tmp)) in
+      check_int "unsupported gate exits 1" 1 code;
+      check_bool "positioned" true (contains out (tmp ^ ":3:1:")));
+  (* a missing path falls through to the benchmark registry *)
+  let code, out = run "compile /nonexistent/x.qasm" in
+  check_int "missing file exits 2" 2 code;
+  check_bool "unknown circuit text" true (contains out "unknown circuit")
+
 let test_error_handling () =
   let code, out = run "compile definitely_not_a_circuit" in
   check_int "exit 2" 2 code;
@@ -146,5 +226,14 @@ let () =
           Alcotest.test_case "export formats" `Quick test_export_formats;
           Alcotest.test_case "resources" `Quick test_resources;
           Alcotest.test_case "errors" `Quick test_error_handling;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean file" `Quick test_lint_clean;
+          Alcotest.test_case "corrupted file" `Quick test_lint_corrupted;
+          Alcotest.test_case "deny warning" `Quick test_lint_deny_warning;
+          Alcotest.test_case "jsonl output" `Quick test_lint_jsonl;
+          Alcotest.test_case "benchmark circuit" `Quick test_lint_benchmark;
+          Alcotest.test_case "malformed input" `Quick test_malformed_input_handling;
         ] );
     ]

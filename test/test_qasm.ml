@@ -65,24 +65,28 @@ let test_lex_error () =
 (* ------------------------------------------------------------------ *)
 (* Parser                                                               *)
 
+(* Most structural tests match on [Ast.strip]ped statements; span threading
+   itself is covered by the dedicated position tests below. *)
+let parse_stmts src = Ast.strip (Parser.parse_string src)
+
 let test_parse_headers () =
-  match Parser.parse_string "OPENQASM 2.0;\ninclude \"qelib1.inc\";" with
+  match parse_stmts "OPENQASM 2.0;\ninclude \"qelib1.inc\";" with
   | [ Ast.Version "2.0"; Ast.Include "qelib1.inc" ] -> ()
   | _ -> Alcotest.fail "headers"
 
 let test_parse_regs () =
-  match Parser.parse_string "qreg q[3]; creg c[3];" with
+  match parse_stmts "qreg q[3]; creg c[3];" with
   | [ Ast.Qreg ("q", 3); Ast.Creg ("c", 3) ] -> ()
   | _ -> Alcotest.fail "regs"
 
 let test_parse_expr_precedence () =
-  match Parser.parse_string "rz(1+2*3) q[0];" with
+  match parse_stmts "rz(1+2*3) q[0];" with
   | [ Ast.App { gparams = [ e ]; _ } ] ->
     Alcotest.(check (float 1e-9)) "1+2*3" 7. (Ast.eval_expr (fun _ -> 0.) e)
   | _ -> Alcotest.fail "expr stmt"
 
 let eval_param src =
-  match Parser.parse_string (Printf.sprintf "rz(%s) q[0];" src) with
+  match parse_stmts (Printf.sprintf "rz(%s) q[0];" src) with
   | [ Ast.App { gparams = [ e ]; _ } ] -> Ast.eval_expr (fun _ -> nan) e
   | _ -> Alcotest.fail "param"
 
@@ -96,14 +100,14 @@ let test_parse_expr_forms () =
 
 let test_parse_gate_decl () =
   let src = "gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }" in
-  match Parser.parse_string src with
+  match parse_stmts src with
   | [ Ast.Gate_decl { name = "majority"; params = []; formals; body } ] ->
     Alcotest.(check (list string)) "formals" [ "a"; "b"; "c" ] formals;
     check_int "body" 3 (List.length body)
   | _ -> Alcotest.fail "gate decl"
 
 let test_parse_measure_barrier () =
-  match Parser.parse_string "measure q[0] -> c[0]; barrier q; reset q[1];" with
+  match parse_stmts "measure q[0] -> c[0]; barrier q; reset q[1];" with
   | [ Ast.Measure (Ast.Indexed ("q", 0), Ast.Indexed ("c", 0));
       Ast.Barrier [ Ast.Whole "q" ];
       Ast.Reset (Ast.Indexed ("q", 1)) ] ->
@@ -126,11 +130,62 @@ let test_parse_error_position () =
   | _ -> Alcotest.fail "expected error"
 
 (* ------------------------------------------------------------------ *)
+(* Span threading: every node records the 1-based line/col of its first
+   token, including applications inside gate-declaration bodies.        *)
+
+let test_stmt_spans () =
+  let src =
+    String.concat ""
+      [
+        "OPENQASM 2.0;\n";
+        "qreg q[2];\n";
+        "creg c[2];\n";
+        "h q[0];\n";
+        "  cx q[0], q[1];\n";
+        "measure q -> c;\n";
+      ]
+  in
+  let spans =
+    List.map
+      (fun { Ast.pos; _ } -> (pos.Ast.line, pos.Ast.col))
+      (Parser.parse_string src)
+  in
+  Alcotest.(check (list (pair int int)))
+    "statement positions"
+    [ (1, 1); (2, 1); (3, 1); (4, 1); (5, 3); (6, 1) ]
+    spans
+
+let test_gate_app_spans () =
+  let src = "gate g a,b {\n  cx a,b;\n  h a;\n}\nqreg q[2];\ng q[0],q[1];" in
+  match Parser.parse_string src with
+  | [ { Ast.stmt = Ast.Gate_decl { body = [ app1; app2 ]; _ }; pos };
+      { Ast.stmt = Ast.Qreg _; _ }; { Ast.stmt = Ast.App app; pos = apos } ] ->
+    check_int "decl line" 1 pos.Ast.line;
+    check_int "body app 1 line" 2 app1.Ast.gpos.Ast.line;
+    check_int "body app 1 col" 3 app1.Ast.gpos.Ast.col;
+    check_int "body app 2 line" 3 app2.Ast.gpos.Ast.line;
+    check_bool "top-level gpos = node pos" true (app.Ast.gpos = apos)
+  | _ -> Alcotest.fail "gate decl spans"
+
+(* ------------------------------------------------------------------ *)
 (* Frontend                                                             *)
 
 let elab src = Frontend.of_string ~name:"test" src
 
 let hdr = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+
+let test_frontend_error_spans () =
+  (match elab (hdr ^ "qreg q[1];\nfrobnicate q[0];") with
+  | exception Frontend.Unsupported { pos = Some { line; col }; _ } ->
+    check_int "line" 4 line;
+    check_int "col" 1 col
+  | _ -> Alcotest.fail "expected positioned Unsupported");
+  (* errors raised while expanding a user-gate body point at the
+     application statement, not the declaration *)
+  match elab (hdr ^ "qreg q[1];\ngate g a { rx(0.1) a; }\ng q[0], q[0];") with
+  | exception Frontend.Unsupported { pos = Some { line; _ }; _ } ->
+    check_int "line" 5 line
+  | _ -> Alcotest.fail "expected positioned Unsupported"
 
 let test_elab_basic () =
   let c = elab (hdr ^ "qreg q[2];\nh q[0];\ncx q[0],q[1];") in
@@ -340,6 +395,12 @@ let () =
           Alcotest.test_case "measure/barrier" `Quick test_parse_measure_barrier;
           Alcotest.test_case "unsupported" `Quick test_parse_unsupported;
           Alcotest.test_case "error position" `Quick test_parse_error_position;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "statement spans" `Quick test_stmt_spans;
+          Alcotest.test_case "gate body spans" `Quick test_gate_app_spans;
+          Alcotest.test_case "frontend error spans" `Quick test_frontend_error_spans;
         ] );
       ( "frontend",
         [
