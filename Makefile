@@ -1,6 +1,8 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench fmt lint check clean
+.PHONY: all build test bench bench-smoke fmt lint check clean
+
+CLI := _build/default/bin/autobraid_cli.exe
 
 all: build
 
@@ -23,17 +25,31 @@ fmt:
 	fi
 
 # The repository's own inputs must stay diagnostic-free, warnings included.
+# The loop calls the built binary directly: `build` already produced it, and
+# one `dune exec` per input pays a dune lock + rebuild check each time.
 lint: build
 	@for f in fixtures/*.qasm; do \
 		echo "lint $$f"; \
-		dune exec bin/autobraid_cli.exe -- lint "$$f" --deny warning || exit 1; \
+		$(CLI) lint "$$f" --deny warning || exit 1; \
 	done
 	@for c in qft9 bv12 qaoa12 im12 ghz8 adder8; do \
 		echo "lint $$c"; \
-		dune exec bin/autobraid_cli.exe -- lint "$$c" --deny warning || exit 1; \
+		$(CLI) lint "$$c" --deny warning || exit 1; \
 	done
 
-check: fmt build test lint
+# Cross-backend smoke: both communication backends must still run end to
+# end and emit the machine-readable snapshot with sane keys.
+bench-smoke: build
+	@out=$$(mktemp); \
+	./_build/default/bench/main.exe backends --json "$$out" >/dev/null || exit 1; \
+	grep -q '"section": "backends"' "$$out" || { echo "bench-smoke: missing section key"; exit 1; }; \
+	grep -q '"braid"' "$$out" || { echo "bench-smoke: missing braid outcome"; exit 1; }; \
+	grep -q '"surgery"' "$$out" || { echo "bench-smoke: missing surgery outcome"; exit 1; }; \
+	grep -q '"merge_rounds"' "$$out" || { echo "bench-smoke: missing surgery stats"; exit 1; }; \
+	rm -f "$$out"; \
+	echo "bench-smoke: OK"
+
+check: fmt build test lint bench-smoke
 	@echo "check: OK"
 
 clean:

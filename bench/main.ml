@@ -6,9 +6,10 @@
      dune exec bench/main.exe -- table2            # one section
      dune exec bench/main.exe -- fig16 --full      # paper-scale sizes (slow)
      dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
+     dune exec bench/main.exe -- backends --json BENCH_backends.json
 
    Sections: table1 table2 fig16 fig17 fig18 compile-time ablation planar
-   magic micro all.
+   magic backends micro all.
 
    Absolute numbers differ from the paper (different host, regenerated
    benchmark netlists, re-implemented baseline); the claims under test are
@@ -645,6 +646,118 @@ let magic () =
      distillation factories producing one state per 10d cycles)"
 
 (* ------------------------------------------------------------------ *)
+(* Backends: braiding vs lattice surgery over the Comm_backend API      *)
+
+let backend_circuits =
+  [
+    ("qft9", B.Qft.circuit 9);
+    ("bv12", B.Bv.circuit 12);
+    ("qaoa12", B.Qaoa.circuit 12);
+    ("lr16", B.Misc_circuits.longrange 16);
+    ("lr24", B.Misc_circuits.longrange 24);
+  ]
+
+(* Deterministic per-circuit record: everything here is a pure function
+   of the circuit and seed (wall-clock compile_time_s is deliberately
+   excluded), so BENCH_backends.json is diffable across runs. *)
+let backend_outcome_json (o : Autobraid.Comm_backend.outcome) =
+  let open Qec_report.Json in
+  let r = o.Autobraid.Comm_backend.result in
+  Obj
+    [
+      ("total_cycles", Int r.S.total_cycles);
+      ("rounds", Int r.S.rounds);
+      ("comm_rounds", Int r.S.braid_rounds);
+      ("swap_layers", Int r.S.swap_layers);
+      ("swaps_inserted", Int r.S.swaps_inserted);
+      ("critical_path_cycles", Int r.S.critical_path_cycles);
+      ("avg_utilization", Float r.S.avg_utilization);
+      ("peak_utilization", Float r.S.peak_utilization);
+      ( "backend_stats",
+        Obj (List.map (fun (k, v) -> (k, Float v)) o.Autobraid.Comm_backend.stats)
+      );
+    ]
+
+let backends ~json_out () =
+  header "Backends: braiding vs lattice surgery (d = 33)";
+  let module CB = Autobraid.Comm_backend in
+  let braid = CB.braid () in
+  let surgery = Qec_surgery.Backend.make () in
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("circuit", TP.Left);
+          ("#qubit", TP.Right);
+          ("#gate", TP.Right);
+          ("braid (us)", TP.Right);
+          ("surgery (us)", TP.Right);
+          ("braid rounds", TP.Right);
+          ("surgery rounds", TP.Right);
+          ("speedup", TP.Right);
+        ]
+  in
+  let rows =
+    List.map
+      (fun (name, circuit) ->
+        let ob = braid.CB.run timing33 circuit in
+        let os = surgery.CB.run timing33 circuit in
+        let rb = ob.CB.result and rs = os.CB.result in
+        TP.add_row t
+          [
+            name;
+            string_of_int rb.S.num_qubits;
+            TP.si_cell (float_of_int rb.S.num_gates);
+            TP.si_cell (us rb);
+            TP.si_cell (us rs);
+            string_of_int rb.S.rounds;
+            string_of_int rs.S.rounds;
+            Printf.sprintf "%.2fx"
+              (float_of_int rb.S.total_cycles /. float_of_int rs.S.total_cycles);
+          ];
+        (name, ob, os))
+      backend_circuits
+  in
+  TP.print t;
+  print_endline
+    "(same gate set either way; surgery holds corridors for d cycles, \
+     pipelines splits under disjoint fronts, and never inserts SWAPs)";
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let open Qec_report.Json in
+    let json =
+      Obj
+        [
+          ("section", String "backends");
+          ("d", Int T.default_d);
+          ( "circuits",
+            List
+              (List.map
+                 (fun (name, ob, os) ->
+                   let rb = ob.CB.result in
+                   Obj
+                     [
+                       ("name", String name);
+                       ("num_qubits", Int rb.S.num_qubits);
+                       ("num_gates", Int rb.S.num_gates);
+                       ("braid", backend_outcome_json ob);
+                       ("surgery", backend_outcome_json os);
+                       ( "speedup",
+                         Float
+                           (float_of_int ob.CB.result.S.total_cycles
+                           /. float_of_int os.CB.result.S.total_cycles) );
+                     ])
+                 rows) );
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (to_string ~indent:true json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "\n[wrote %s]\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure driver     *)
 
 let micro () =
@@ -708,8 +821,21 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
+  let rec find_json = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find_json rest
+    | [] -> None
+  in
+  let json_out = find_json args in
   let sections =
-    List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--")) args
+    let rec strip = function
+      | "--json" :: _ :: rest -> strip rest
+      | a :: rest when String.length a > 2 && String.sub a 0 2 = "--" ->
+        strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
   in
   let section = match sections with s :: _ -> s | [] -> "all" in
   let t0 = Unix.gettimeofday () in
@@ -723,6 +849,7 @@ let () =
   | "ablation" -> profiled "ablation" ablation
   | "planar" -> profiled "planar" planar
   | "magic" -> profiled "magic" magic
+  | "backends" -> profiled "backends" (backends ~json_out)
   | "micro" -> profiled "micro" micro
   | "all" ->
     profiled "table1" (table1 ~full);
@@ -735,10 +862,11 @@ let () =
     profiled "ablation" ablation;
     profiled "planar" planar;
     profiled "magic" magic;
+    profiled "backends" (backends ~json_out);
     profiled "micro" micro
   | other ->
     Printf.eprintf
-      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|micro|all)\n"
+      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|micro|all)\n"
       other;
     exit 2);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

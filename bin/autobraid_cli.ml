@@ -2,6 +2,8 @@
 
    Subcommands:
      compile    schedule a circuit and report latency/utilization
+     schedule   same, through a selectable communication backend
+                (braid / surgery / compare; see docs/surgery.md)
      info       static analysis: sizes, depth, parallelism, LLG census
      lint       span-aware diagnostics (QLxxx rules, see docs/lint.md)
      resources  surface-code resource estimates for a qubit count / target P_L
@@ -247,6 +249,127 @@ let compile_cmd =
       $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg $ metrics_arg
       $ telemetry_out_arg)
 
+(* ---------------- schedule (pluggable backend) ---------------- *)
+
+(* The braid backend must reproduce `compile` exactly: same options record,
+   same printer, no extra output — byte-for-byte. *)
+let braid_backend ~p ~initial ~seed () =
+  Autobraid.Comm_backend.braid
+    ~options:
+      {
+        Autobraid.Scheduler.variant = Autobraid.Scheduler.Full;
+        threshold_p = p;
+        initial;
+        swap_strategy = None;
+        retry = true;
+        confine_llg = true;
+        compaction = false;
+        lookahead = false;
+        seed;
+        placement_override = None;
+      }
+    ()
+
+let surgery_backend ~initial ~seed () =
+  Qec_surgery.Backend.make
+    ~options:
+      { Qec_surgery.Surgery_scheduler.default_options with initial; seed }
+    ()
+
+let print_backend_stats = function
+  | [] -> ()
+  | stats ->
+    print_newline ();
+    print_endline "backend stats:";
+    List.iter
+      (fun (k, v) ->
+        if Float.is_integer v then Printf.printf "  %-20s %.0f\n" k v
+        else Printf.printf "  %-20s %.2f\n" k v)
+      stats
+
+let print_comparison timing (ob : Autobraid.Comm_backend.outcome)
+    (os : Autobraid.Comm_backend.outcome) =
+  let rb = ob.Autobraid.Comm_backend.result
+  and rs = os.Autobraid.Comm_backend.result in
+  let t =
+    Qec_util.Tableprint.create
+      ~headers:
+        [
+          ("metric", Qec_util.Tableprint.Left);
+          (ob.Autobraid.Comm_backend.backend, Qec_util.Tableprint.Right);
+          (os.Autobraid.Comm_backend.backend, Qec_util.Tableprint.Right);
+        ]
+  in
+  let add k f =
+    Qec_util.Tableprint.add_row t
+      [ k; f (rb : Autobraid.Scheduler.result); f rs ]
+  in
+  add "total cycles" (fun r -> string_of_int r.Autobraid.Scheduler.total_cycles);
+  add "execution time (us)" (fun r ->
+      Qec_util.Tableprint.si_cell (Autobraid.Scheduler.time_us timing r));
+  add "rounds" (fun r -> string_of_int r.Autobraid.Scheduler.rounds);
+  add "comm rounds" (fun r ->
+      string_of_int r.Autobraid.Scheduler.braid_rounds);
+  add "swap layers" (fun r -> string_of_int r.Autobraid.Scheduler.swap_layers);
+  add "swaps inserted" (fun r ->
+      string_of_int r.Autobraid.Scheduler.swaps_inserted);
+  add "avg utilization" (fun r ->
+      Printf.sprintf "%.1f%%" (100. *. r.Autobraid.Scheduler.avg_utilization));
+  add "peak utilization" (fun r ->
+      Printf.sprintf "%.1f%%" (100. *. r.Autobraid.Scheduler.peak_utilization));
+  Qec_util.Tableprint.print t;
+  let cb = rb.Autobraid.Scheduler.total_cycles
+  and cs = rs.Autobraid.Scheduler.total_cycles in
+  Printf.printf "\nspeedup (%s/%s cycles): %.2fx\n"
+    ob.Autobraid.Comm_backend.backend os.Autobraid.Comm_backend.backend
+    (float_of_int cb /. float_of_int (max 1 cs))
+
+let schedule_cmd =
+  let run spec backend d seed p initial metrics telemetry_out =
+    guarded spec @@ fun () ->
+    with_telemetry ~metrics ~telemetry_out @@ fun () ->
+    let timing = Qec_surface.Timing.make ~d () in
+    let c = load_circuit spec in
+    match backend with
+    | `Braid ->
+      let o =
+        (braid_backend ~p ~initial ~seed ()).Autobraid.Comm_backend.run timing c
+      in
+      print_result timing o.Autobraid.Comm_backend.result
+    | `Surgery ->
+      let o =
+        (surgery_backend ~initial ~seed ()).Autobraid.Comm_backend.run timing c
+      in
+      print_result timing o.Autobraid.Comm_backend.result;
+      print_backend_stats o.Autobraid.Comm_backend.stats
+    | `Compare ->
+      let ob =
+        (braid_backend ~p ~initial ~seed ()).Autobraid.Comm_backend.run timing c
+      in
+      let os =
+        (surgery_backend ~initial ~seed ()).Autobraid.Comm_backend.run timing c
+      in
+      print_comparison timing ob os
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("braid", `Braid); ("surgery", `Surgery); ("compare", `Compare) ])
+          `Braid
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Communication backend: braid (double-defect braiding, same \
+                output as compile), surgery (lattice merge-split), compare \
+                (run both, print a side-by-side table)")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Schedule a circuit through a pluggable communication backend")
+    Term.(
+      const run $ circuit_arg $ backend_arg $ distance_arg $ seed_arg
+      $ threshold_arg $ initial_arg $ metrics_arg $ telemetry_out_arg)
+
 (* ---------------- info ---------------- *)
 
 let info_cmd =
@@ -366,23 +489,53 @@ let sweep_cmd =
 (* ---------------- export ---------------- *)
 
 let export_cmd =
-  let run spec d fmt out =
+  let run spec d fmt backend out =
     guarded spec @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
     let payload =
       match fmt with
-      | `Json ->
-        let result, trace = Autobraid.Scheduler.run_traced timing c in
-        Qec_report.Json.to_string ~indent:true
-          (Qec_report.Json.Obj
-             [
-               ("result", Qec_report.Export.result_to_json result);
-               ("trace", Qec_report.Export.trace_to_json ~max_rounds:50 trace);
-               ( "reliability",
-                 Qec_report.Export.exposure_to_json ~d
-                   (Autobraid.Reliability.exposure_of_result timing result) );
-             ])
+      | `Json -> (
+        match backend with
+        | None ->
+          let result, trace = Autobraid.Scheduler.run_traced timing c in
+          Qec_report.Json.to_string ~indent:true
+            (Qec_report.Json.Obj
+               [
+                 ("result", Qec_report.Export.result_to_json result);
+                 ("trace", Qec_report.Export.trace_to_json ~max_rounds:50 trace);
+                 ( "reliability",
+                   Qec_report.Export.exposure_to_json ~d
+                     (Autobraid.Reliability.exposure_of_result timing result) );
+               ])
+        | Some which ->
+          (* Per-backend export: run under a collector so the payload
+             carries the backend's own telemetry alongside its outcome. *)
+          let collector = Qec_telemetry.Collector.create () in
+          let outcome =
+            Qec_telemetry.Telemetry.with_sink
+              (Qec_telemetry.Collector.sink collector)
+            @@ fun () ->
+            let b =
+              match which with
+              | `Braid -> Autobraid.Comm_backend.braid ()
+              | `Surgery -> Qec_surgery.Backend.make ()
+            in
+            b.Autobraid.Comm_backend.run timing c
+          in
+          let fields =
+            match
+              Qec_report.Export.backend_outcome_to_json ~max_rounds:50 timing
+                outcome
+            with
+            | Qec_report.Json.Obj fields -> fields
+            | _ -> assert false
+          in
+          Qec_report.Json.to_string ~indent:true
+            (Qec_report.Json.Obj
+               (fields
+               @ [ ("telemetry", Qec_report.Export.telemetry_to_json collector) ]
+               )))
       | `Coupling_dot ->
         let lowered = Qec_circuit.Decompose.to_scheduler_gates c in
         Qec_report.Export.coupling_to_dot
@@ -406,6 +559,15 @@ let export_cmd =
           ~doc:"json (result+trace+reliability), dot (coupling graph), csv \
                 (p-sweep)")
   in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("braid", `Braid); ("surgery", `Surgery) ])) None
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"With -f json: export one communication backend's outcome \
+                (backend name, result, backend_stats, trace, exposure, \
+                telemetry) instead of the legacy result+trace payload")
+  in
   let out_arg =
     Arg.(
       value
@@ -414,7 +576,8 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export results, traces and graphs (json/dot/csv)")
-    Term.(const run $ circuit_arg $ distance_arg $ fmt_arg $ out_arg)
+    Term.(
+      const run $ circuit_arg $ distance_arg $ fmt_arg $ backend_arg $ out_arg)
 
 (* ---------------- trace ---------------- *)
 
@@ -559,7 +722,7 @@ let main =
   Cmd.group
     (Cmd.info "autobraid" ~version:"1.0.0"
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
-    [ compile_cmd; info_cmd; lint_cmd; resources_cmd; emit_cmd; sweep_cmd;
-       trace_cmd; export_cmd; list_cmd ]
+    [ compile_cmd; schedule_cmd; info_cmd; lint_cmd; resources_cmd; emit_cmd;
+       sweep_cmd; trace_cmd; export_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

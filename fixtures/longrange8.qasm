@@ -1,0 +1,44 @@
+// Long-range-CX stress fixture: four rotated mirror matchings on 8
+// qubits. Every CX pairs opposite ends of the register, so every layer
+// is a fully parallel long-range communication front — the workload
+// where lattice surgery's split pipelining beats braiding.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[8];
+creg c[8];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+h q[5];
+h q[6];
+h q[7];
+// layer 0: (i, 7-i)
+cx q[0],q[7];
+cx q[1],q[6];
+cx q[2],q[5];
+cx q[3],q[4];
+// layer 1: rotated by 1
+cx q[1],q[0];
+cx q[2],q[7];
+cx q[3],q[6];
+cx q[4],q[5];
+// layer 2: rotated by 2
+cx q[2],q[1];
+cx q[3],q[0];
+cx q[4],q[7];
+cx q[5],q[6];
+// layer 3: rotated by 3
+cx q[3],q[2];
+cx q[4],q[1];
+cx q[5],q[0];
+cx q[6],q[7];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+measure q[4] -> c[4];
+measure q[5] -> c[5];
+measure q[6] -> c[6];
+measure q[7] -> c[7];

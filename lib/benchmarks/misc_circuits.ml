@@ -60,6 +60,46 @@ let hidden_shift ?shift n =
   done;
   C.Builder.finish b
 
+let longrange ?(layers = 10) ?(seed = 7) n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Misc_circuits.longrange: n must be even and >= 4";
+  if layers < 1 then invalid_arg "Misc_circuits.longrange: layers < 1";
+  let rng = Qec_util.Rng.create seed in
+  let b = C.Builder.create ~name:(Printf.sprintf "lr%d" n) ~num_qubits:n () in
+  for q = 0 to n - 1 do
+    C.Builder.add b (G.H q)
+  done;
+  (* Each layer is a random perfect matching: a fully parallel front of
+     n/2 CX gates whose partners change every layer, so the coupling graph
+     grows toward degree [layers] and no placement can keep every partner
+     pair adjacent — the fronts stay long-range no matter the layout.
+     Layers are deterministic in [seed]; a layer repeating a pair of the
+     previous layer redraws (QL102-clean and distinct fronts). *)
+  let prev = ref [] in
+  for _ = 1 to layers do
+    let draw () =
+      let qs = Qec_util.Rng.sample_without_replacement rng n n in
+      let rec pair = function
+        | a :: bq :: rest -> (min a bq, max a bq) :: pair rest
+        | _ -> []
+      in
+      List.sort compare (pair qs)
+    in
+    let rec fresh tries =
+      let m = draw () in
+      if tries > 0 && List.exists (fun p -> List.mem p !prev) m then
+        fresh (tries - 1)
+      else m
+    in
+    let matching = fresh 32 in
+    prev := matching;
+    List.iter (fun (a, bq) -> C.Builder.add b (G.Cx (a, bq))) matching
+  done;
+  for q = 0 to n - 1 do
+    C.Builder.add b (G.Measure q)
+  done;
+  C.Builder.finish b
+
 let random_clifford_t ?(seed = 5) ?gates n =
   if n < 2 then invalid_arg "Misc_circuits.random_clifford_t: n < 2";
   let gates = Option.value gates ~default:(20 * n) in

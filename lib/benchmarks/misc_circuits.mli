@@ -16,6 +16,17 @@ val hidden_shift : ?shift:int -> int -> Qec_circuit.Circuit.t
     chain locality. Raises [Invalid_argument] if [n] is odd or [< 4], or
     the shift is out of range. *)
 
+val longrange : ?layers:int -> ?seed:int -> int -> Qec_circuit.Circuit.t
+(** [longrange n]: H layer, then [layers] (default 10) random perfect
+    matchings — each a fully parallel front of n/2 CX gates whose partners
+    change every layer, so the coupling graph tends to degree [layers] and
+    no placement keeps all partners adjacent: the fronts stay long-range
+    under any layout. The stress test for the braiding-vs-surgery
+    comparison — when congestion splits a front across rounds, the
+    remainder is qubit-disjoint and surgery pipelines its splits there.
+    Deterministic in [seed]. Raises [Invalid_argument] if [n] is odd or
+    [< 4], or [layers < 1]. *)
+
 val random_clifford_t :
   ?seed:int -> ?gates:int -> int -> Qec_circuit.Circuit.t
 (** Random Clifford+T circuit: uniform mix of H/S/T and CX on random

@@ -75,6 +75,11 @@ let families =
       sized = (fun n -> Misc_circuits.hidden_shift n);
     };
     {
+      name = "lr";
+      description = "random perfect matchings: every CX spans the register (even n)";
+      sized = (fun n -> Misc_circuits.longrange n);
+    };
+    {
       name = "qpe";
       description = "quantum phase estimation of a Z-rotation (n-1 bits)";
       sized = (fun n -> Qpe.circuit ~precision:(max 1 (n - 1)) ());

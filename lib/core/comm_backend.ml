@@ -1,0 +1,34 @@
+type outcome = {
+  backend : string;
+  result : Scheduler.result;
+  trace : Trace.t;
+  stats : (string * float) list;
+}
+
+type t = {
+  name : string;
+  description : string;
+  run : Qec_surface.Timing.t -> Qec_circuit.Circuit.t -> outcome;
+}
+
+let braid ?(options = Scheduler.default_options) () =
+  {
+    name = "braid";
+    description = "double-defect braiding (AutoBraid round scheduler)";
+    run =
+      (fun timing circuit ->
+        let result, trace = Scheduler.run_traced ~options timing circuit in
+        { backend = "braid"; result; trace; stats = [] });
+  }
+
+let scheduled_gate_ids (trace : Trace.t) =
+  List.concat_map
+    (fun round ->
+      match round with
+      | Trace.Local { gates } -> gates
+      | Trace.Braid { braids = ops; locals }
+      | Trace.Merge { merges = ops; locals; _ } ->
+        List.map (fun ((tk : Task.t), _) -> tk.Task.id) ops @ locals
+      | Trace.Swap_layer _ -> [])
+    trace.Trace.rounds
+  |> List.sort_uniq compare

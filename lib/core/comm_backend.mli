@@ -1,0 +1,44 @@
+(** Pluggable communication backends.
+
+    AutoBraid's round-based driver is agnostic to {e how} a two-qubit gate
+    crosses the lattice: double-defect braiding (the paper's model, where a
+    path is held for the whole [2d]-cycle braid and its length is latency-
+    free) and lattice surgery ({!Qec_surgery}, where the ancilla path is
+    occupied only for the [d]-cycle merge and tile-time volume is the
+    scarce resource) both consume the same lattice, DAG-front analysis and
+    interference structure. A backend packages one such communication
+    discipline behind a uniform [run], so the CLI, benchmarks and tests
+    can drive and compare them interchangeably.
+
+    A backend must be {e behavior-preserving} with respect to the circuit:
+    every lowered gate is scheduled exactly once (checked by
+    {!Trace.check}), so two backends differ only in rounds, paths and
+    cycle accounting — never in what executes. *)
+
+type outcome = {
+  backend : string;  (** backend name, for reports and exported JSON *)
+  result : Scheduler.result;
+      (** the shared aggregate record; for non-braiding backends
+          [braid_rounds] counts the backend's two-qubit rounds and the
+          SWAP fields are 0 *)
+  trace : Trace.t;  (** full per-round schedule, replay-validatable *)
+  stats : (string * float) list;
+      (** backend-specific extras (e.g. surgery tile-time volume), in a
+          stable order, exported as a JSON object *)
+}
+
+type t = {
+  name : string;  (** e.g. ["braid"], ["surgery"] *)
+  description : string;
+  run : Qec_surface.Timing.t -> Qec_circuit.Circuit.t -> outcome;
+}
+
+val braid : ?options:Scheduler.options -> unit -> t
+(** The existing braiding scheduler as a backend. [run] is exactly
+    {!Scheduler.run_traced}: results are identical to calling the
+    scheduler directly (the abstraction adds nothing to the hot path). *)
+
+val scheduled_gate_ids : Trace.t -> int list
+(** Sorted ids of every gate the trace schedules (braids, merges and
+    locals) — the cross-backend invariant: all backends must schedule the
+    same lowered gate set for the same circuit. *)

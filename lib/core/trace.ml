@@ -10,6 +10,11 @@ type round =
   | Local of { gates : int list }
   | Braid of { braids : (Task.t * Path.t) list; locals : int list }
   | Swap_layer of { swaps : (int * int) list }
+  | Merge of {
+      merges : (Task.t * Path.t) list;
+      locals : int list;
+      split_overlapped : bool;
+    }
 
 type t = {
   circuit : Circuit.t;
@@ -19,11 +24,17 @@ type t = {
 }
 
 let cycles timing t =
+  let module St = Qec_surface.Surgery_timing in
   List.fold_left
     (fun acc -> function
       | Local _ -> acc + Timing.single_qubit_cycles timing
       | Braid _ -> acc + Timing.braid_cycles timing
-      | Swap_layer _ -> acc + Timing.swap_layer_cycles timing)
+      | Swap_layer _ -> acc + Timing.swap_layer_cycles timing
+      | Merge { split_overlapped; _ } ->
+        (* The split (d cycles) overlaps the next round when the scheduler
+           proved the rounds data-independent; only the merge is charged. *)
+        acc + St.merge_cycles timing
+        + (if split_overlapped then 0 else St.split_cycles timing))
     0 t.rounds
 
 let num_rounds t = List.length t.rounds
@@ -32,7 +43,7 @@ let swap_count t =
   List.fold_left
     (fun acc -> function
       | Swap_layer { swaps } -> acc + List.length swaps
-      | Local _ | Braid _ -> acc)
+      | Local _ | Braid _ | Merge _ -> acc)
     0 t.rounds
 
 let initial_placement t =
@@ -49,7 +60,7 @@ let placement_after t k =
         match round with
         | Swap_layer { swaps } ->
           List.iter (fun (a, b) -> Placement.swap_qubits placement a b) swaps
-        | Local _ | Braid _ -> ())
+        | Local _ | Braid _ | Merge _ -> ())
     t.rounds;
   placement
 
@@ -97,7 +108,7 @@ let check t =
         then add ~round ~gate:id "gate %d in a local slot is a two-qubit gate" id)
       ids
   in
-  let check_braid_paths ~round braids =
+  let check_braid_paths ~round ?(kind = "braid") braids =
     let rec disjoint = function
       | [] -> ()
       | ((t1 : Task.t), p1) :: rest ->
@@ -116,8 +127,8 @@ let check t =
         if task.id >= 0 && task.id < n_gates then begin
           let g = Circuit.gate t.circuit task.id in
           if not (Gate.is_two_qubit g) then
-            add ~round ~gate:task.id "gate %d scheduled as a braid is not two-qubit"
-              task.id
+            add ~round ~gate:task.id "gate %d scheduled as a %s is not two-qubit"
+              task.id kind
           else begin
             let ca = Placement.cell_of_qubit placement task.q1
             and cb = Placement.cell_of_qubit placement task.q2 in
@@ -142,6 +153,18 @@ let check t =
       add ~round "a swap layer touches a qubit twice";
     List.iter (fun (a, b) -> Placement.swap_qubits placement a b) swaps
   in
+  let rounds_arr = Array.of_list t.rounds in
+  let gate_qubits id =
+    if id >= 0 && id < n_gates then Gate.qubits (Circuit.gate t.circuit id)
+    else []
+  in
+  let touched_qubits = function
+    | Local { gates } -> List.concat_map gate_qubits gates
+    | Braid { braids = ops; locals } | Merge { merges = ops; locals; _ } ->
+      List.concat_map (fun ((tk : Task.t), _) -> [ tk.q1; tk.q2 ]) ops
+      @ List.concat_map gate_qubits locals
+    | Swap_layer { swaps } -> List.concat_map (fun (a, b) -> [ a; b ]) swaps
+  in
   List.iteri
     (fun round r ->
       match r with
@@ -152,6 +175,24 @@ let check t =
         if braids = [] then add ~round "braid round without braids"
         else check_braid_paths ~round braids;
         check_locals ~round locals
+      | Merge { merges; locals; split_overlapped } ->
+        if merges = [] then add ~round "merge round without merges"
+        else check_braid_paths ~round ~kind:"merge" merges;
+        check_locals ~round locals;
+        if split_overlapped then begin
+          (* A split may only overlap the next round when that round exists
+             and touches none of the still-splitting qubits. *)
+          let mq =
+            List.concat_map (fun ((tk : Task.t), _) -> [ tk.q1; tk.q2 ]) merges
+          in
+          if round + 1 >= Array.length rounds_arr then
+            add ~round "split overlap claimed on the final round"
+          else if
+            List.exists
+              (fun q -> List.mem q mq)
+              (touched_qubits rounds_arr.(round + 1))
+          then add ~round "overlapped split shares qubits with the next round"
+        end
       | Swap_layer { swaps } ->
         if swaps = [] then add ~round "empty swap layer"
         else check_swaps ~round swaps)
@@ -183,6 +224,13 @@ let round_to_string t k =
       (Qec_lattice.Render.grid_to_string
          ~paths:(List.map snd braids)
          ~placement t.grid)
+  | Merge { merges; locals; split_overlapped } ->
+    Printf.sprintf "round %d: %d merges, %d locals%s\n%s" k
+      (List.length merges) (List.length locals)
+      (if split_overlapped then " (split overlaps next round)" else "")
+      (Qec_lattice.Render.grid_to_string
+         ~paths:(List.map snd merges)
+         ~placement t.grid)
   | Swap_layer { swaps } ->
     Printf.sprintf "round %d: swap layer (%s)\n%s" k
       (String.concat ", "
@@ -201,11 +249,11 @@ let transformed_circuit t =
       match round with
       | Local { gates } ->
         List.iter (fun id -> Circuit.Builder.add b (Circuit.gate t.circuit id)) gates
-      | Braid { braids; locals } ->
+      | Braid { braids = ops; locals } | Merge { merges = ops; locals; _ } ->
         List.iter
           (fun ((task : Task.t), _) ->
             Circuit.Builder.add b (Circuit.gate t.circuit task.id))
-          braids;
+          ops;
         List.iter
           (fun id -> Circuit.Builder.add b (Circuit.gate t.circuit id))
           locals

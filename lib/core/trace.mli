@@ -18,6 +18,18 @@ type round =
     }  (** cost [2d] cycles *)
   | Swap_layer of { swaps : (int * int) list }
       (** inserted qubit-pair swaps, cost [6d] cycles *)
+  | Merge of {
+      merges : (Task.t * Qec_lattice.Path.t) list;
+          (** lattice-surgery CX merges with their ancilla paths, in
+              routing order *)
+      locals : int list;  (** local gates completed in the same round *)
+      split_overlapped : bool;
+          (** the [d]-cycle split phase overlaps the next round (which
+              must exist and touch none of this round's merge qubits) *)
+    }
+      (** a lattice-surgery round ({!Qec_surgery}): merge costs [d]
+          cycles, plus [d] more for the split unless it overlaps the next
+          round *)
 
 type t = {
   circuit : Qec_circuit.Circuit.t;  (** the lowered circuit *)
@@ -54,12 +66,15 @@ val check : t -> violation list
 
     - every circuit gate is executed exactly once, and only after all of
       its dependency predecessors;
-    - braid paths are valid channel paths connecting the operand tiles
-      {e under the placement current at that round};
+    - braid paths and surgery merge paths are valid channel paths
+      connecting the operand tiles {e under the placement current at that
+      round};
     - paths within one round are pairwise vertex-disjoint;
     - swap layers touch each qubit at most once;
-    - local rounds contain no two-qubit gates and braid entries are all
-      two-qubit gates.
+    - local rounds contain no two-qubit gates and braid/merge entries are
+      all two-qubit gates;
+    - an overlapped split ([Merge] with [split_overlapped]) is followed by
+      a round that touches none of the merge operand qubits.
 
     Returns every detectable violation in replay order ([] for a valid
     trace). After a gate fails a readiness check the replay continues

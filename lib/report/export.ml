@@ -60,6 +60,25 @@ let round_to_json (round : Trace.round) =
                (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ])
                swaps) );
       ]
+  | Trace.Merge { merges; locals; split_overlapped } ->
+    Json.Obj
+      [
+        ("kind", Json.String "merge");
+        ( "merges",
+          Json.List
+            (List.map
+               (fun ((t : Task.t), path) ->
+                 Json.Obj
+                   [
+                     ("gate", Json.Int t.id);
+                     ("q1", Json.Int t.q1);
+                     ("q2", Json.Int t.q2);
+                     ("path_vertices", Json.Int (Qec_lattice.Path.length path));
+                   ])
+               merges) );
+        ("locals", Json.List (List.map (fun g -> Json.Int g) locals));
+        ("split_overlapped", Json.Bool split_overlapped);
+      ]
 
 let trace_to_json ?max_rounds (trace : Trace.t) =
   let rounds = trace.Trace.rounds in
@@ -89,6 +108,20 @@ let exposure_to_json ~d (e : Autobraid.Reliability.exposure) =
       ("routing_blocks", Json.Float e.Autobraid.Reliability.routing_blocks);
       ( "failure_probability",
         Json.Float (Autobraid.Reliability.failure_probability ~d e) );
+    ]
+
+let backend_outcome_to_json ?max_rounds timing
+    (o : Autobraid.Comm_backend.outcome) =
+  let d = timing.Qec_surface.Timing.d in
+  let exposure = Autobraid.Reliability.exposure_of_result timing o.result in
+  Json.Obj
+    [
+      ("backend", Json.String o.Autobraid.Comm_backend.backend);
+      ("result", result_to_json o.result);
+      ( "backend_stats",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) o.stats) );
+      ("trace", trace_to_json ?max_rounds o.trace);
+      ("exposure", exposure_to_json ~d exposure);
     ]
 
 let telemetry_to_json collector =

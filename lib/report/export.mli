@@ -18,6 +18,16 @@ val trace_to_json :
 val exposure_to_json :
   d:int -> Autobraid.Reliability.exposure -> Json.t
 
+val backend_outcome_to_json :
+  ?max_rounds:int ->
+  Qec_surface.Timing.t ->
+  Autobraid.Comm_backend.outcome ->
+  Json.t
+(** One communication backend's run: [backend] name, the full
+    {!result_to_json} record, the backend-specific [backend_stats]
+    (generic float-valued keys, e.g. surgery's pipelining counters), the
+    trace, and reliability exposure at the timing's distance. *)
+
 val telemetry_to_json : Qec_telemetry.Collector.t -> Json.t
 (** Everything a collector gathered: counters and gauges as objects,
     histograms / spans / aggregated phases as lists, all snake_case. *)

@@ -97,6 +97,14 @@ let round_svg (trace : Trace.t) k =
         braids;
       Printf.sprintf "round %d: %d braids, %d locals" k (List.length braids)
         (List.length locals)
+    | Trace.Merge { merges; locals; split_overlapped } ->
+      List.iteri
+        (fun i ((_ : Task.t), path) ->
+          emit_path buf grid palette.(i mod Array.length palette) path)
+        merges;
+      Printf.sprintf "round %d: %d merges, %d locals%s" k (List.length merges)
+        (List.length locals)
+        (if split_overlapped then " (split pipelined)" else "")
     | Trace.Swap_layer { swaps } ->
       List.iteri
         (fun i (a, b) ->

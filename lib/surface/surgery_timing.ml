@@ -1,0 +1,18 @@
+type t = Timing.t
+
+let merge_cycles (t : Timing.t) = t.Timing.d
+let split_cycles (t : Timing.t) = t.Timing.d
+let cx_cycles t = merge_cycles t + split_cycles t
+
+let tile_time t ~path_vertices =
+  if path_vertices < 1 then
+    invalid_arg "Surgery_timing.tile_time: empty ancilla path";
+  path_vertices * merge_cycles t
+
+let gate_cycles t g =
+  if Qec_circuit.Gate.is_two_qubit g then cx_cycles t
+  else if Qec_circuit.Gate.is_single_qubit g then Timing.single_qubit_cycles t
+  else
+    invalid_arg
+      (Printf.sprintf "Surgery_timing.gate_cycles: %s must be lowered first"
+         (Qec_circuit.Gate.name g))

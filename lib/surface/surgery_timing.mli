@@ -1,0 +1,42 @@
+(** Lattice-surgery latency model, alongside the braiding {!Timing}.
+
+    In lattice surgery a CX is executed by a ZZ/XX merge-split through an
+    ancilla region: the {e merge} needs [d] rounds of joint stabilizer
+    measurement and the {e split} another [d] rounds, so a full CX costs
+    [2 d] cycles — the same headline number as a braid, but with a very
+    different congestion profile:
+
+    - the ancilla tiles along the routing path are occupied {e only for
+      the merge duration} ([d] cycles); during the split the fabric is
+      already free, so a data-independent next round can overlap the
+      split ("split pipelining", cutting a merge round to [d] cycles);
+    - occupying a path is not free: every tile held for a cycle is
+      exposure (and excluded bandwidth), so the router scores candidate
+      schedules by {e tile-time volume} = path length x merge duration
+      instead of treating length as irrelevant;
+    - long-range CX is native — no SWAP insertion is ever needed.
+
+    Shares {!Timing.t} so a single [d]/[cycle_us] configuration drives
+    both backends and speedup ratios stay unit-free. *)
+
+type t = Timing.t
+
+val merge_cycles : t -> int
+(** [d] — rounds of joint measurement to fuse the operand patches with
+    the ancilla path. *)
+
+val split_cycles : t -> int
+(** [d] — rounds to measure the ancilla region back out. *)
+
+val cx_cycles : t -> int
+(** [merge + split = 2 d], the latency of one unpipelined surgery CX. *)
+
+val tile_time : t -> path_vertices:int -> int
+(** Tile-time volume of one merge: ancilla path length times the merge
+    duration — the quantity the surgery router minimizes. Raises
+    [Invalid_argument] on an empty path. *)
+
+val gate_cycles : t -> Qec_circuit.Gate.t -> int
+(** Latency of one logical gate under lattice surgery: [d] for local
+    gates, [2d] for two-qubit gates. Raises [Invalid_argument] on wide
+    gates and barriers (lower first). *)

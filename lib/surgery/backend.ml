@@ -1,0 +1,18 @@
+module Comm_backend = Autobraid.Comm_backend
+
+let make ?(options = Surgery_scheduler.default_options) () =
+  {
+    Comm_backend.name = "surgery";
+    description = "lattice surgery (merge-split CX over ancilla corridors)";
+    run =
+      (fun timing circuit ->
+        let result, trace, stats =
+          Surgery_scheduler.run_traced ~options timing circuit
+        in
+        {
+          Comm_backend.backend = "surgery";
+          result;
+          trace;
+          stats = Surgery_scheduler.stats_to_assoc stats;
+        });
+  }

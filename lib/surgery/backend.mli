@@ -1,0 +1,9 @@
+(** The lattice-surgery {!Autobraid.Comm_backend}.
+
+    Plug-compatible with [Comm_backend.braid]: same outcome shape, same
+    trace contract ([Trace.check]-clean schedules), surgery-specific
+    numbers surfaced through the generic [stats] association list (keys
+    are {!Surgery_scheduler.stats_to_assoc}'s). *)
+
+val make : ?options:Surgery_scheduler.options -> unit -> Autobraid.Comm_backend.t
+(** Backend named ["surgery"]. *)

@@ -1,0 +1,70 @@
+(** Round-based lattice-surgery scheduler.
+
+    Drives the same DAG-frontier loop as {!Autobraid.Scheduler} — ready
+    front, single/two-qubit split, per-round occupancy reset — but
+    executes long-range CX gates as merge–split lattice surgery instead
+    of defect braiding:
+
+    - each two-qubit gate becomes a ZZ/XX merge through an ancilla path
+      routed by {!Surgery_router} (tile-time-aware, with volume-based
+      rip-up), then a split;
+    - a merge round costs [merge + split = 2d] cycles, except when the
+      split {e pipelines}: if the next round touches none of this round's
+      merge qubits, the split overlaps it and the round costs only [d]
+      (see {!Qec_surface.Surgery_timing});
+    - no SWAP layers are ever inserted — surgery reaches any two patches
+      directly, so the placement stays static.
+
+    Totals are derived by replaying the emitted {!Autobraid.Trace}
+    ([Trace.cycles]), so every claimed cycle is backed by a round the
+    validator can check. *)
+
+type options = {
+  initial : Autobraid.Initial_layout.method_;  (** initial placement *)
+  retry : bool;  (** failed-first re-route inside the stack finder *)
+  ripup : bool;  (** volume-aware eviction of the costliest merge *)
+  pipeline_splits : bool;
+      (** overlap splits with data-independent successor rounds *)
+  seed : int;
+  placement_override : Qec_lattice.Placement.t option;
+}
+
+val default_options : options
+(** [Annealed] placement, retry, rip-up and pipelining on, seed 11 —
+    mirrors {!Autobraid.Scheduler.default_options} where applicable. *)
+
+type stats = {
+  merge_rounds : int;
+  local_rounds : int;
+  pipelined_splits : int;  (** rounds whose split overlapped the next *)
+  tile_time_cycles : int;
+      (** Σ over merges of path-vertices × merge-cycles: the total
+          space-time volume committed to ancilla corridors *)
+  ripup_attempts : int;
+  ripup_rescues : int;
+  longest_merge_path : int;  (** vertices of the longest ancilla path *)
+  mean_merge_path : float;
+}
+
+val stats_to_assoc : stats -> (string * float) list
+(** Stable-keyed flat view for {!Autobraid.Comm_backend.outcome} stats
+    and JSON export. *)
+
+val run_traced :
+  ?options:options ->
+  Qec_surface.Timing.t ->
+  Qec_circuit.Circuit.t ->
+  Autobraid.Scheduler.result * Autobraid.Trace.t * stats
+(** Schedule the circuit with lattice surgery. The result reuses the
+    braiding result record: [braid_rounds] holds merge rounds and
+    [swap_layers]/[swaps_inserted] are 0 by construction.
+    [critical_path_cycles] uses the surgery gate costs
+    ({!Qec_surface.Surgery_timing.gate_cycles}). Raises
+    [Invalid_argument] on a mismatched [placement_override]. *)
+
+val run :
+  ?options:options ->
+  Qec_surface.Timing.t ->
+  Qec_circuit.Circuit.t ->
+  Autobraid.Scheduler.result
+(** [run_traced] without keeping the trace or stats. *)

@@ -200,6 +200,56 @@ let test_malformed_input_handling () =
   check_int "missing file exits 2" 2 code;
   check_bool "unknown circuit text" true (contains out "unknown circuit")
 
+let test_schedule_braid_byte_identical () =
+  (* `schedule --backend braid` is the compile path behind the backend
+     abstraction: output must match `compile` byte for byte (modulo the
+     measured compile-time row, which is wall-clock noise). *)
+  List.iter
+    (fun spec ->
+      let c1, out1 = run (Printf.sprintf "compile %s" spec) in
+      let c2, out2 = run (Printf.sprintf "schedule %s --backend braid" spec) in
+      check_int "compile exit 0" 0 c1;
+      check_int "schedule exit 0" 0 c2;
+      let strip s =
+        String.split_on_char '\n' s
+        |> List.filter (fun l -> not (contains l "compile time"))
+        |> String.concat "\n"
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "identical output on %s" spec)
+        (strip out1) (strip out2))
+    [ "qft9"; "bv12"; "qaoa12" ]
+
+let test_schedule_surgery () =
+  let code, out = run "schedule qft9 --backend surgery" in
+  check_int "exit 0" 0 code;
+  check_bool "result table" true (contains out "total cycles");
+  check_bool "surgery stats" true (contains out "pipelined_splits");
+  check_bool "no swaps ever" true (contains out "swaps inserted");
+  let fixture =
+    List.find Sys.file_exists
+      [ "../fixtures/longrange8.qasm"; "fixtures/longrange8.qasm" ]
+  in
+  let code, _ = run (Printf.sprintf "schedule %s --backend surgery" fixture) in
+  check_int "qasm file exit 0" 0 code
+
+let test_schedule_compare () =
+  let code, out = run "schedule lr16 --backend compare" in
+  check_int "exit 0" 0 code;
+  check_bool "braid column" true (contains out "braid");
+  check_bool "surgery column" true (contains out "surgery");
+  check_bool "speedup line" true (contains out "speedup")
+
+let test_export_backend () =
+  let code, out = run "export bv12 -f json --backend surgery" in
+  check_int "exit 0" 0 code;
+  check_bool "backend field" true (contains out "\"backend\": \"surgery\"");
+  check_bool "backend stats" true (contains out "merge_rounds");
+  check_bool "telemetry" true (contains out "\"counters\"");
+  let code, out = run "export bv12 -f json --backend braid" in
+  check_int "braid exit 0" 0 code;
+  check_bool "braid field" true (contains out "\"backend\": \"braid\"")
+
 let test_error_handling () =
   let code, out = run "compile definitely_not_a_circuit" in
   check_int "exit 2" 2 code;
@@ -224,6 +274,11 @@ let () =
           Alcotest.test_case "sweep" `Quick test_sweep;
           Alcotest.test_case "trace" `Quick test_trace;
           Alcotest.test_case "export formats" `Quick test_export_formats;
+          Alcotest.test_case "schedule braid identical" `Quick
+            test_schedule_braid_byte_identical;
+          Alcotest.test_case "schedule surgery" `Quick test_schedule_surgery;
+          Alcotest.test_case "schedule compare" `Quick test_schedule_compare;
+          Alcotest.test_case "export backend" `Quick test_export_backend;
           Alcotest.test_case "resources" `Quick test_resources;
           Alcotest.test_case "errors" `Quick test_error_handling;
         ] );

@@ -76,6 +76,52 @@ let test_timing_invalid () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_surgery_timing_costs () =
+  let module St = Qec_surface.Surgery_timing in
+  let t = T.make ~d:33 () in
+  check_int "merge is d" 33 (St.merge_cycles t);
+  check_int "split is d" 33 (St.split_cycles t);
+  check_int "cx is merge+split" 66 (St.cx_cycles t);
+  check_int "tile time" (5 * 33) (St.tile_time t ~path_vertices:5);
+  check_int "gate single" 33 (St.gate_cycles t (G.H 0));
+  check_int "gate cx" 66 (St.gate_cycles t (G.Cx (0, 1)))
+
+let test_surgery_timing_d1 () =
+  (* d = 1 is the degenerate single-cycle code: every constant collapses
+     to the path-length scale. *)
+  let module St = Qec_surface.Surgery_timing in
+  let t = T.make ~d:1 () in
+  check_int "merge" 1 (St.merge_cycles t);
+  check_int "split" 1 (St.split_cycles t);
+  check_int "cx" 2 (St.cx_cycles t);
+  check_int "tile time is path length" 7 (St.tile_time t ~path_vertices:7)
+
+let test_surgery_timing_invalid () =
+  let module St = Qec_surface.Surgery_timing in
+  let t = T.make ~d:3 () in
+  check_bool "barrier rejected" true
+    (match St.gate_cycles t (G.Barrier [ 0; 1 ]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "wide gate rejected" true
+    (match St.gate_cycles t (G.Ccx (0, 1, 2)) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "empty ancilla path rejected" true
+    (match St.tile_time t ~path_vertices:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_us_of_cycles_roundtrip () =
+  (* us_of_cycles is linear, so converting a BV-100 sized cycle count and
+     dividing back must recover the count; the magnitude stays in the
+     Table 2 regime (Kus, not us or Ms). *)
+  let t = T.make ~d:33 () in
+  let cycles = 6600 in
+  let us = T.us_of_cycles t cycles in
+  check_int "round trip" cycles (int_of_float (Float.round (us /. 2.2)));
+  check_bool "BV-100 magnitude" true (us > 1.0e3 && us < 1.0e6)
+
 let test_bv100_critical_path_magnitude () =
   (* Table 2: BV-100 critical path 15.2 Kus at d = 33. Our model should be
      within ~20%. *)
@@ -123,6 +169,10 @@ let () =
           Alcotest.test_case "conversions" `Quick test_timing_conversions;
           Alcotest.test_case "invalid" `Quick test_timing_invalid;
           Alcotest.test_case "bv100 magnitude" `Quick test_bv100_critical_path_magnitude;
+          Alcotest.test_case "surgery costs" `Quick test_surgery_timing_costs;
+          Alcotest.test_case "surgery d=1" `Quick test_surgery_timing_d1;
+          Alcotest.test_case "surgery invalid" `Quick test_surgery_timing_invalid;
+          Alcotest.test_case "us round trip" `Quick test_us_of_cycles_roundtrip;
         ] );
       ( "resources",
         [
