@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench bench-smoke fmt lint check clean
+.PHONY: all build test bench bench-smoke batch-smoke fmt lint check clean
 
 CLI := _build/default/bin/autobraid_cli.exe
 
@@ -49,7 +49,30 @@ bench-smoke: build
 	rm -f "$$out"; \
 	echo "bench-smoke: OK"
 
-check: fmt build test lint bench-smoke
+# Batch-engine smoke: the fixtures manifest must compile on a 2-worker
+# pool, a second pass over the same --cache-dir must replay placements
+# from disk, and both passes must emit byte-identical JSONL.
+batch-smoke: build
+	@dir=$$(mktemp -d); \
+	$(CLI) batch fixtures/batch_manifest.json --jobs 2 \
+		--cache-dir "$$dir/cache" -o "$$dir/cold.jsonl" \
+		2> "$$dir/cold.log" || { cat "$$dir/cold.log"; exit 1; }; \
+	$(CLI) batch fixtures/batch_manifest.json --jobs 2 \
+		--cache-dir "$$dir/cache" -o "$$dir/warm.jsonl" \
+		2> "$$dir/warm.log" || { cat "$$dir/warm.log"; exit 1; }; \
+	cmp "$$dir/cold.jsonl" "$$dir/warm.jsonl" \
+		|| { echo "batch-smoke: warm-cache JSONL differs"; exit 1; }; \
+	ls "$$dir/cache"/*.placement >/dev/null 2>&1 \
+		|| { echo "batch-smoke: no placements persisted"; exit 1; }; \
+	grep -q ' 0 misses' "$$dir/warm.log" \
+		|| { echo "batch-smoke: warm pass recomputed placements"; \
+		     cat "$$dir/warm.log"; exit 1; }; \
+	grep -q '"status":"error"' "$$dir/cold.jsonl" \
+		&& { echo "batch-smoke: fixtures manifest has failing jobs"; exit 1; }; \
+	rm -rf "$$dir"; \
+	echo "batch-smoke: OK"
+
+check: fmt build test lint bench-smoke batch-smoke
 	@echo "check: OK"
 
 clean:

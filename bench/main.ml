@@ -7,9 +7,10 @@
      dune exec bench/main.exe -- fig16 --full      # paper-scale sizes (slow)
      dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
      dune exec bench/main.exe -- backends --json BENCH_backends.json
+     dune exec bench/main.exe -- engine --json BENCH_engine.json
 
    Sections: table1 table2 fig16 fig17 fig18 compile-time ablation planar
-   magic backends micro all.
+   magic backends engine micro all.
 
    Absolute numbers differ from the paper (different host, regenerated
    benchmark netlists, re-implemented baseline); the claims under test are
@@ -29,7 +30,10 @@ let sp_options = { S.default_options with variant = S.Sp }
 
 (* autobraid-full with the paper's p sweep, trimmed for compile time. *)
 let run_full ?(grid_points = [ 0.0; 0.2; 0.4 ]) timing c =
-  fst (S.run_best_p ~grid_points ~parallel:true timing c)
+  fst
+    (S.run_best_p ~grid_points
+       ~jobs:(Qec_util.Parallel.default_jobs ())
+       timing c)
 
 let header title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -349,7 +353,13 @@ let fig18 ~full () =
         @ List.map (fun (name, _) -> (name, TP.Right)) cases)
   in
   let curves =
-    List.map (fun (_, c) -> snd (S.run_best_p ~parallel:true timing33 c)) cases
+    List.map
+      (fun (_, c) ->
+        snd
+          (S.run_best_p
+             ~jobs:(Qec_util.Parallel.default_jobs ())
+             timing33 c))
+      cases
   in
   let ps = List.map fst (List.hd curves) in
   List.iteri
@@ -758,6 +768,113 @@ let backends ~json_out () =
     Printf.printf "\n[wrote %s]\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Engine: batch throughput and the placement cache's payoff            *)
+
+(* An annealing-heavy manifest: every spec repeats one of a few (circuit,
+   seed) pairs, the shape batch sweeps actually have, so a warmed
+   placement cache should convert most jobs' annealing into hits. *)
+let engine_specs =
+  let spec ?(backend = "braid") ?(seed = 11) circuit =
+    { Qec_engine.Spec.default with circuit; backend; seed }
+  in
+  [
+    spec "qft20";
+    spec "qft20" ~backend:"surgery";
+    spec "qft20" ~seed:12;
+    spec "lr24";
+    spec "lr24" ~backend:"surgery";
+    spec "qaoa12";
+    spec "qaoa12";
+    spec "qft16";
+    spec "qft16" ~backend:"surgery";
+    spec "qft20";
+  ]
+
+let engine ~json_out () =
+  header "Engine: cached multicore batch compilation";
+  let jobs = Qec_util.Parallel.default_jobs () in
+  let dir = Filename.temp_file "autobraid_bench_cache" "" in
+  Sys.remove dir;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let module PC = Qec_engine.Placement_cache in
+  let module E = Qec_engine.Engine in
+  let cold_cache = PC.create ~dir () in
+  let cold_jobs, cold_s =
+    time (fun () -> E.run_batch ~jobs ~cache:cold_cache engine_specs)
+  in
+  let warm_jobs, warm_memory_s =
+    time (fun () -> E.run_batch ~jobs ~cache:cold_cache engine_specs)
+  in
+  let disk_jobs, warm_disk_s =
+    time (fun () -> E.run_batch ~jobs ~cache:(PC.create ~dir ()) engine_specs)
+  in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir;
+  let identical =
+    E.jobs_to_jsonl cold_jobs = E.jobs_to_jsonl warm_jobs
+    && E.jobs_to_jsonl cold_jobs = E.jobs_to_jsonl disk_jobs
+  in
+  if not identical then failwith "engine bench: cached results diverged";
+  let k = PC.counters cold_cache in
+  let t =
+    TP.create
+      ~headers:
+        [
+          ("pass", TP.Left);
+          ("wall (s)", TP.Right);
+          ("speedup", TP.Right);
+        ]
+  in
+  TP.add_row t [ "cold (anneal all)"; Printf.sprintf "%.3f" cold_s; "1.00x" ];
+  TP.add_row t
+    [
+      "warm (memory)";
+      Printf.sprintf "%.3f" warm_memory_s;
+      Printf.sprintf "%.2fx" (cold_s /. warm_memory_s);
+    ];
+  TP.add_row t
+    [
+      "warm (disk)";
+      Printf.sprintf "%.3f" warm_disk_s;
+      Printf.sprintf "%.2fx" (cold_s /. warm_disk_s);
+    ];
+  TP.print t;
+  Printf.printf
+    "(%d specs on %d workers; cold pass: %d annealed placements, warm \
+     passes replay them; all three passes byte-identical)\n"
+    (List.length engine_specs) jobs k.PC.misses;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let open Qec_report.Json in
+    let json =
+      Obj
+        [
+          ("section", String "engine");
+          ("jobs", Int jobs);
+          ("specs", Int (List.length engine_specs));
+          ("cold_s", Float cold_s);
+          ("warm_memory_s", Float warm_memory_s);
+          ("warm_disk_s", Float warm_disk_s);
+          ("speedup_memory", Float (cold_s /. warm_memory_s));
+          ("speedup_disk", Float (cold_s /. warm_disk_s));
+          ("placements_computed", Int k.PC.misses);
+          ("results_identical", Bool identical);
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (to_string ~indent:true json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "\n[wrote %s]\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure driver     *)
 
 let micro () =
@@ -850,6 +967,7 @@ let () =
   | "planar" -> profiled "planar" planar
   | "magic" -> profiled "magic" magic
   | "backends" -> profiled "backends" (backends ~json_out)
+  | "engine" -> profiled "engine" (engine ~json_out)
   | "micro" -> profiled "micro" micro
   | "all" ->
     profiled "table1" (table1 ~full);
@@ -863,10 +981,12 @@ let () =
     profiled "planar" planar;
     profiled "magic" magic;
     profiled "backends" (backends ~json_out);
+    (* --json names one file; in `all` mode it belongs to `backends` *)
+    profiled "engine" (engine ~json_out:None);
     profiled "micro" micro
   | other ->
     Printf.eprintf
-      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|micro|all)\n"
+      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|engine|micro|all)\n"
       other;
     exit 2);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -4,6 +4,8 @@
      compile    schedule a circuit and report latency/utilization
      schedule   same, through a selectable communication backend
                 (braid / surgery / compare; see docs/surgery.md)
+     batch      compile a JSON manifest of specs on a multicore worker
+                pool with a shared placement cache (see docs/engine.md)
      info       static analysis: sizes, depth, parallelism, LLG census
      lint       span-aware diagnostics (QLxxx rules, see docs/lint.md)
      resources  surface-code resource estimates for a qubit count / target P_L
@@ -14,6 +16,10 @@
    see `autobraid list`) or by a path to a .qasm / .real file. *)
 
 open Cmdliner
+
+(* Backends resolve by registry name everywhere (--backend, batch specs);
+   register the built-ins before any command parses. *)
+let () = Qec_engine.Engine.ensure_backends ()
 
 (* Malformed inputs must exit 1 with file:line:col, never an OCaml
    backtrace. Every subcommand body runs under this guard. *)
@@ -196,51 +202,69 @@ let print_result timing (r : Autobraid.Scheduler.result) =
           exposure));
   Qec_util.Tableprint.print t
 
+(* `compile` and `schedule` are thin wrappers over the same Spec ->
+   Engine.run_spec path: their byte-identity on the braid backend is
+   structural, not promised by keeping two argument lists in sync. *)
+
+let engine_error_exit (e : Qec_engine.Engine.error) =
+  if e.Qec_engine.Engine.kind = "circuit-not-found" then 2 else 1
+
+(* compile-style diagnostics: the bare message on stderr (same text the
+   old guarded path printed), exit 2 for unknown circuits, 1 otherwise. *)
+let die_engine_text (e : Qec_engine.Engine.error) =
+  prerr_endline e.Qec_engine.Engine.message;
+  exit (engine_error_exit e)
+
+(* schedule-style diagnostics: the same structured JSONL error record a
+   batch would emit for this job, on stderr. *)
+let die_engine_jsonl spec (e : Qec_engine.Engine.error) =
+  let job =
+    {
+      Qec_engine.Engine.index = 0;
+      spec;
+      elapsed_s = 0.;
+      cache = Qec_engine.Engine.Uncached;
+      outcome = Error e;
+    }
+  in
+  prerr_endline (Qec_report.Json.to_string (Qec_engine.Engine.job_to_json job));
+  exit (engine_error_exit e)
+
+let print_peephole (payload : Qec_engine.Engine.payload) =
+  match payload.Qec_engine.Engine.peephole with
+  | None -> ()
+  | Some (stats, before, after) ->
+    Printf.printf
+      "peephole: cancelled %d pairs, merged %d rotations (%d -> %d gates)\n"
+      stats.Qec_circuit.Optimize.cancelled_pairs
+      stats.Qec_circuit.Optimize.merged_rotations before after
+
 let compile_cmd =
   let run spec d seed p sched initial best_p optimize metrics telemetry_out =
-    guarded spec @@ fun () ->
     with_telemetry ~metrics ~telemetry_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
-    let c = load_circuit spec in
-    let c =
-      if optimize then begin
-        let c', stats = Qec_circuit.Optimize.peephole c in
-        Printf.printf
-          "peephole: cancelled %d pairs, merged %d rotations (%d -> %d gates)\n"
-          stats.Qec_circuit.Optimize.cancelled_pairs
-          stats.Qec_circuit.Optimize.merged_rotations
-          (Qec_circuit.Circuit.length c)
-          (Qec_circuit.Circuit.length c');
-        c'
-      end
-      else c
+    let s =
+      {
+        Qec_engine.Spec.default with
+        circuit = spec;
+        scheduler =
+          (match sched with
+          | `Full -> Qec_engine.Spec.Full
+          | `Sp -> Qec_engine.Spec.Sp
+          | `Baseline -> Qec_engine.Spec.Baseline);
+        d;
+        seed;
+        threshold_p = p;
+        initial;
+        optimize;
+        best_p = best_p && sched = `Full;
+      }
     in
-    let result =
-      match sched with
-      | `Baseline ->
-        Gp_baseline.run ~options:{ Gp_baseline.default_options with seed } timing c
-      | (`Full | `Sp) as v ->
-        let options =
-          {
-            Autobraid.Scheduler.variant =
-              (if v = `Full then Autobraid.Scheduler.Full
-               else Autobraid.Scheduler.Sp);
-            threshold_p = p;
-            initial;
-            swap_strategy = None;
-            retry = true;
-            confine_llg = true;
-            compaction = false;
-            lookahead = false;
-            seed;
-            placement_override = None;
-          }
-        in
-        if best_p && v = `Full then
-          fst (Autobraid.Scheduler.run_best_p ~options timing c)
-        else Autobraid.Scheduler.run ~options timing c
-    in
-    print_result timing result
+    match Qec_engine.Engine.run_spec s with
+    | Error e -> die_engine_text e
+    | Ok payload ->
+      print_peephole payload;
+      print_result timing payload.Qec_engine.Engine.result
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Schedule a circuit's braiding paths")
@@ -250,31 +274,6 @@ let compile_cmd =
       $ telemetry_out_arg)
 
 (* ---------------- schedule (pluggable backend) ---------------- *)
-
-(* The braid backend must reproduce `compile` exactly: same options record,
-   same printer, no extra output — byte-for-byte. *)
-let braid_backend ~p ~initial ~seed () =
-  Autobraid.Comm_backend.braid
-    ~options:
-      {
-        Autobraid.Scheduler.variant = Autobraid.Scheduler.Full;
-        threshold_p = p;
-        initial;
-        swap_strategy = None;
-        retry = true;
-        confine_llg = true;
-        compaction = false;
-        lookahead = false;
-        seed;
-        placement_override = None;
-      }
-    ()
-
-let surgery_backend ~initial ~seed () =
-  Qec_surgery.Backend.make
-    ~options:
-      { Qec_surgery.Surgery_scheduler.default_options with initial; seed }
-    ()
 
 let print_backend_stats = function
   | [] -> ()
@@ -287,23 +286,18 @@ let print_backend_stats = function
         else Printf.printf "  %-20s %.2f\n" k v)
       stats
 
-let print_comparison timing (ob : Autobraid.Comm_backend.outcome)
-    (os : Autobraid.Comm_backend.outcome) =
-  let rb = ob.Autobraid.Comm_backend.result
-  and rs = os.Autobraid.Comm_backend.result in
+let print_comparison timing (nb, (rb : Autobraid.Scheduler.result))
+    (ns, (rs : Autobraid.Scheduler.result)) =
   let t =
     Qec_util.Tableprint.create
       ~headers:
         [
           ("metric", Qec_util.Tableprint.Left);
-          (ob.Autobraid.Comm_backend.backend, Qec_util.Tableprint.Right);
-          (os.Autobraid.Comm_backend.backend, Qec_util.Tableprint.Right);
+          (nb, Qec_util.Tableprint.Right);
+          (ns, Qec_util.Tableprint.Right);
         ]
   in
-  let add k f =
-    Qec_util.Tableprint.add_row t
-      [ k; f (rb : Autobraid.Scheduler.result); f rs ]
-  in
+  let add k f = Qec_util.Tableprint.add_row t [ k; f rb; f rs ] in
   add "total cycles" (fun r -> string_of_int r.Autobraid.Scheduler.total_cycles);
   add "execution time (us)" (fun r ->
       Qec_util.Tableprint.si_cell (Autobraid.Scheduler.time_us timing r));
@@ -320,48 +314,66 @@ let print_comparison timing (ob : Autobraid.Comm_backend.outcome)
   Qec_util.Tableprint.print t;
   let cb = rb.Autobraid.Scheduler.total_cycles
   and cs = rs.Autobraid.Scheduler.total_cycles in
-  Printf.printf "\nspeedup (%s/%s cycles): %.2fx\n"
-    ob.Autobraid.Comm_backend.backend os.Autobraid.Comm_backend.backend
+  Printf.printf "\nspeedup (%s/%s cycles): %.2fx\n" nb ns
     (float_of_int cb /. float_of_int (max 1 cs))
 
 let schedule_cmd =
   let run spec backend d seed p initial metrics telemetry_out =
-    guarded spec @@ fun () ->
     with_telemetry ~metrics ~telemetry_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
-    let c = load_circuit spec in
+    let spec_for name =
+      {
+        Qec_engine.Spec.default with
+        circuit = spec;
+        backend = name;
+        d;
+        seed;
+        threshold_p = p;
+        initial;
+      }
+    in
+    let run_one name =
+      let s = spec_for name in
+      match Qec_engine.Engine.run_spec s with
+      | Error e -> die_engine_jsonl s e
+      | Ok payload -> payload
+    in
     match backend with
-    | `Braid ->
-      let o =
-        (braid_backend ~p ~initial ~seed ()).Autobraid.Comm_backend.run timing c
-      in
-      print_result timing o.Autobraid.Comm_backend.result
-    | `Surgery ->
-      let o =
-        (surgery_backend ~initial ~seed ()).Autobraid.Comm_backend.run timing c
-      in
-      print_result timing o.Autobraid.Comm_backend.result;
-      print_backend_stats o.Autobraid.Comm_backend.stats
-    | `Compare ->
-      let ob =
-        (braid_backend ~p ~initial ~seed ()).Autobraid.Comm_backend.run timing c
-      in
-      let os =
-        (surgery_backend ~initial ~seed ()).Autobraid.Comm_backend.run timing c
-      in
-      print_comparison timing ob os
+    | "compare" ->
+      let pb = run_one "braid" in
+      let ps = run_one "surgery" in
+      print_comparison timing
+        (pb.Qec_engine.Engine.backend, pb.Qec_engine.Engine.result)
+        (ps.Qec_engine.Engine.backend, ps.Qec_engine.Engine.result)
+    | name ->
+      let payload = run_one name in
+      print_result timing payload.Qec_engine.Engine.result;
+      print_backend_stats payload.Qec_engine.Engine.stats
   in
   let backend_arg =
+    (* Valid names come from the Comm_backend registry, not a hand-rolled
+       match; `compare` stays a schedule-level mode on top. *)
+    let parse s =
+      if s = "compare" || Autobraid.Comm_backend.of_name s <> None then Ok s
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %S (expected %s or compare)" s
+               (String.concat ", "
+                  (List.map fst (Autobraid.Comm_backend.all ())))))
+    in
+    let backend_conv = Arg.conv (parse, Format.pp_print_string) in
     Arg.(
-      value
-      & opt
-          (enum
-             [ ("braid", `Braid); ("surgery", `Surgery); ("compare", `Compare) ])
-          `Braid
+      value & opt backend_conv "braid"
       & info [ "backend" ] ~docv:"BACKEND"
-          ~doc:"Communication backend: braid (double-defect braiding, same \
-                output as compile), surgery (lattice merge-split), compare \
-                (run both, print a side-by-side table)")
+          ~doc:
+            (Printf.sprintf
+               "Communication backend (registered: %s), or compare (run \
+                braid and surgery, print a side-by-side table)"
+               (String.concat ", "
+                  (List.map
+                     (fun (n, d) -> Printf.sprintf "%s (%s)" n d)
+                     (Autobraid.Comm_backend.all ())))))
   in
   Cmd.v
     (Cmd.info "schedule"
@@ -369,6 +381,108 @@ let schedule_cmd =
     Term.(
       const run $ circuit_arg $ backend_arg $ distance_arg $ seed_arg
       $ threshold_arg $ initial_arg $ metrics_arg $ telemetry_out_arg)
+
+(* ---------------- batch ---------------- *)
+
+let batch_cmd =
+  let run manifest jobs cache_dir out timings metrics telemetry_out =
+    with_telemetry ~metrics ~telemetry_out @@ fun () ->
+    let text =
+      match
+        let ic = open_in_bin manifest in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      with
+      | s -> s
+      | exception Sys_error msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    let specs =
+      match Qec_engine.Spec.manifest_of_string text with
+      | Ok specs -> specs
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" manifest msg;
+        exit 2
+    in
+    let cache = Qec_engine.Placement_cache.create ?dir:cache_dir () in
+    let t0 = Unix.gettimeofday () in
+    let results = Qec_engine.Engine.run_batch ?jobs ~cache specs in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let jsonl = Qec_engine.Engine.jobs_to_jsonl ~timings results in
+    (match out with
+    | None -> print_string jsonl
+    | Some path ->
+      let oc = open_out path in
+      output_string oc jsonl;
+      close_out oc);
+    let failed = Qec_engine.Engine.errors results in
+    let k = Qec_engine.Placement_cache.counters cache in
+    Printf.eprintf
+      "batch: %d jobs, %d ok, %d failed; placement cache %d+%d hits / %d \
+       misses; %.2f s\n"
+      (List.length results)
+      (List.length results - List.length failed)
+      (List.length failed)
+      k.Qec_engine.Placement_cache.memory_hits
+      k.Qec_engine.Placement_cache.disk_hits
+      k.Qec_engine.Placement_cache.misses elapsed;
+    if failed <> [] then exit 1
+  in
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:
+            "JSON manifest: an array of compile specs, or {\"version\": 1, \
+             \"jobs\": [...]} — see docs/engine.md for the schema")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: available cores)")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the content-addressed placement cache in DIR (created \
+             if missing); warm runs skip the annealing cost")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE.jsonl"
+          ~doc:"Write results as JSON lines to FILE (default stdout)")
+  in
+  let timings_arg =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:
+            "Include per-job wall time and cache status in each record \
+             (non-deterministic fields, off by default so output is \
+             byte-stable)")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Compile a manifest of specs on a multicore worker pool with a \
+          shared placement cache. Results stream to JSONL in manifest \
+          order (byte-identical for any --jobs); per-job failures become \
+          structured error records, and the exit code is 1 when any job \
+          failed, 2 on an unusable manifest, 0 otherwise.")
+    Term.(
+      const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ out_arg
+      $ timings_arg $ metrics_arg $ telemetry_out_arg)
 
 (* ---------------- info ---------------- *)
 
@@ -722,7 +836,7 @@ let main =
   Cmd.group
     (Cmd.info "autobraid" ~version:"1.0.0"
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
-    [ compile_cmd; schedule_cmd; info_cmd; lint_cmd; resources_cmd; emit_cmd;
-       sweep_cmd; trace_cmd; export_cmd; list_cmd ]
+    [ compile_cmd; schedule_cmd; batch_cmd; info_cmd; lint_cmd;
+       resources_cmd; emit_cmd; sweep_cmd; trace_cmd; export_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -21,6 +21,61 @@ let braid ?(options = Scheduler.default_options) () =
         { backend = "braid"; result; trace; stats = [] });
   }
 
+(* ---------------- registry ---------------- *)
+
+type config = {
+  variant : Scheduler.variant;
+  threshold_p : float;
+  initial : Initial_layout.method_;
+  seed : int;
+  placement : Qec_lattice.Placement.t option;
+}
+
+let default_config =
+  {
+    variant = Scheduler.default_options.Scheduler.variant;
+    threshold_p = Scheduler.default_options.Scheduler.threshold_p;
+    initial = Scheduler.default_options.Scheduler.initial;
+    seed = Scheduler.default_options.Scheduler.seed;
+    placement = None;
+  }
+
+type ctor = config -> t
+
+(* Registration happens at module-init time on the main domain;
+   [of_name]/[all] afterwards are read-only, so no lock is needed even
+   when worker domains resolve backends concurrently. *)
+let registry : (string * (string * ctor)) list ref = ref []
+
+let register ~name ~description ctor =
+  registry := (name, (description, ctor)) :: List.remove_assoc name !registry
+
+let of_name name = Option.map snd (List.assoc_opt name !registry)
+
+let all () =
+  List.map (fun (name, (description, _)) -> (name, description)) !registry
+  |> List.sort compare
+
+let () =
+  register ~name:"braid"
+    ~description:"double-defect braiding (AutoBraid round scheduler)"
+    (fun cfg ->
+      braid
+        ~options:
+          {
+            Scheduler.variant = cfg.variant;
+            threshold_p = cfg.threshold_p;
+            initial = cfg.initial;
+            swap_strategy = None;
+            retry = true;
+            confine_llg = true;
+            compaction = false;
+            lookahead = false;
+            seed = cfg.seed;
+            placement_override = cfg.placement;
+          }
+        ())
+
 let scheduled_gate_ids (trace : Trace.t) =
   List.concat_map
     (fun round ->

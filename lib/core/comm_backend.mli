@@ -38,6 +38,42 @@ val braid : ?options:Scheduler.options -> unit -> t
     {!Scheduler.run_traced}: results are identical to calling the
     scheduler directly (the abstraction adds nothing to the hot path). *)
 
+(** {2 Registry}
+
+    Backends register by name so callers (the CLI's [--backend], the
+    batch engine's [Spec.backend] field) resolve them uniformly instead of
+    hand-matching names to constructors. ["braid"] self-registers here;
+    other libraries register at module-init time
+    ({!Qec_surgery.Backend.register}). *)
+
+type config = {
+  variant : Scheduler.variant;  (** braid-only; others ignore it *)
+  threshold_p : float;  (** braid-only layout-optimizer trigger *)
+  initial : Initial_layout.method_;
+  seed : int;
+  placement : Qec_lattice.Placement.t option;
+      (** start from this placement instead of computing [initial] — the
+          seam the placement cache injects through *)
+}
+(** The portable subset of scheduling options a declarative request can
+    carry. Everything else ([retry], [confine_llg], ...) stays at the
+    backend's defaults — exactly what the CLI always passed. *)
+
+val default_config : config
+(** {!Scheduler.default_options}' variant / threshold / initial / seed,
+    no placement override. *)
+
+type ctor = config -> t
+
+val register : name:string -> description:string -> ctor -> unit
+(** Add (or replace) the named backend. Call at module-init time, before
+    any domain is spawned — the registry is read-only afterwards. *)
+
+val of_name : string -> ctor option
+
+val all : unit -> (string * string) list
+(** Registered [(name, description)] pairs, sorted by name. *)
+
 val scheduled_gate_ids : Trace.t -> int list
 (** Sorted ids of every gate the trace schedules (braids, merges and
     locals) — the cross-backend invariant: all backends must schedule the

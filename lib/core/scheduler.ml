@@ -274,7 +274,14 @@ let run_traced ?(options = default_options) timing circuit =
 let default_grid_points = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
 
 let run_best_p ?(options = default_options) ?(grid_points = default_grid_points)
-    ?(parallel = false) timing circuit =
+    ?(parallel = false) ?jobs timing circuit =
+  (* [?jobs] is the worker-pool API; [?parallel] survives one release as a
+     deprecated alias meaning "all available workers". *)
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> if parallel then Qec_util.Parallel.default_jobs () else 1
+  in
   (* Initial placement (including the annealing fine-tune) is independent
      of the threshold, so compute it once for the whole sweep. *)
   let options =
@@ -293,11 +300,10 @@ let run_best_p ?(options = default_options) ?(grid_points = default_grid_points)
   in
   let eval p = (p, run ~options:{ options with threshold_p = p } timing circuit) in
   let curve =
-    (* Threshold runs are independent; spread them over domains on request.
-       (Sys.time-based compile_time_s then aggregates CPU across domains —
-       fine for latency results, not for compile-time measurements.) *)
-    if parallel then Qec_util.Parallel.map eval grid_points
-    else List.map eval grid_points
+    (* Threshold runs are independent; spread them over a worker pool on
+       request. (Sys.time-based compile_time_s then aggregates CPU across
+       domains — fine for latency results, not compile-time ones.) *)
+    Qec_util.Parallel.map_jobs ~jobs eval grid_points
   in
   match curve with
   | [] -> invalid_arg "Scheduler.run_best_p: no grid points"

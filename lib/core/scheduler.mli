@@ -91,11 +91,17 @@ val run_best_p :
   ?options:options ->
   ?grid_points:float list ->
   ?parallel:bool ->
+  ?jobs:int ->
   Qec_surface.Timing.t ->
   Qec_circuit.Circuit.t ->
   result * (float * result) list
 (** The paper's p-sweep: run at each threshold (default 0.0 to 0.9 by 0.1)
     and return the best result plus the whole curve (for Fig. 18). With
-    [parallel] (default false) the thresholds run on separate domains —
-    identical results, shorter wall time, but [compile_time_s] then counts
-    CPU across domains. *)
+    [jobs > 1] the thresholds run on a {!Qec_util.Parallel} worker pool of
+    that size — identical results in identical order, shorter wall time,
+    but [compile_time_s] then counts CPU across domains. [jobs] defaults
+    to 1 (sequential).
+
+    [parallel] is {b deprecated} (one-release alias, see docs/engine.md):
+    [~parallel:true] behaves like [~jobs:(Parallel.default_jobs ())] and
+    is ignored when [jobs] is given. *)

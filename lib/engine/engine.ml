@@ -1,0 +1,372 @@
+module Json = Qec_report.Json
+module Circuit = Qec_circuit.Circuit
+module Decompose = Qec_circuit.Decompose
+module Scheduler = Autobraid.Scheduler
+module CB = Autobraid.Comm_backend
+module Timing = Qec_surface.Timing
+module Tel = Qec_telemetry.Telemetry
+
+type error = { kind : string; message : string }
+
+type payload = {
+  backend : string;
+  result : Scheduler.result;
+  stats : (string * float) list;
+  trace : Autobraid.Trace.t option;
+  curve : (float * Scheduler.result) list option;
+  peephole : (Qec_circuit.Optimize.stats * int * int) option;
+}
+
+type cache_status = Memory_hit | Disk_hit | Miss | Uncached
+
+let cache_status_to_string = function
+  | Memory_hit -> "memory-hit"
+  | Disk_hit -> "disk-hit"
+  | Miss -> "miss"
+  | Uncached -> "uncached"
+
+type job = {
+  index : int;
+  spec : Spec.t;
+  elapsed_s : float;
+  cache : cache_status;
+  outcome : (payload, error) result;
+}
+
+let ensure_backends () = Qec_surgery.Backend.register ()
+
+(* ---------------- circuit loading ---------------- *)
+
+(* Mirrors the CLI's loader, but every failure becomes a structured error
+   record (message formats match what `guarded` always printed, so single-
+   job wrappers keep their diagnostics byte-for-byte). *)
+let load_circuit spec =
+  let file = spec.Spec.circuit in
+  let err kind fmt = Printf.ksprintf (fun message -> Error { kind; message }) fmt in
+  if Sys.file_exists file then
+    match
+      if Filename.check_suffix file ".real" then
+        Qec_revlib.Real_parser.of_file file
+      else Qec_qasm.Frontend.of_file file
+    with
+    | c -> Ok c
+    | exception Qec_qasm.Lexer.Error { line; col; msg } ->
+      err "parse" "%s:%d:%d: %s" file line col msg
+    | exception Qec_qasm.Parser.Error { line; col; msg } ->
+      err "parse" "%s:%d:%d: %s" file line col msg
+    | exception Qec_qasm.Frontend.Unsupported { pos = Some { line; col }; msg }
+      ->
+      err "unsupported" "%s:%d:%d: %s" file line col msg
+    | exception Qec_qasm.Frontend.Unsupported { pos = None; msg } ->
+      err "unsupported" "%s: %s" file msg
+    | exception Qec_revlib.Real_parser.Error { line; msg } ->
+      err "parse" "%s:%d: %s" file line msg
+    | exception Circuit.Invalid msg ->
+      err "invalid-circuit" "%s: invalid circuit: %s" file msg
+    | exception Sys_error msg -> err "io" "%s" msg
+  else
+    match Qec_benchmarks.Registry.build file with
+    | c -> Ok c
+    | exception Not_found ->
+      err "circuit-not-found"
+        "unknown circuit %S (not a file, not a benchmark; try `autobraid \
+         list`)"
+        file
+
+(* ---------------- single spec ---------------- *)
+
+let scheduler_variant = function
+  | Spec.Full -> Scheduler.Full
+  | Spec.Sp -> Scheduler.Sp
+  | Spec.Baseline -> Scheduler.Full (* unused; baseline bypasses the registry *)
+
+let exec cache (spec : Spec.t) =
+  let ( let* ) = Result.bind in
+  let cache_status = ref Uncached in
+  let* () =
+    Result.map_error
+      (fun message -> { kind = "invalid-spec"; message })
+      (Spec.validate spec)
+  in
+  let* circuit = load_circuit spec in
+  let peephole = ref None in
+  let circuit =
+    if spec.optimize then begin
+      let before = Circuit.length circuit in
+      let c', stats = Qec_circuit.Optimize.peephole circuit in
+      peephole := Some (stats, before, Circuit.length c');
+      c'
+    end
+    else circuit
+  in
+  let timing = Timing.make ~d:spec.d () in
+  match spec.scheduler with
+  | Spec.Baseline ->
+    let result =
+      Gp_baseline.run
+        ~options:{ Gp_baseline.default_options with seed = spec.seed }
+        timing circuit
+    in
+    Ok
+      ( {
+          backend = "gp-baseline";
+          result;
+          stats = [];
+          trace = None;
+          curve = None;
+          peephole = !peephole;
+        },
+        !cache_status )
+  | Spec.Full | Spec.Sp -> (
+    (* The placement the scheduler would compute internally, replayed
+       through the cache when one is installed. The lowering mirrors the
+       schedulers' own entry so key and placement agree with them. *)
+    let placement =
+      match cache with
+      | None -> None
+      | Some cache ->
+        let lowered = Decompose.to_scheduler_gates circuit in
+        let n = Circuit.num_qubits lowered in
+        let side =
+          max 1 (Qec_surface.Resources.lattice_side ~num_logical:n)
+        in
+        let before = Placement_cache.counters cache in
+        let p =
+          Placement_cache.find_or_place cache ~circuit:lowered ~side
+            ~method_:spec.initial ~seed:spec.seed
+        in
+        let after = Placement_cache.counters cache in
+        cache_status :=
+          if after.misses > before.misses then Miss
+          else if after.disk_hits > before.disk_hits then Disk_hit
+          else Memory_hit;
+        Some p
+    in
+    let config =
+      {
+        CB.variant = scheduler_variant spec.scheduler;
+        threshold_p = spec.threshold_p;
+        initial = spec.initial;
+        seed = spec.seed;
+        placement;
+      }
+    in
+    if spec.best_p then begin
+      let options =
+        {
+          Scheduler.default_options with
+          threshold_p = spec.threshold_p;
+          initial = spec.initial;
+          seed = spec.seed;
+          placement_override = placement;
+        }
+      in
+      let best, curve = Scheduler.run_best_p ~options timing circuit in
+      Ok
+        ( {
+            backend = spec.backend;
+            result = best;
+            stats = [];
+            trace = None;
+            curve = Some curve;
+            peephole = !peephole;
+          },
+          !cache_status )
+    end
+    else
+      match CB.of_name spec.backend with
+      | None ->
+        Error
+          {
+            kind = "unknown-backend";
+            message = Printf.sprintf "unknown backend %S" spec.backend;
+          }
+      | Some ctor ->
+        let outcome = (ctor config).CB.run timing circuit in
+        Ok
+          ( {
+              backend = outcome.CB.backend;
+              result = outcome.CB.result;
+              stats = outcome.CB.stats;
+              trace = Some outcome.CB.trace;
+              curve = None;
+              peephole = !peephole;
+            },
+            !cache_status ))
+
+let exec_safe cache spec =
+  match exec cache spec with
+  | Ok (payload, status) -> (Ok payload, status)
+  | Error e -> (Error e, Uncached)
+  | exception e ->
+    (Error { kind = "internal"; message = Printexc.to_string e }, Uncached)
+
+let run_spec ?cache spec =
+  ensure_backends ();
+  fst (exec_safe cache spec)
+
+(* ---------------- batch ---------------- *)
+
+let run_batch ?jobs ?cache specs =
+  ensure_backends ();
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Qec_util.Parallel.default_jobs ()
+  in
+  Tel.with_span "engine.run_batch" @@ fun () ->
+  let n = List.length specs in
+  let queue = Qec_util.Parallel.Queue.of_list specs in
+  let slots = Array.make n None in
+  let worker _id =
+    let rec loop () =
+      match Qec_util.Parallel.Queue.pop queue with
+      | None -> ()
+      | Some (index, spec) ->
+        let t0 = Unix.gettimeofday () in
+        let outcome, cache_status = exec_safe cache spec in
+        slots.(index) <-
+          Some
+            {
+              index;
+              spec;
+              elapsed_s = Unix.gettimeofday () -. t0;
+              cache = cache_status;
+              outcome;
+            };
+        loop ()
+    in
+    loop ()
+  in
+  Qec_util.Parallel.run_workers ~jobs:(max 1 (min jobs (max 1 n))) worker;
+  let results =
+    Array.to_list slots
+    |> List.map (function Some j -> j | None -> assert false)
+  in
+  (* Telemetry runs on the caller's domain only (worker probes are no-ops
+     by design), so batch-wide numbers are emitted here. *)
+  List.iter
+    (fun j ->
+      Tel.sample "engine.job_s" j.elapsed_s;
+      Tel.count
+        (match j.outcome with
+        | Ok _ -> "engine.jobs_ok"
+        | Error _ -> "engine.jobs_failed"))
+    results;
+  Option.iter
+    (fun c ->
+      let k = Placement_cache.counters c in
+      Tel.count ~by:k.memory_hits "engine.placement_cache.memory_hits";
+      Tel.count ~by:k.disk_hits "engine.placement_cache.disk_hits";
+      Tel.count ~by:k.misses "engine.placement_cache.misses")
+    cache;
+  results
+
+(* ---------------- JSONL rendering ---------------- *)
+
+let result_json (r : Scheduler.result) =
+  (* compile_time_s is wall-clock noise: zero it so records are byte-
+     stable across runs and worker counts (timings travel via telemetry
+     and the ?timings flag instead). *)
+  Qec_report.Export.result_to_json { r with Scheduler.compile_time_s = 0. }
+
+let job_to_json ?(timings = false) job =
+  let base =
+    [ ("index", Json.Int job.index) ]
+    @ (match job.spec.Spec.id with
+      | Some id -> [ ("id", Json.String id) ]
+      | None -> [])
+    @ [ ("spec", Spec.to_json job.spec) ]
+  in
+  let extras =
+    if timings then
+      [
+        ("elapsed_s", Json.Float job.elapsed_s);
+        ("cache", Json.String (cache_status_to_string job.cache));
+      ]
+    else []
+  in
+  match job.outcome with
+  | Error e ->
+    Json.Obj
+      (base
+      @ [
+          ("status", Json.String "error");
+          ( "error",
+            Json.Obj
+              [
+                ("kind", Json.String e.kind);
+                ("message", Json.String e.message);
+              ] );
+        ]
+      @ extras)
+  | Ok p ->
+    let timing = Timing.make ~d:job.spec.Spec.d () in
+    Json.Obj
+      (base
+      @ [
+          ("status", Json.String "ok");
+          ("backend", Json.String p.backend);
+          ("result", result_json p.result);
+        ]
+      @ (match p.stats with
+        | [] -> []
+        | stats ->
+          [
+            ( "backend_stats",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) stats) );
+          ])
+      @ (match p.peephole with
+        | None -> []
+        | Some (stats, before, after) ->
+          [
+            ( "peephole",
+              Json.Obj
+                [
+                  ( "cancelled_pairs",
+                    Json.Int stats.Qec_circuit.Optimize.cancelled_pairs );
+                  ( "merged_rotations",
+                    Json.Int stats.Qec_circuit.Optimize.merged_rotations );
+                  ("gates_before", Json.Int before);
+                  ("gates_after", Json.Int after);
+                ] );
+          ])
+      @ (if job.spec.Spec.outputs.Spec.reliability then
+           [
+             ( "reliability",
+               Qec_report.Export.exposure_to_json ~d:job.spec.Spec.d
+                 (Autobraid.Reliability.exposure_of_result timing p.result) );
+           ]
+         else [])
+      @ (match (job.spec.Spec.outputs.Spec.trace, p.trace) with
+        | true, Some trace ->
+          [ ("trace", Qec_report.Export.trace_to_json ~max_rounds:50 trace) ]
+        | _ -> [])
+      @ (match p.curve with
+        | None -> []
+        | Some curve ->
+          [
+            ( "curve",
+              Json.List
+                (List.map
+                   (fun (pt, r) ->
+                     Json.Obj
+                       [ ("p", Json.Float pt); ("result", result_json r) ])
+                   curve) );
+          ])
+      @ extras)
+
+let jobs_to_jsonl ?timings jobs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun j ->
+      Buffer.add_string buf (Json.to_string (job_to_json ?timings j));
+      Buffer.add_char buf '\n')
+    jobs;
+  Buffer.contents buf
+
+let errors jobs =
+  List.filter_map
+    (fun j ->
+      match j.outcome with Ok _ -> None | Error e -> Some (j.index, e))
+    jobs

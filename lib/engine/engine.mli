@@ -1,0 +1,89 @@
+(** The batch compilation engine — every entry point's one execution path.
+
+    {!run_spec} executes a single declarative {!Spec.t}: load the circuit,
+    optionally peephole-optimize, resolve the communication backend from
+    the {!Autobraid.Comm_backend} registry, obtain the initial placement
+    (through the {!Placement_cache} when one is supplied), schedule, and
+    package the requested outputs. The CLI's [compile] and
+    [schedule --backend ...] are thin wrappers over this function, so
+    their byte-identity is structural rather than promised.
+
+    {!run_batch} runs a list of specs on an OCaml 5 domain worker pool fed
+    by a shared {!Qec_util.Parallel.Queue}. Results come back in input
+    order regardless of worker count, each job's failure is captured as a
+    structured {!error} record (one bad circuit never aborts the batch),
+    and scheduling is deterministic: the rendered JSONL is byte-identical
+    for any [~jobs] value. *)
+
+type error = {
+  kind : string;
+      (** stable machine-readable tag: ["circuit-not-found"], ["parse"],
+          ["unsupported"], ["invalid-circuit"], ["io"], ["invalid-spec"],
+          ["unknown-backend"], or ["internal"] *)
+  message : string;  (** human-readable; parse errors are [file:line:col]-prefixed *)
+}
+
+type payload = {
+  backend : string;
+      (** what actually ran: the registry backend's name, or
+          ["gp-baseline"] for [Spec.scheduler = Baseline] *)
+  result : Autobraid.Scheduler.result;
+  stats : (string * float) list;  (** backend extras, e.g. surgery volume *)
+  trace : Autobraid.Trace.t option;
+      (** when [Spec.outputs.trace] and the path records one (the best-p
+          sweep and the baseline do not) *)
+  curve : (float * Autobraid.Scheduler.result) list option;
+      (** the full threshold sweep, when [Spec.best_p] *)
+  peephole : (Qec_circuit.Optimize.stats * int * int) option;
+      (** when [Spec.optimize]: stats plus (gates before, gates after) *)
+}
+
+type cache_status = Memory_hit | Disk_hit | Miss | Uncached
+
+val cache_status_to_string : cache_status -> string
+(** ["memory-hit" | "disk-hit" | "miss" | "uncached"]. *)
+
+type job = {
+  index : int;  (** position in the submitted batch *)
+  spec : Spec.t;
+  elapsed_s : float;  (** wall time for this job (informational only) *)
+  cache : cache_status;  (** placement-cache outcome for this job *)
+  outcome : (payload, error) result;
+}
+
+val ensure_backends : unit -> unit
+(** Register the built-in backends (braid registers with
+    {!Autobraid.Comm_backend} on linking; surgery via
+    {!Qec_surgery.Backend.register}). Idempotent; call before resolving
+    backend names. *)
+
+val run_spec : ?cache:Placement_cache.t -> Spec.t -> (payload, error) result
+(** Execute one spec. Never raises: spec validation failures, unreadable
+    or malformed circuits and scheduler errors all come back as [Error].
+    Deterministic for a fixed spec, with or without a (correct) cache. *)
+
+val run_batch :
+  ?jobs:int -> ?cache:Placement_cache.t -> Spec.t list -> job list
+(** Execute the specs on a worker pool of [jobs] domains (default
+    {!Qec_util.Parallel.default_jobs}), sharing [cache] across workers.
+    Results are in input order. Emits telemetry from the caller's domain:
+    an [engine.run_batch] span, [engine.jobs_ok] / [engine.jobs_failed]
+    counters, an [engine.job_s] histogram, and — when a cache is given —
+    [engine.placement_cache.{memory_hits,disk_hits,misses}] counters for
+    this batch. *)
+
+val job_to_json : ?timings:bool -> job -> Qec_report.Json.t
+(** One deterministic result record: [index], [id], [status], [spec], and
+    on success [backend] / [result] / [backend_stats] plus the requested
+    [reliability] / [trace] / [curve] blocks; on failure [error].
+    [result.compile_time_s] is zeroed so records are byte-stable across
+    runs and worker counts. [~timings:true] adds the measured [elapsed_s]
+    and the [cache] status — useful interactively, off by default because
+    both vary run to run. *)
+
+val jobs_to_jsonl : ?timings:bool -> job list -> string
+(** One compact {!job_to_json} line per job, newline-terminated, in input
+    order. *)
+
+val errors : job list -> (int * error) list
+(** The failed jobs' [(index, error)]s, in input order. *)

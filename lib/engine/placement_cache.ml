@@ -1,0 +1,171 @@
+module Circuit = Qec_circuit.Circuit
+module Gate = Qec_circuit.Gate
+module IL = Autobraid.Initial_layout
+module Grid = Qec_lattice.Grid
+module Placement = Qec_lattice.Placement
+
+(* Bump on any change to Initial_layout's algorithm, defaults, or this
+   key's encoding: old disk entries must never replay as stale hits. *)
+let format_version = "autobraid-placement-cache v1"
+
+type entry = { side : int; num_qubits : int; cells : int array }
+
+type t = {
+  dir : string option;
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  memory_hits : int Atomic.t;
+  disk_hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+type counters = { memory_hits : int; disk_hits : int; misses : int }
+
+let create ?dir () : t =
+  Option.iter
+    (fun d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755)
+    dir;
+  {
+    dir;
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    memory_hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let dir t = t.dir
+
+let counters (t : t) : counters =
+  {
+    memory_hits = Atomic.get t.memory_hits;
+    disk_hits = Atomic.get t.disk_hits;
+    misses = Atomic.get t.misses;
+  }
+
+let key ~circuit ~side ~method_ ~seed =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf format_version;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "method=%s seed=%d side=%d qubits=%d\n"
+    (match method_ with
+    | IL.Identity -> "identity"
+    | IL.Bisected -> "bisect"
+    | IL.Partitioned -> "metis"
+    | IL.Annealed -> "anneal")
+    seed side (Circuit.num_qubits circuit);
+  (* The gate stream without angles: placement (partitioning, snake
+     embedding, LLG-census annealing) sees interaction structure and
+     layering only. *)
+  Circuit.iter
+    (fun _ g ->
+      Buffer.add_string buf (Gate.name g);
+      List.iter (fun q -> Printf.bprintf buf " %d" q) (Gate.qubits g);
+      Buffer.add_char buf '\n')
+    circuit;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ---------------- disk format ---------------- *)
+
+let path_of t key =
+  Option.map (fun d -> Filename.concat d (key ^ ".placement")) t.dir
+
+let write_disk t key (e : entry) =
+  match path_of t key with
+  | None -> ()
+  | Some path -> (
+    try
+      let tmp, oc =
+        Filename.open_temp_file
+          ~temp_dir:(Option.get t.dir)
+          ("." ^ key) ".tmp"
+      in
+      Printf.fprintf oc "%s\nside %d\nqubits %d\ncells" format_version e.side
+        e.num_qubits;
+      Array.iter (fun c -> Printf.fprintf oc " %d" c) e.cells;
+      output_char oc '\n';
+      close_out oc;
+      Sys.rename tmp path
+    with Sys_error _ | Unix.Unix_error _ ->
+      (* A cache write failure must never fail the compilation. *)
+      ())
+
+let read_disk t key =
+  match path_of t key with
+  | None -> None
+  | Some path -> (
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic -> (
+      let parse () =
+        let line () = input_line ic in
+        if line () <> format_version then None
+        else
+          match
+            ( String.split_on_char ' ' (line ()),
+              String.split_on_char ' ' (line ()),
+              String.split_on_char ' ' (line ()) )
+          with
+          | ( [ "side"; side ],
+              [ "qubits"; num_qubits ],
+              "cells" :: cells ) -> (
+            try
+              Some
+                {
+                  side = int_of_string side;
+                  num_qubits = int_of_string num_qubits;
+                  cells = Array.of_list (List.map int_of_string cells);
+                }
+            with Failure _ -> None)
+          | _ -> None
+      in
+      match parse () with
+      | entry -> close_in ic; entry
+      | exception (End_of_file | Sys_error _) -> close_in ic; None))
+
+(* ---------------- lookup ---------------- *)
+
+let placement_of_entry (e : entry) =
+  Placement.create (Grid.create e.side) ~num_qubits:e.num_qubits ~cells:e.cells
+
+let find_or_place t ~circuit ~side ~method_ ~seed =
+  let k = key ~circuit ~side ~method_ ~seed in
+  let cached =
+    Mutex.lock t.lock;
+    let found = Hashtbl.find_opt t.table k in
+    Mutex.unlock t.lock;
+    found
+  in
+  match cached with
+  | Some e ->
+    Atomic.incr t.memory_hits;
+    placement_of_entry e
+  | None -> (
+    let remember e =
+      Mutex.lock t.lock;
+      (* Last writer wins: the value is deterministic, so racing workers
+         insert identical entries. *)
+      Hashtbl.replace t.table k e;
+      Mutex.unlock t.lock
+    in
+    let valid e = e.side = side && e.num_qubits = Circuit.num_qubits circuit in
+    match read_disk t k with
+    | Some e when valid e ->
+      Atomic.incr t.disk_hits;
+      remember e;
+      placement_of_entry e
+    | Some _ | None ->
+      Atomic.incr t.misses;
+      let placement =
+        IL.place ~seed ~method_ circuit (Grid.create side)
+      in
+      let e =
+        {
+          side;
+          num_qubits = Placement.num_qubits placement;
+          cells = Placement.to_array placement;
+        }
+      in
+      remember e;
+      write_disk t k e;
+      placement)

@@ -20,3 +20,12 @@ val to_string : ?indent:bool -> t -> string
 val member : string -> t -> t option
 (** [member key (Obj ...)] — convenience for tests. [None] on missing keys
     or non-objects. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (recursive descent, no external dependency).
+    Numbers without fraction/exponent parse as [Int] (falling back to
+    [Float] on overflow), everything else as [Float]; [\u] escapes are
+    UTF-8-encoded, surrogate pairs combined. Trailing non-whitespace after
+    the value is an error. [Error msg] carries a [line, column] position.
+    Inverse of {!to_string} for every value it can print (NaN/infinity
+    print as [null] and come back as [Null]). *)

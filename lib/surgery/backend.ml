@@ -16,3 +16,22 @@ let make ?(options = Surgery_scheduler.default_options) () =
           stats = Surgery_scheduler.stats_to_assoc stats;
         });
   }
+
+let register () =
+  Comm_backend.register ~name:"surgery"
+    ~description:"lattice surgery (merge-split CX over ancilla corridors)"
+    (fun cfg ->
+      make
+        ~options:
+          {
+            Surgery_scheduler.default_options with
+            initial = cfg.Comm_backend.initial;
+            seed = cfg.Comm_backend.seed;
+            placement_override = cfg.Comm_backend.placement;
+          }
+        ())
+
+(* Self-register when this module is linked; callers that resolve
+   backends purely by name (and therefore never reference this module)
+   must call [register] explicitly — see Qec_engine.Engine. *)
+let () = register ()

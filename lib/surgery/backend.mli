@@ -7,3 +7,10 @@
 
 val make : ?options:Surgery_scheduler.options -> unit -> Autobraid.Comm_backend.t
 (** Backend named ["surgery"]. *)
+
+val register : unit -> unit
+(** Enter ["surgery"] into {!Autobraid.Comm_backend}'s name registry
+    (mapping a {!Autobraid.Comm_backend.config} onto surgery options).
+    Idempotent. Runs automatically when this module is linked and
+    referenced; call it explicitly from code that only resolves backends
+    by name, so linking is guaranteed. *)

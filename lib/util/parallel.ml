@@ -1,35 +1,63 @@
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+let default_jobs = default_domains
 
 exception Worker_failure of exn
 
-let map ?domains f xs =
-  let domains = match domains with Some d -> d | None -> default_domains () in
-  let n = List.length xs in
-  if n <= 1 || domains <= 1 then List.map f xs
+module Queue = struct
+  type 'a t = { items : 'a array; next : int Atomic.t }
+
+  let of_list xs = { items = Array.of_list xs; next = Atomic.make 0 }
+  let length q = Array.length q.items
+
+  let pop q =
+    let i = Atomic.fetch_and_add q.next 1 in
+    if i < Array.length q.items then Some (i, q.items.(i)) else None
+
+  let remaining q =
+    max 0 (Array.length q.items - Atomic.get q.next)
+end
+
+let run_workers ~jobs worker =
+  let jobs = max 1 jobs in
+  if jobs = 1 then worker 0
   else begin
-    let input = Array.of_list xs in
+    let spawned = List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+    (* The caller's domain is worker 0; always join every spawned domain,
+       even when a worker raises, so none outlives the call. *)
+    let own = try Ok (worker 0) with e -> Error e in
+    let joined =
+      List.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
+    in
+    match own :: joined |> List.find_opt Result.is_error with
+    | Some (Error e) -> raise e
+    | Some (Ok ()) | None -> ()
+  end
+
+let map_jobs ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length xs in
+  if n <= 1 || jobs <= 1 then List.map f xs
+  else begin
+    let queue = Queue.of_list xs in
     let output = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
+    let worker _id =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (match f input.(i) with
+        match Queue.pop queue with
+        | None -> ()
+        | Some (i, x) ->
+          (match f x with
           | y -> output.(i) <- Some (Ok y)
           | exception e -> output.(i) <- Some (Error e));
           loop ()
-        end
       in
       loop ()
     in
-    let spawned =
-      List.init (min domains n - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join spawned;
+    run_workers ~jobs:(min jobs n) worker;
     Array.to_list output
     |> List.map (function
          | Some (Ok y) -> y
          | Some (Error e) -> raise (Worker_failure e)
          | None -> assert false)
   end
+
+let map ?domains f xs = map_jobs ?jobs:domains f xs

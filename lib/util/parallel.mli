@@ -1,16 +1,59 @@
-(** Simple fork-join parallelism over OCaml 5 domains.
+(** Fork-join parallelism over OCaml 5 domains.
 
-    Used to spread independent scheduler runs (e.g. the p-threshold sweep)
-    across cores. No work stealing, no nesting — callers pass pure-ish
-    functions (the scheduler mutates only per-run state), and results come
-    back in input order. *)
+    Two layers:
+
+    - {!Queue} + {!run_workers}: a shared concurrent work queue feeding a
+      fixed-size worker pool — the primitive behind batch compilation
+      ({!Qec_engine}), where callers need per-item bookkeeping (timings,
+      error capture) inside the worker loop.
+    - {!map_jobs} / {!map}: fork-join map built on that queue. Callers
+      pass pure-ish functions (the scheduler mutates only per-run state)
+      and results come back in input order regardless of worker count. *)
+
+exception Worker_failure of exn
+(** Wraps an exception raised by a worker function in {!map_jobs} /
+    {!map}; re-raised in the caller, for the lowest-index failing item. *)
+
+module Queue : sig
+  type 'a t
+  (** A fixed work list consumed concurrently, lock-free (one atomic
+      fetch-and-add per {!pop}). Items are handed out in input order with
+      their original index, so consumers can write results positionally. *)
+
+  val of_list : 'a list -> 'a t
+
+  val pop : 'a t -> (int * 'a) option
+  (** Next [(index, item)], or [None] once the queue is drained. Safe to
+      call from any domain. *)
+
+  val length : 'a t -> int
+  (** Total number of items (drained or not). *)
+
+  val remaining : 'a t -> int
+  (** Items not yet popped — a racy snapshot, for progress reporting. *)
+end
+
+val run_workers : jobs:int -> (int -> unit) -> unit
+(** [run_workers ~jobs worker] runs [worker id] on [max 1 jobs] domains
+    (ids [0 .. jobs-1]; id 0 is the calling domain) and joins them all
+    before returning. An exception from the caller's own worker is
+    re-raised after the join; workers are expected to capture their own
+    failures (e.g. into a results array) — an escape from a spawned
+    domain surfaces via [Domain.join]. *)
+
+val map_jobs : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_jobs ~jobs f xs] evaluates [f] on every element using a worker
+    pool of [jobs] domains (default {!default_jobs}) fed by a shared
+    queue. Falls back to plain [List.map] for lists of length <= 1 or
+    [jobs <= 1]. Exceptions raised by [f] are re-raised in the caller as
+    {!Worker_failure}. Results are in input order. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map f xs] evaluates [f] on every element, using up to [domains]
-    additional domains (default: [Domain.recommended_domain_count () - 1],
-    at least 1). Falls back to plain [List.map] for lists of length <= 1
-    or when [domains <= 1]. Exceptions raised by [f] are re-raised in the
-    caller. Results are in input order. *)
+(** [map ?domains f xs] is [map_jobs ?jobs:domains f xs] — the original
+    name, kept for callers that predate the worker-pool API. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
 
 val default_domains : unit -> int
-(** The default worker count described above. *)
+(** Alias of {!default_jobs} (historical name). *)

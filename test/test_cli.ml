@@ -250,6 +250,121 @@ let test_export_backend () =
   check_int "braid exit 0" 0 code;
   check_bool "braid field" true (contains out "\"backend\": \"braid\"")
 
+(* ------------------------------------------------------------------ *)
+(* batch                                                                *)
+
+let with_manifest contents f =
+  let tmp = Filename.temp_file "autobraid_manifest" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc contents;
+      close_out oc;
+      f tmp)
+
+let batch_manifest =
+  {|[
+  {"id": "a", "circuit": "qft9"},
+  {"id": "b", "circuit": "bv12", "backend": "surgery"},
+  {"id": "c", "circuit": "/nonexistent/missing.qasm"},
+  {"id": "d", "circuit": "bv12", "scheduler": "baseline"}
+]|}
+
+let test_batch_jobs_byte_identical () =
+  with_manifest batch_manifest (fun manifest ->
+      let run_jobs n =
+        let out = Filename.temp_file "autobraid_batch" ".jsonl" in
+        let code, _ =
+          run
+            (Printf.sprintf "batch %s --jobs %d -o %s" (Filename.quote manifest)
+               n (Filename.quote out))
+        in
+        let text = read_file out in
+        Sys.remove out;
+        (code, text)
+      in
+      let c1, out1 = run_jobs 1 in
+      let c4, out4 = run_jobs 4 in
+      (* the manifest contains one failing job, so both exit 1 *)
+      check_int "jobs 1 exit" 1 c1;
+      check_int "jobs 4 exit" 1 c4;
+      Alcotest.(check string) "jobs 1 = jobs 4" out1 out4;
+      check_int "four records" 4
+        (List.length (String.split_on_char '\n' (String.trim out1)));
+      check_bool "error record inline" true
+        (contains out1 "\"status\":\"error\"");
+      check_bool "error kind" true
+        (contains out1 "\"kind\":\"circuit-not-found\"");
+      check_bool "ok records present" true (contains out1 "\"status\":\"ok\"");
+      check_bool "ids echoed" true (contains out1 "\"id\":\"a\""))
+
+let test_batch_cache_warm_identical () =
+  with_manifest {|[{"circuit": "qft9"}, {"circuit": "qft9", "seed": 12}]|}
+    (fun manifest ->
+      let dir = Filename.temp_file "autobraid_cachedir" "" in
+      Sys.remove dir;
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists dir then begin
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat dir f))
+              (Sys.readdir dir);
+            Unix.rmdir dir
+          end)
+        (fun () ->
+          let pass () =
+            let out = Filename.temp_file "autobraid_batch" ".jsonl" in
+            let code, log =
+              run
+                (Printf.sprintf "batch %s --jobs 2 --cache-dir %s -o %s"
+                   (Filename.quote manifest) (Filename.quote dir)
+                   (Filename.quote out))
+            in
+            let text = read_file out in
+            Sys.remove out;
+            (code, log, text)
+          in
+          let c1, _, cold = pass () in
+          let c2, log2, warm = pass () in
+          check_int "cold exit 0" 0 c1;
+          check_int "warm exit 0" 0 c2;
+          Alcotest.(check string) "cold = warm" cold warm;
+          check_bool "placements persisted" true
+            (Array.exists
+               (fun f -> Filename.check_suffix f ".placement")
+               (Sys.readdir dir));
+          check_bool "warm pass reports hits" true
+            (contains log2 "placement cache 2"
+            || contains log2 "2+0 hits" || contains log2 "0+2 hits")))
+
+let test_batch_bad_manifest () =
+  let code, out = run "batch /nonexistent/manifest.json" in
+  check_int "missing manifest exit 2" 2 code;
+  check_bool "message" true (contains out "manifest");
+  with_manifest {|{"version": 1}|} (fun manifest ->
+      let code, _ = run (Printf.sprintf "batch %s" (Filename.quote manifest)) in
+      check_int "malformed manifest exit 2" 2 code);
+  with_manifest {|[{"circuit": "qft9", "frobnicate": 1}]|} (fun manifest ->
+      let code, out =
+        run (Printf.sprintf "batch %s" (Filename.quote manifest))
+      in
+      check_int "unknown key exit 2" 2 code;
+      check_bool "names the key" true (contains out "frobnicate"))
+
+let test_schedule_unknown_backend () =
+  let code, out = run "schedule qft9 --backend warp" in
+  check_bool "rejected" true (code <> 0);
+  (* the registry drives the error message: known names are listed *)
+  check_bool "lists braid" true (contains out "braid");
+  check_bool "lists surgery" true (contains out "surgery")
+
+let test_schedule_missing_file_jsonl () =
+  let code, out = run "schedule /nonexistent/x.qasm --backend surgery" in
+  check_int "exit 2" 2 code;
+  check_bool "structured record" true (contains out "\"status\":\"error\"");
+  check_bool "kind" true (contains out "\"kind\":\"circuit-not-found\"")
+
 let test_error_handling () =
   let code, out = run "compile definitely_not_a_circuit" in
   check_int "exit 2" 2 code;
@@ -281,6 +396,17 @@ let () =
           Alcotest.test_case "export backend" `Quick test_export_backend;
           Alcotest.test_case "resources" `Quick test_resources;
           Alcotest.test_case "errors" `Quick test_error_handling;
+          Alcotest.test_case "unknown backend" `Quick test_schedule_unknown_backend;
+          Alcotest.test_case "schedule missing file jsonl" `Quick
+            test_schedule_missing_file_jsonl;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "jobs byte-identical" `Quick
+            test_batch_jobs_byte_identical;
+          Alcotest.test_case "warm cache identical" `Quick
+            test_batch_cache_warm_identical;
+          Alcotest.test_case "bad manifest" `Quick test_batch_bad_manifest;
         ] );
       ( "lint",
         [

@@ -340,6 +340,64 @@ let test_parallel_exceptions_propagate () =
 let test_parallel_default_domains () =
   check_bool "at least one" true (Qec_util.Parallel.default_domains () >= 1)
 
+let test_queue_drains_each_item_once () =
+  let q = Qec_util.Parallel.Queue.of_list [ "a"; "b"; "c" ] in
+  check_int "length" 3 (Qec_util.Parallel.Queue.length q);
+  Alcotest.(check (option (pair int string)))
+    "first" (Some (0, "a"))
+    (Qec_util.Parallel.Queue.pop q);
+  check_int "remaining" 2 (Qec_util.Parallel.Queue.remaining q);
+  Alcotest.(check (option (pair int string)))
+    "second" (Some (1, "b"))
+    (Qec_util.Parallel.Queue.pop q);
+  Alcotest.(check (option (pair int string)))
+    "third" (Some (2, "c"))
+    (Qec_util.Parallel.Queue.pop q);
+  Alcotest.(check (option (pair int string)))
+    "drained" None
+    (Qec_util.Parallel.Queue.pop q);
+  check_int "remaining stays 0" 0 (Qec_util.Parallel.Queue.remaining q)
+
+let test_queue_concurrent_no_duplicates () =
+  let n = 1000 in
+  let q = Qec_util.Parallel.Queue.of_list (List.init n (fun i -> i)) in
+  let seen = Array.make n 0 in
+  Qec_util.Parallel.run_workers ~jobs:4 (fun _id ->
+      let rec loop () =
+        match Qec_util.Parallel.Queue.pop q with
+        | None -> ()
+        | Some (idx, item) ->
+          check_int "index matches item" item idx;
+          (* each slot is written exactly once, so plain stores suffice *)
+          seen.(idx) <- seen.(idx) + 1;
+          loop ()
+      in
+      loop ());
+  Array.iteri (fun i c -> check_int (Printf.sprintf "item %d once" i) 1 c) seen
+
+let test_run_workers_ids_and_exceptions () =
+  let ids = Array.make 3 (-1) in
+  Qec_util.Parallel.run_workers ~jobs:3 (fun id -> ids.(id) <- id);
+  Alcotest.(check (array int)) "each id runs" [| 0; 1; 2 |] ids;
+  check_bool "worker exception propagates" true
+    (match
+       Qec_util.Parallel.run_workers ~jobs:2 (fun id ->
+           if id = 1 then failwith "boom")
+     with
+    | exception Failure _ -> true
+    | () -> false)
+
+let test_map_jobs_matches_sequential () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * 3) - 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (List.map f xs)
+        (Qec_util.Parallel.map_jobs ~jobs f xs))
+    [ 1; 2; 7 ]
+
 let test_parallel_sweep_equals_sequential () =
   let timing = Qec_surface.Timing.make ~d:33 () in
   let c =
@@ -357,7 +415,20 @@ let test_parallel_sweep_equals_sequential () =
   in
   check_int "same best" seq.Autobraid.Scheduler.total_cycles
     par.Autobraid.Scheduler.total_cycles;
-  check_int "full curve" 3 (List.length curve)
+  check_int "full curve" 3 (List.length curve);
+  (* ?jobs is the replacement API for the deprecated ?parallel flag *)
+  let jobs4, curve4 =
+    Autobraid.Scheduler.run_best_p ~grid_points:pts ~jobs:4 timing c
+  in
+  check_int "jobs same best" seq.Autobraid.Scheduler.total_cycles
+    jobs4.Autobraid.Scheduler.total_cycles;
+  check_bool "jobs same curve" true
+    (List.for_all2
+       (fun (p1, r1) (p2, r2) ->
+         p1 = p2
+         && r1.Autobraid.Scheduler.total_cycles
+            = r2.Autobraid.Scheduler.total_cycles)
+       curve curve4)
 
 let () =
   Alcotest.run "qec_util"
@@ -415,6 +486,10 @@ let () =
           Alcotest.test_case "small inputs" `Quick test_parallel_small_inputs;
           Alcotest.test_case "exceptions" `Quick test_parallel_exceptions_propagate;
           Alcotest.test_case "default domains" `Quick test_parallel_default_domains;
+          Alcotest.test_case "queue drains" `Quick test_queue_drains_each_item_once;
+          Alcotest.test_case "queue concurrent" `Quick test_queue_concurrent_no_duplicates;
+          Alcotest.test_case "run_workers" `Quick test_run_workers_ids_and_exceptions;
+          Alcotest.test_case "map_jobs" `Quick test_map_jobs_matches_sequential;
           Alcotest.test_case "sweep equivalence" `Quick test_parallel_sweep_equals_sequential;
         ] );
       ( "tableprint",
