@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench bench-smoke batch-smoke fmt lint check clean
+.PHONY: all build test bench bench-smoke batch-smoke fuzz-smoke fmt lint check clean
 
 CLI := _build/default/bin/autobraid_cli.exe
 
@@ -72,7 +72,17 @@ batch-smoke: build
 	rm -rf "$$dir"; \
 	echo "batch-smoke: OK"
 
-check: fmt build test lint bench-smoke batch-smoke
+# Property-fuzz smoke: a fixed-seed sweep of the whole registry (trace
+# replay, differential backends, engine identities, crash fuzzing).
+# Deterministic — a failure here is a stable (seed, case) address; see
+# docs/testing.md for the reproduction workflow. Override the case count
+# with FUZZ_COUNT (e.g. FUZZ_COUNT=2000 for a deeper local soak).
+FUZZ_COUNT ?= 200
+
+fuzz-smoke: build
+	$(CLI) fuzz --seed 42 --count $(FUZZ_COUNT)
+
+check: fmt build test lint bench-smoke batch-smoke fuzz-smoke
 	@echo "check: OK"
 
 clean:

@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- engine --json BENCH_engine.json
 
    Sections: table1 table2 fig16 fig17 fig18 compile-time ablation planar
-   magic backends engine micro all.
+   magic backends engine prop micro all.
 
    Absolute numbers differ from the paper (different host, regenerated
    benchmark netlists, re-implemented baseline); the claims under test are
@@ -875,6 +875,57 @@ let engine ~json_out () =
     Printf.printf "\n[wrote %s]\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Property-fuzzer throughput: how much generative coverage one CI
+   minute buys. Fixed seed, so the numbers are comparable run to run. *)
+
+let prop ~json_out () =
+  header "Property-fuzzer throughput (fixed seed, full registry)";
+  let module R = Qec_prop.Runner in
+  let count = 100 in
+  let t0 = Unix.gettimeofday () in
+  let report = R.run ~seed:42 ~count () in
+  let wall = Unix.gettimeofday () -. t0 in
+  if report.R.failures <> [] then
+    failwith "prop bench: fixed-seed corpus has failures";
+  let t =
+    TP.create
+      ~headers:
+        [ ("metric", TP.Left); ("value", TP.Right) ]
+  in
+  TP.add_row t [ "cases"; string_of_int report.R.cases ];
+  TP.add_row t [ "properties"; string_of_int (List.length report.R.properties) ];
+  TP.add_row t [ "checks"; string_of_int report.R.checks ];
+  TP.add_row t [ "wall (s)"; Printf.sprintf "%.2f" wall ];
+  TP.add_row t
+    [ "checks/s"; Printf.sprintf "%.0f" (float_of_int report.R.checks /. wall) ];
+  TP.print t;
+  Printf.printf
+    "(every check schedules at least one backend end to end; the CI smoke \
+     run covers %d cases per property)\n"
+    count;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let open Qec_report.Json in
+    let json =
+      Obj
+        [
+          ("section", String "prop");
+          ("seed", Int report.R.seed);
+          ("cases", Int report.R.cases);
+          ("properties", Int (List.length report.R.properties));
+          ("checks", Int report.R.checks);
+          ("wall_s", Float wall);
+          ("checks_per_s", Float (float_of_int report.R.checks /. wall));
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (to_string ~indent:true json);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "\n[wrote %s]\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure driver     *)
 
 let micro () =
@@ -968,6 +1019,7 @@ let () =
   | "magic" -> profiled "magic" magic
   | "backends" -> profiled "backends" (backends ~json_out)
   | "engine" -> profiled "engine" (engine ~json_out)
+  | "prop" -> profiled "prop" (prop ~json_out)
   | "micro" -> profiled "micro" micro
   | "all" ->
     profiled "table1" (table1 ~full);
@@ -983,10 +1035,11 @@ let () =
     profiled "backends" (backends ~json_out);
     (* --json names one file; in `all` mode it belongs to `backends` *)
     profiled "engine" (engine ~json_out:None);
+    profiled "prop" (prop ~json_out:None);
     profiled "micro" micro
   | other ->
     Printf.eprintf
-      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|engine|micro|all)\n"
+      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|engine|prop|micro|all)\n"
       other;
     exit 2);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

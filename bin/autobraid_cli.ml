@@ -816,6 +816,177 @@ let lint_cmd =
       const run $ circuit_arg $ fmt_arg $ deny_arg $ schedule_arg
       $ distance_arg $ threshold_arg $ seed_arg)
 
+(* ---------------- fuzz ---------------- *)
+
+(* Exit-code contract (docs/testing.md): 0 all properties passed, 1 a
+   property failed (counterexample printed as valid QASM), 2 usage error
+   (unknown property, bad generator parameters, malformed regression
+   file). *)
+let fuzz_cmd =
+  let module P = Qec_prop.Property in
+  let module R = Qec_prop.Runner in
+  let usage fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt in
+  let run seed count props list_props no_minimize max_failures regress_dir
+      replay max_qubits max_gates cx_density long_range_bias =
+    if list_props then begin
+      List.iter
+        (fun (p : P.t) -> Printf.printf "%-24s %s\n" p.name p.description)
+        (P.all ());
+      exit 0
+    end;
+    match replay with
+    | Some path -> (
+      if not (Sys.file_exists path) then usage "%s: no such file" path;
+      match R.replay_file path with
+      | Error msg -> usage "%s: %s" path msg
+      | Ok (prop, P.Pass) ->
+        Printf.printf "%s: %s passed\n" path prop;
+        exit 0
+      | Ok (prop, P.Fail msg) ->
+        Printf.printf "%s: %s FAILED: %s\n" path prop msg;
+        exit 1)
+    | None ->
+      if count < 1 then usage "--count must be >= 1 (got %d)" count;
+      let properties =
+        match props with
+        | [] -> P.all ()
+        | names ->
+          List.map
+            (fun name ->
+              match P.find name with
+              | Some p -> p
+              | None ->
+                usage "unknown property %S; known: %s" name
+                  (String.concat ", " (P.names ())))
+            names
+      in
+      let params =
+        {
+          Qec_prop.Gen.default with
+          max_qubits;
+          max_gates;
+          cx_density;
+          long_range_bias;
+        }
+      in
+      (match Qec_prop.Gen.validate params with
+      | Ok () -> ()
+      | Error msg -> usage "bad generator parameters: %s" msg);
+      let report =
+        R.run ~params ~properties ~minimize:(not no_minimize)
+          ~max_failures ~seed ~count ()
+      in
+      List.iter
+        (fun (f : R.failure) ->
+          Printf.printf "FAIL %s (seed %d, case %d): %s\n" f.property f.seed
+            f.case f.message;
+          let unit_ =
+            match f.counterexample with
+            | R.Circuit _ -> "gates"
+            | R.Source _ -> "bytes"
+          in
+          if f.shrunk_size < f.original_size then
+            Printf.printf "  shrunk %d -> %d %s\n" f.original_size
+              f.shrunk_size unit_;
+          Printf.printf "  reproduce: autobraid fuzz --seed %d --count %d \
+                         --prop %s\n"
+            f.seed (f.case + 1) f.property;
+          print_newline ();
+          (* the counterexample itself, as replayable QASM / raw bytes *)
+          print_string (R.counterexample_to_string f.counterexample);
+          match regress_dir with
+          | None -> ()
+          | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let path = R.failure_to_file ~dir f in
+            Printf.printf "\nwrote %s\n" path)
+        report.R.failures;
+      if report.R.failures = [] then begin
+        Printf.printf
+          "fuzz: seed %d, %d cases, %d checks across %d properties: all \
+           passed\n"
+          report.R.seed report.R.cases report.R.checks
+          (List.length report.R.properties);
+        exit 0
+      end
+      else exit 1
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of generated cases")
+  in
+  let prop_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "prop" ] ~docv:"NAME"
+          ~doc:"Check only this property (repeatable; see --list)")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List registered properties")
+  in
+  let no_minimize_arg =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ]
+          ~doc:"Report the raw failing input without shrinking it")
+  in
+  let max_failures_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-failures" ] ~docv:"K"
+          ~doc:"Stop after collecting K failures")
+  in
+  let regress_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "regress-dir" ] ~docv:"DIR"
+          ~doc:"Also write each failure as a replayable regression file \
+                in DIR (promote to fixtures/regressions/ to pin it in \
+                dune runtest)")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one regression file instead of fuzzing")
+  in
+  let max_qubits_arg =
+    Arg.(
+      value & opt int Qec_prop.Gen.default.max_qubits
+      & info [ "max-qubits" ] ~docv:"N" ~doc:"Largest generated circuit width")
+  in
+  let max_gates_arg =
+    Arg.(
+      value & opt int Qec_prop.Gen.default.max_gates
+      & info [ "max-gates" ] ~docv:"N" ~doc:"Largest generated gate count")
+  in
+  let cx_density_arg =
+    Arg.(
+      value & opt float Qec_prop.Gen.default.cx_density
+      & info [ "cx-density" ] ~docv:"P"
+          ~doc:"Probability a generated gate is two-qubit")
+  in
+  let long_range_bias_arg =
+    Arg.(
+      value & opt float Qec_prop.Gen.default.long_range_bias
+      & info [ "long-range-bias" ] ~docv:"P"
+          ~doc:"Probability a two-qubit gate is forced long-range")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Property-based fuzzing: generate random circuits and mutated \
+             QASM, check cross-layer invariants (trace validity, \
+             differential backend agreement, engine byte-identities, \
+             round-trips, crash safety), shrink any counterexample and \
+             print it as replayable QASM. Exit 0 clean, 1 on a property \
+             violation, 2 on usage errors (docs/testing.md).")
+    Term.(
+      const run $ seed_arg $ count_arg $ prop_arg $ list_arg
+      $ no_minimize_arg $ max_failures_arg $ regress_dir_arg $ replay_arg
+      $ max_qubits_arg $ max_gates_arg $ cx_density_arg
+      $ long_range_bias_arg)
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -836,7 +1007,7 @@ let main =
   Cmd.group
     (Cmd.info "autobraid" ~version:"1.0.0"
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
-    [ compile_cmd; schedule_cmd; batch_cmd; info_cmd; lint_cmd;
+    [ compile_cmd; schedule_cmd; batch_cmd; info_cmd; lint_cmd; fuzz_cmd;
        resources_cmd; emit_cmd; sweep_cmd; trace_cmd; export_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

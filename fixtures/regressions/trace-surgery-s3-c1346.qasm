@@ -1,0 +1,15 @@
+// fuzz-prop: trace/surgery
+// fuzz-seed: 3
+// fuzz-case: 1346
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[7];
+swap q[3],q[6];
+swap q[4],q[0];
+swap q[5],q[1];
+swap q[5],q[0];
+cp(0.39269908169872414) q[6],q[2];
+cz q[0],q[6];
+cx q[3],q[5];
+cz q[5],q[0];
+swap q[2],q[1];

@@ -57,6 +57,28 @@ let map_gates f t =
 
 let with_name name t = { t with name }
 
+let used_qubits t =
+  let used = Array.make t.num_qubits false in
+  Array.iter (fun g -> List.iter (fun q -> used.(q) <- true) (Gate.qubits g))
+    t.gates;
+  let out = ref [] in
+  for q = t.num_qubits - 1 downto 0 do
+    if used.(q) then out := q :: !out
+  done;
+  !out
+
+let compact t =
+  match used_qubits t with
+  | [] -> { t with num_qubits = 1; gates = [||] }
+  | used ->
+    let map = Array.make t.num_qubits (-1) in
+    List.iteri (fun i q -> map.(q) <- i) used;
+    {
+      t with
+      num_qubits = List.length used;
+      gates = Array.map (Gate.map_qubits (fun q -> map.(q))) t.gates;
+    }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v># %s: %d qubits, %d gates@," t.name t.num_qubits
     (Array.length t.gates);

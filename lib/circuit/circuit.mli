@@ -48,6 +48,15 @@ val map_gates : (Gate.t -> Gate.t list) -> t -> t
 
 val with_name : string -> t -> t
 
+val used_qubits : t -> int list
+(** Qubits touched by at least one gate, ascending. *)
+
+val compact : t -> t
+(** Renumber qubits so only used ones remain, preserving gate order and
+    relative qubit order — the shrinking step that deletes idle wires. A
+    gate-free circuit compacts to one (idle) qubit, the narrowest valid
+    width. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line listing: header plus one gate per line. *)
 

@@ -163,19 +163,26 @@ let anneal ~rng ~iters placement layers =
     Tel.gauge "anneal.final_census" (float_of_int (total_census ()))
   end
 
-let place ?(seed = 23) ?anneal_iters ?sample_layers ~method_ circuit grid =
+let place ?(seed = 23) ?rng ?anneal_iters ?sample_layers ~method_ circuit grid
+    =
   Tel.with_span "initial_layout" @@ fun () ->
   let n = Circuit.num_qubits circuit in
+  (* One explicit state drives both sampling stages when the caller passes
+     [rng]; otherwise each stage derives its historical seed-keyed state,
+     keeping seed-addressed callers byte-stable. *)
+  let embed_rng = Option.map Qec_util.Rng.split rng in
   match method_ with
   | Identity -> Placement.identity grid ~num_qubits:n
   | Bisected ->
-    Qec_partition.Embed.layout ~seed ~snake:false (Coupling.of_circuit circuit)
-      grid
+    Qec_partition.Embed.layout ~seed ?rng:embed_rng ~snake:false
+      (Coupling.of_circuit circuit) grid
   | Partitioned ->
-    Qec_partition.Embed.layout ~seed (Coupling.of_circuit circuit) grid
+    Qec_partition.Embed.layout ~seed ?rng:embed_rng
+      (Coupling.of_circuit circuit) grid
   | Annealed ->
     let placement =
-      Qec_partition.Embed.layout ~seed (Coupling.of_circuit circuit) grid
+      Qec_partition.Embed.layout ~seed ?rng:embed_rng
+        (Coupling.of_circuit circuit) grid
     in
     (* The anneal samples fewer layers than the reported census: the
        O(front^2) group decomposition runs on every proposal. *)
@@ -196,6 +203,11 @@ let place ?(seed = 23) ?anneal_iters ?sample_layers ~method_ circuit grid =
     Tel.gauge "anneal.iters_budget" (float_of_int iters);
     (* The census-driven fine-tune is the static half of layout
        optimization; Layout_opt.plan is the dynamic half. *)
+    let anneal_rng =
+      match rng with
+      | Some r -> r
+      | None -> Qec_util.Rng.create (seed + 1)
+    in
     Tel.with_span "layout_optimization" (fun () ->
-        anneal ~rng:(Qec_util.Rng.create (seed + 1)) ~iters placement layers);
+        anneal ~rng:anneal_rng ~iters placement layers);
     placement

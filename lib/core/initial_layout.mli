@@ -17,16 +17,21 @@ type method_ =
 
 val place :
   ?seed:int ->
+  ?rng:Qec_util.Rng.t ->
   ?anneal_iters:int ->
   ?sample_layers:int ->
   method_:method_ ->
   Qec_circuit.Circuit.t ->
   Qec_lattice.Grid.t ->
   Qec_lattice.Placement.t
-(** Deterministic in [seed]. [anneal_iters] defaults to a size-scaled
-    bound; [sample_layers] caps how many ASAP layers the census inspects
-    (evenly spaced; default 48). Raises [Invalid_argument] if the grid is
-    too small. *)
+(** Deterministic in [seed]. [rng] threads one explicit sampling state
+    through both the bisection partitioner and the annealer (advancing the
+    caller's generator); when absent, fresh states are derived from [seed]
+    exactly as before, so seed-addressed callers are byte-stable. The
+    global [Random] is never consulted. [anneal_iters] defaults to a
+    size-scaled bound; [sample_layers] caps how many ASAP layers the
+    census inspects (evenly spaced; default 48). Raises
+    [Invalid_argument] if the grid is too small. *)
 
 val oversize_census :
   ?sample_layers:int ->

@@ -5,8 +5,9 @@ module Grid = Qec_lattice.Grid
 module Placement = Qec_lattice.Placement
 
 (* Bump on any change to Initial_layout's algorithm, defaults, or this
-   key's encoding: old disk entries must never replay as stale hits. *)
-let format_version = "autobraid-placement-cache v1"
+   key's encoding: old disk entries must never replay as stale hits.
+   v2: disk entries carry an md5 trailer so corruption is a miss. *)
+let format_version = "autobraid-placement-cache v2"
 
 type entry = { side : int; num_qubits : int; cells : int array }
 
@@ -70,6 +71,19 @@ let key ~circuit ~side ~method_ ~seed =
 let path_of t key =
   Option.map (fun d -> Filename.concat d (key ^ ".placement")) t.dir
 
+(* The payload lines are digested together so any corruption of a persisted
+   entry — a flipped bit inside a still-parseable digit included — fails the
+   trailer check and counts as a miss instead of replaying a wrong
+   placement. *)
+let entry_payload (e : entry) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "side %d\nqubits %d\ncells" e.side e.num_qubits;
+  Array.iter (fun c -> Printf.bprintf buf " %d" c) e.cells;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let entry_digest e = Digest.to_hex (Digest.string (entry_payload e))
+
 let write_disk t key (e : entry) =
   match path_of t key with
   | None -> ()
@@ -80,10 +94,8 @@ let write_disk t key (e : entry) =
           ~temp_dir:(Option.get t.dir)
           ("." ^ key) ".tmp"
       in
-      Printf.fprintf oc "%s\nside %d\nqubits %d\ncells" format_version e.side
-        e.num_qubits;
-      Array.iter (fun c -> Printf.fprintf oc " %d" c) e.cells;
-      output_char oc '\n';
+      Printf.fprintf oc "%s\n%smd5 %s\n" format_version (entry_payload e)
+        (entry_digest e);
       close_out oc;
       Sys.rename tmp path
     with Sys_error _ | Unix.Unix_error _ ->
@@ -104,18 +116,22 @@ let read_disk t key =
           match
             ( String.split_on_char ' ' (line ()),
               String.split_on_char ' ' (line ()),
+              String.split_on_char ' ' (line ()),
               String.split_on_char ' ' (line ()) )
           with
           | ( [ "side"; side ],
               [ "qubits"; num_qubits ],
-              "cells" :: cells ) -> (
+              "cells" :: cells,
+              [ "md5"; digest ] ) -> (
             try
-              Some
+              let e =
                 {
                   side = int_of_string side;
                   num_qubits = int_of_string num_qubits;
                   cells = Array.of_list (List.map int_of_string cells);
                 }
+              in
+              if String.equal (entry_digest e) digest then Some e else None
             with Failure _ -> None)
           | _ -> None
       in
@@ -149,12 +165,23 @@ let find_or_place t ~circuit ~side ~method_ ~seed =
       Mutex.unlock t.lock
     in
     let valid e = e.side = side && e.num_qubits = Circuit.num_qubits circuit in
-    match read_disk t k with
-    | Some e when valid e ->
+    (* [placement_of_entry] re-validates the cells (range, distinctness);
+       an entry that defeats the digest but not Placement's invariants is
+       still a miss, never a crash. *)
+    let replayed =
+      match read_disk t k with
+      | Some e when valid e -> (
+        match placement_of_entry e with
+        | p -> Some (e, p)
+        | exception Invalid_argument _ -> None)
+      | Some _ | None -> None
+    in
+    match replayed with
+    | Some (e, p) ->
       Atomic.incr t.disk_hits;
       remember e;
-      placement_of_entry e
-    | Some _ | None ->
+      p
+    | None ->
       Atomic.incr t.misses;
       let placement =
         IL.place ~seed ~method_ circuit (Grid.create side)

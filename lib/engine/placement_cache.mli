@@ -18,8 +18,10 @@
 
     Disk entries are one text file per key, written atomically
     (temp file + rename), so concurrent batches sharing a [--cache-dir]
-    never observe torn files; unreadable or corrupt entries count as
-    misses and are rewritten. *)
+    never observe torn files. Every entry ends with an md5 trailer over
+    its payload: unreadable, truncated, or bit-flipped entries — even
+    ones that still parse — fail the digest check, count as misses, and
+    are recomputed and rewritten, never replayed or crashed on. *)
 
 type t
 

@@ -11,10 +11,14 @@
 
 val layout :
   ?seed:int ->
+  ?rng:Qec_util.Rng.t ->
   ?snake:bool ->
   Qec_circuit.Coupling.t ->
   Qec_lattice.Grid.t ->
   Qec_lattice.Placement.t
-(** Deterministic in [seed]. [snake] (default true) enables the degree-2
-    special case; disable it for the plain-bisection ablation. Raises
-    [Invalid_argument] if the grid has fewer cells than qubits. *)
+(** Deterministic in [seed]. [rng] supplies the sampling state explicitly
+    (advancing the caller's generator); when absent a fresh state is
+    derived from [seed] — no code path ever touches the global [Random].
+    [snake] (default true) enables the degree-2 special case; disable it
+    for the plain-bisection ablation. Raises [Invalid_argument] if the
+    grid has fewer cells than qubits. *)

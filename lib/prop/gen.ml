@@ -1,0 +1,187 @@
+module Rng = Qec_util.Rng
+module Gate = Qec_circuit.Gate
+module Circuit = Qec_circuit.Circuit
+
+type params = {
+  min_qubits : int;
+  max_qubits : int;
+  max_gates : int;
+  cx_density : float;
+  long_range_bias : float;
+  wide_gate_freq : float;
+  measure_freq : float;
+}
+
+(* Defaults are tuned for lattice pressure, not realism: widths up to 16
+   cover both the fully packed 3x3 and 4x4 grids, and a two-qubit-heavy,
+   long-range-biased gate mix is what makes routing fronts dense enough
+   to fail routes — the regime where retry, rip-up and SWAP insertion
+   actually execute. Under the seed-42/500-case smoke run these settings
+   reach the surgery router's rip-up path; light mixes never do. *)
+let default =
+  {
+    min_qubits = 2;
+    max_qubits = 16;
+    max_gates = 56;
+    cx_density = 0.7;
+    long_range_bias = 0.6;
+    wide_gate_freq = 0.03;
+    measure_freq = 0.2;
+  }
+
+let validate p =
+  let in01 v = v >= 0. && v <= 1. in
+  if p.min_qubits < 2 then Error "min_qubits must be >= 2"
+  else if p.max_qubits < p.min_qubits then
+    Error "max_qubits must be >= min_qubits"
+  else if p.max_gates < 1 then Error "max_gates must be >= 1"
+  else if not (in01 p.cx_density) then Error "cx_density must be in [0, 1]"
+  else if not (in01 p.long_range_bias) then
+    Error "long_range_bias must be in [0, 1]"
+  else if not (in01 p.wide_gate_freq) then
+    Error "wide_gate_freq must be in [0, 1]"
+  else if not (in01 p.measure_freq) then Error "measure_freq must be in [0, 1]"
+  else Ok ()
+
+(* Angles come from a small set of exact binary fractions of pi plus the
+   occasional arbitrary float: both survive the printer's %.17g round-trip
+   bit-exactly, which the qasm/roundtrip property relies on. *)
+let angle rng =
+  let pi = Float.pi in
+  match Rng.int rng 6 with
+  | 0 -> pi /. 4.
+  | 1 -> pi /. 2.
+  | 2 -> -.pi /. 4.
+  | 3 -> pi /. 8.
+  | 4 -> Rng.float rng (2. *. pi)
+  | _ -> -.Rng.float rng pi
+
+let coin rng p = p > 0. && Rng.float rng 1.0 < p
+
+let single_gate rng q =
+  match Rng.int rng 12 with
+  | 0 -> Gate.H q
+  | 1 -> Gate.X q
+  | 2 -> Gate.Y q
+  | 3 -> Gate.Z q
+  | 4 -> Gate.S q
+  | 5 -> Gate.Sdg q
+  | 6 -> Gate.T q
+  | 7 -> Gate.Tdg q
+  | 8 -> Gate.Rx (q, angle rng)
+  | 9 -> Gate.Ry (q, angle rng)
+  | 10 -> Gate.Rz (q, angle rng)
+  | _ -> Gate.U3 (q, angle rng, angle rng, angle rng)
+
+(* A biased partner: with probability [bias] restrict the draw to qubits
+   at index distance >= n/2 from [a] (when any exist) — long-range gates
+   are what force multi-round routing, SWAP layers, and surgery's
+   corridor contention. *)
+let partner rng ~bias ~n a =
+  let far =
+    List.filter (fun b -> b <> a && abs (b - a) >= (n + 1) / 2)
+      (List.init n Fun.id)
+  in
+  if coin rng bias && far <> [] then
+    List.nth far (Rng.int rng (List.length far))
+  else begin
+    let b = Rng.int rng (n - 1) in
+    if b >= a then b + 1 else b
+  end
+
+let two_qubit_gate rng ~bias ~n =
+  let a = Rng.int rng n in
+  let b = partner rng ~bias ~n a in
+  match Rng.int rng 4 with
+  | 0 -> Gate.Cx (a, b)
+  | 1 -> Gate.Cz (a, b)
+  | 2 -> Gate.Cphase (a, b, angle rng)
+  | _ -> Gate.Swap (a, b)
+
+let ccx_gate rng ~n =
+  let a = Rng.int rng n in
+  let b = partner rng ~bias:0. ~n a in
+  let rec pick () =
+    let c = Rng.int rng n in
+    if c = a || c = b then pick () else c
+  in
+  Gate.Ccx (a, b, pick ())
+
+let circuit ?(params = default) rng =
+  (match validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Qec_prop.Gen.circuit: " ^ msg));
+  let n = Rng.int_in rng params.min_qubits params.max_qubits in
+  let gates = Rng.int_in rng 1 params.max_gates in
+  let b = Circuit.Builder.create ~name:"fuzz" ~num_qubits:n () in
+  for _ = 1 to gates do
+    if n >= 3 && coin rng params.wide_gate_freq then
+      Circuit.Builder.add b (ccx_gate rng ~n)
+    else if coin rng params.cx_density then
+      Circuit.Builder.add b
+        (two_qubit_gate rng ~bias:params.long_range_bias ~n)
+    else Circuit.Builder.add b (single_gate rng (Rng.int rng n))
+  done;
+  if coin rng params.measure_freq then
+    for q = 0 to n - 1 do
+      Circuit.Builder.add b (Gate.Measure q)
+    done;
+  Circuit.Builder.finish b
+
+(* ---------------- QASM text mutation ---------------- *)
+
+let keywords =
+  [|
+    "qreg"; "creg"; "gate"; "measure"; "barrier"; "include"; "OPENQASM";
+    "->"; "q["; "]"; ";"; "("; ")"; "pi"; "0"; "9999999999999999999";
+    "1e308"; "-"; "//"; "\""; "\n"; "if"; "opaque"; "u3"; "cx";
+  |]
+
+let mutate_once rng s =
+  let len = String.length s in
+  if len = 0 then Rng.choose rng keywords
+  else
+    match Rng.int rng 7 with
+    | 0 ->
+      (* flip one byte *)
+      let i = Rng.int rng len in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8) land 0xff));
+      Bytes.to_string b
+    | 1 ->
+      (* delete a chunk *)
+      let i = Rng.int rng len in
+      let k = min (len - i) (1 + Rng.int rng 16) in
+      String.sub s 0 i ^ String.sub s (i + k) (len - i - k)
+    | 2 ->
+      (* insert a random byte *)
+      let i = Rng.int rng (len + 1) in
+      let c = String.make 1 (Char.chr (Rng.int rng 256)) in
+      String.sub s 0 i ^ c ^ String.sub s i (len - i)
+    | 3 ->
+      (* splice a keyword *)
+      let i = Rng.int rng (len + 1) in
+      String.sub s 0 i ^ Rng.choose rng keywords
+      ^ String.sub s i (len - i)
+    | 4 ->
+      (* duplicate a chunk *)
+      let i = Rng.int rng len in
+      let k = min (len - i) (1 + Rng.int rng 32) in
+      let chunk = String.sub s i k in
+      String.sub s 0 i ^ chunk ^ chunk ^ String.sub s (i + k) (len - i - k)
+    | 5 ->
+      (* truncate *)
+      String.sub s 0 (Rng.int rng len)
+    | _ ->
+      (* swap two bytes *)
+      let i = Rng.int rng len and j = Rng.int rng len in
+      let b = Bytes.of_string s in
+      let ci = Bytes.get b i in
+      Bytes.set b i (Bytes.get b j);
+      Bytes.set b j ci;
+      Bytes.to_string b
+
+let mutate ?(rounds = 8) rng s =
+  let k = 1 + Rng.int rng (max 1 rounds) in
+  let rec go k s = if k = 0 then s else go (k - 1) (mutate_once rng s) in
+  go k s

@@ -1,0 +1,52 @@
+(** Seeded random-workload generation for the property harness.
+
+    Two generators share one {!Qec_util.Rng.t} discipline (explicit state,
+    never the global [Random]):
+
+    - {!circuit} draws a random logical circuit whose shape is controlled
+      by {!params} — qubit count, gate count, two-qubit density, and a
+      long-range bias that steers two-qubit partners toward distant
+      logical indices (the workloads where routing pressure and SWAP
+      insertion actually happen);
+    - {!mutate} corrupts OpenQASM text byte- and token-wise for the
+      crash-fuzzing property: the frontend and lint passes must answer
+      any of its outputs with structured [file:line:col] errors, never an
+      unhandled exception.
+
+    Both are deterministic functions of the generator state, so a failing
+    case replays exactly from [autobraid fuzz --seed S]. *)
+
+type params = {
+  min_qubits : int;  (** >= 2 *)
+  max_qubits : int;
+  max_gates : int;  (** gate count is uniform in [\[1, max_gates\]] *)
+  cx_density : float;  (** probability a drawn gate is two-qubit *)
+  long_range_bias : float;
+      (** probability a two-qubit partner is drawn from the far half of
+          the index space instead of uniformly *)
+  wide_gate_freq : float;
+      (** probability of a [Ccx] (exercises lowering); needs >= 3 qubits *)
+  measure_freq : float;  (** probability the circuit ends in measurements *)
+}
+
+val default : params
+(** 2–16 qubits, up to 56 gates, [cx_density = 0.7],
+    [long_range_bias = 0.6], occasional Toffolis and measurement tails —
+    small enough that every registered property runs in milliseconds,
+    dense enough that routing fronts congest: multi-round schedules,
+    SWAP insertion, failed routes and the surgery router's rip-up are
+    all exercised under the fixed-seed smoke run. *)
+
+val validate : params -> (unit, string) result
+(** Range checks ([2 <= min <= max], frequencies in [\[0, 1\]], ...). *)
+
+val circuit : ?params:params -> Qec_util.Rng.t -> Qec_circuit.Circuit.t
+(** Draw one circuit. Always valid ({!Qec_circuit.Circuit.validate}),
+    always printable ({!Qec_qasm.Printer.to_string} — no [Mcx]).
+    Raises [Invalid_argument] on invalid [params]. *)
+
+val mutate : ?rounds:int -> Qec_util.Rng.t -> string -> string
+(** Apply 1–[rounds] (default 8) random text mutations: byte flips,
+    deletions, insertions, chunk duplication and removal, truncation, and
+    keyword splicing ([qreg], [gate], ...). The result is usually
+    malformed — that is the point. *)

@@ -1,0 +1,72 @@
+(** The fuzzing harness: generate, check, shrink, report, replay.
+
+    A run is addressed by [(seed, count)]: case [i] derives its own RNG
+    from the seed, generates one circuit and one mutated-QASM source, and
+    evaluates every selected property on it. The same [(seed, case)]
+    always reproduces the same inputs, so a reported failure is a stable
+    address, not a lost event.
+
+    Failing inputs are shrunk ({!Shrink}) before reporting, and can be
+    serialized as standalone regression files — valid QASM (or raw
+    fuzzer bytes) prefixed with [// fuzz-*] header comments naming the
+    property and origin — which {!replay} runs back through the registry.
+    Promoted files live in [fixtures/regressions/] and are replayed by
+    [dune runtest] forever after. *)
+
+type counterexample =
+  | Circuit of Qec_circuit.Circuit.t
+  | Source of string
+
+type failure = {
+  property : string;
+  seed : int;  (** run seed *)
+  case : int;  (** failing case index within the run *)
+  message : string;  (** the property's message on the shrunk input *)
+  counterexample : counterexample;  (** shrunk (when minimization is on) *)
+  original_size : int;  (** gates (circuit) or bytes (source) pre-shrink *)
+  shrunk_size : int;
+}
+
+type report = {
+  seed : int;
+  count : int;  (** cases requested *)
+  cases : int;  (** cases actually run (early stop on failures) *)
+  checks : int;  (** property evaluations, shrinking excluded *)
+  properties : string list;  (** names, in evaluation order *)
+  failures : failure list;
+}
+
+val run :
+  ?params:Gen.params ->
+  ?properties:Property.t list ->
+  ?minimize:bool ->
+  ?max_failures:int ->
+  ?on_case:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Run the fuzzer. [properties] defaults to {!Property.all}; [minimize]
+    defaults to [true]; the run stops once [max_failures] (default 1)
+    failures have been collected and shrunk. [on_case] is called with
+    each case index before it is evaluated (progress display). *)
+
+val counterexample_to_string : counterexample -> string
+(** The replayable text: {!Qec_qasm.Printer.to_string} for circuits, the
+    raw bytes for sources. *)
+
+val failure_to_file : dir:string -> failure -> string
+(** Write the failure as a regression file
+    [<dir>/<prop>-s<seed>-c<case>.qasm] ([/] in the property name becomes
+    [-]) and return its path. The file is the [// fuzz-*] header block
+    followed by {!counterexample_to_string}. *)
+
+val replay_string : string -> (string * Property.outcome, string) result
+(** Replay regression-file contents: parse the [// fuzz-prop:] header,
+    strip the header block, feed the body to the named property (parsing
+    it as QASM for circuit-keyed properties). [Ok (prop, outcome)] — a
+    fixed regression replays as [Pass]; [Error] only for malformed files
+    or unknown properties. *)
+
+val replay_file : string -> (string * Property.outcome, string) result
+(** {!replay_string} on a file's contents. *)

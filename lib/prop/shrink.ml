@@ -1,0 +1,155 @@
+module Circuit = Qec_circuit.Circuit
+module Gate = Qec_circuit.Gate
+
+(* Generic ddmin-style pass over a list of atoms: repeatedly try removing
+   windows of [size] atoms (largest first), keeping any removal that still
+   fails, until windows of one atom no longer help. [rebuild] may reject a
+   candidate (e.g. an unparseable circuit) by raising — treated as "does
+   not fail". *)
+let ddmin ~budget ~test ~rebuild atoms =
+  let test_atoms xs =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      match rebuild xs with
+      | x -> test x
+      | exception _ -> false
+    end
+  in
+  let rec pass size atoms =
+    let n = Array.length atoms in
+    if size < 1 || n = 0 then atoms
+    else begin
+      let atoms = ref atoms and i = ref 0 in
+      while !i < Array.length !atoms do
+        let n = Array.length !atoms in
+        let k = min size (n - !i) in
+        let candidate =
+          Array.append (Array.sub !atoms 0 !i)
+            (Array.sub !atoms (!i + k) (n - !i - k))
+        in
+        if k > 0 && test_atoms candidate then atoms := candidate
+          (* retry the same index: the window shifted left *)
+        else i := !i + size
+      done;
+      pass (size / 2) !atoms
+    end
+  in
+  pass (max 1 (Array.length atoms / 2)) atoms
+
+let minimize ?(max_tests = 2000) ~test c =
+  if not (test c) then
+    invalid_arg "Qec_prop.Shrink.minimize: input does not fail";
+  let budget = ref max_tests in
+  let rebuild_gates n gates =
+    Circuit.create ~name:(Circuit.name c) ~num_qubits:n (Array.to_list gates)
+  in
+  let try_compact c =
+    let compacted = Circuit.compact c in
+    if
+      Circuit.num_qubits compacted < Circuit.num_qubits c
+      && !budget > 0
+      && (decr budget;
+          test compacted)
+    then compacted
+    else c
+  in
+  (* Dropping one qubit (with every gate touching it) shrinks along the
+     width axis, which gate-window removal alone rarely reaches: a
+     congestion-dependent failure keeps its colliding gates but loses the
+     bystanders crowding the lattice. *)
+  let drop_qubit c q =
+    let gates =
+      Array.to_list (Circuit.gates c)
+      |> List.filter (fun g -> not (List.mem q (Gate.qubits g)))
+    in
+    Circuit.compact
+      (Circuit.create ~name:(Circuit.name c)
+         ~num_qubits:(Circuit.num_qubits c) gates)
+  in
+  (* Relabeling qubit [q] onto [target] keeps the gate pressure (minus
+     gates that would become self-loops) while narrowing the lattice —
+     exactly what a congestion failure needs to survive a width shrink. *)
+  let merge_qubit c q target =
+    let gates =
+      Array.to_list (Circuit.gates c)
+      |> List.filter_map (fun g ->
+             let g = Gate.map_qubits (fun x -> if x = q then target else x) g in
+             let qs = Gate.qubits g in
+             if List.length (List.sort_uniq compare qs) = List.length qs then
+               Some g
+             else None)
+    in
+    Circuit.compact
+      (Circuit.create ~name:(Circuit.name c)
+         ~num_qubits:(Circuit.num_qubits c) gates)
+  in
+  let shrink_width c =
+    let c = ref c and q = ref (Circuit.num_qubits c - 1) in
+    while !q >= 0 && !budget > 0 do
+      (if Circuit.num_qubits !c > 1 then
+         match drop_qubit !c !q with
+         | candidate when (decr budget; test candidate) -> c := candidate
+         | _ | (exception _) ->
+           (* deletion lost the failure; try folding q onto each lower
+              qubit instead *)
+           let target = ref 0 and merged = ref false in
+           while (not !merged) && !target < !q && !budget > 0 do
+             (match merge_qubit !c !q !target with
+             | candidate ->
+               decr budget;
+               if test candidate then begin
+                 c := candidate;
+                 merged := true
+               end
+             | exception _ -> ());
+             incr target
+           done);
+      decr q;
+      q := min !q (Circuit.num_qubits !c - 1)
+    done;
+    !c
+  in
+  let rec fix c =
+    let shrunk_gates =
+      ddmin ~budget ~test
+        ~rebuild:(rebuild_gates (Circuit.num_qubits c))
+        (Circuit.gates c)
+    in
+    let c' = rebuild_gates (Circuit.num_qubits c) shrunk_gates in
+    let c' = try_compact c' in
+    let c' = shrink_width c' in
+    if Circuit.length c' < Circuit.length c
+       || Circuit.num_qubits c' < Circuit.num_qubits c
+    then if !budget > 0 then fix c' else c'
+    else c'
+  in
+  fix c
+
+let minimize_text ?(max_tests = 2000) ~test s =
+  if not (test s) then
+    invalid_arg "Qec_prop.Shrink.minimize_text: input does not fail";
+  let budget = ref max_tests in
+  let split_lines s =
+    (* keep terminators so rebuilding is concatenation *)
+    let out = ref [] and start = ref 0 in
+    String.iteri
+      (fun i ch ->
+        if ch = '\n' then begin
+          out := String.sub s !start (i - !start + 1) :: !out;
+          start := i + 1
+        end)
+      s;
+    if !start < String.length s then
+      out := String.sub s !start (String.length s - !start) :: !out;
+    Array.of_list (List.rev !out)
+  in
+  let concat parts = String.concat "" (Array.to_list parts) in
+  let by_lines =
+    concat (ddmin ~budget ~test ~rebuild:concat (split_lines s))
+  in
+  let chars =
+    Array.init (String.length by_lines) (fun i ->
+        String.make 1 by_lines.[i])
+  in
+  concat (ddmin ~budget ~test ~rebuild:concat chars)

@@ -1,0 +1,31 @@
+(** Counterexample minimization (QCheck-style shrinking, delta-debugging
+    flavored).
+
+    Given an input that makes a property fail, shrinking searches for a
+    smaller input that still fails, so the reported counterexample is
+    close to minimal — typically a handful of gates on a handful of
+    qubits instead of a 40-gate random circuit. The [test] predicate
+    returns [true] when the candidate {e still fails}; shrinking is
+    greedy and deterministic, and the result always satisfies [test].
+
+    Every candidate evaluation re-runs the property (schedulers included),
+    so the work is bounded by [max_tests] — counterexamples are rare, and
+    a near-minimal one beats an exactly minimal one that took minutes. *)
+
+val minimize :
+  ?max_tests:int ->
+  test:(Qec_circuit.Circuit.t -> bool) ->
+  Qec_circuit.Circuit.t ->
+  Qec_circuit.Circuit.t
+(** Shrink a circuit: remove gate chunks (halving window sizes down to
+    single gates), drop idle qubits ({!Qec_circuit.Circuit.compact}),
+    then try removing whole qubits with every gate touching them — the
+    width axis congestion failures live on — and iterate until a
+    fixpoint or the [max_tests] budget (default 2000 evaluations) runs
+    out. [test] must hold on the input; the returned circuit also
+    satisfies it. *)
+
+val minimize_text :
+  ?max_tests:int -> test:(string -> bool) -> string -> string
+(** The same loop over raw text for crash-fuzzer inputs: remove line
+    chunks, then character chunks. *)

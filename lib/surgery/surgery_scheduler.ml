@@ -87,30 +87,29 @@ let mark_overlaps circuit rounds =
   done;
   !overlaps
 
-let run_traced ?(options = default_options) timing circuit =
-  Tel.with_span "surgery.run" @@ fun () ->
-  let t0 = Sys.time () in
-  let circuit = Decompose.to_scheduler_gates circuit in
-  let n = Circuit.num_qubits circuit in
-  let side = max 1 (Qec_surface.Resources.lattice_side ~num_logical:n) in
-  let grid = Grid.create side in
-  let placement =
-    match options.placement_override with
-    | Some p ->
-      if Qec_lattice.Placement.num_qubits p <> n then
-        invalid_arg "Surgery_scheduler.run: placement override width mismatch";
-      Qec_lattice.Placement.copy p
-    | None ->
-      Initial_layout.place ~seed:options.seed ~method_:options.initial circuit
-        grid
-  in
-  let grid = Qec_lattice.Placement.grid placement in
-  if Grid.side grid <> side then
-    invalid_arg "Surgery_scheduler.run: placement override grid size mismatch";
+(* One full scheduling pass. [defer] switches the pipelining-aware round
+   formation below; overlap accounting is applied separately so callers
+   can compare a deferred and an undeferred schedule under the same cost
+   model. *)
+type attempt = {
+  a_rounds : Trace.round array;
+  a_merge_rounds : int;
+  a_local_rounds : int;
+  a_tile_time : int;
+  a_ripup_attempts : int;
+  a_ripup_rescues : int;
+  a_longest_path : int;
+  a_path_len_sum : int;
+  a_merge_count : int;
+  a_util_sum : float;
+  a_util_peak : float;
+}
+
+let schedule ~defer options circuit placement timing =
+  let router = Router.create (Qec_lattice.Placement.grid placement) in
+  let occ = Occupancy.create (Qec_lattice.Placement.grid placement) in
   let dag = Dag.of_circuit circuit in
   let frontier = Dag.Frontier.create dag in
-  let router = Router.create grid in
-  let occ = Occupancy.create grid in
   let merge_rounds = ref 0 in
   let local_rounds = ref 0 in
   let tile_time = ref 0 in
@@ -148,8 +147,7 @@ let run_traced ?(options = default_options) timing circuit =
        one round — the previous split then overlaps this round, saving
        [split_cycles] (see [mark_overlaps]). *)
     let singles, cx_tasks =
-      if (not options.pipeline_splits) || !prev_merge_qubits = [] then
-        (singles, cx_tasks)
+      if (not defer) || !prev_merge_qubits = [] then (singles, cx_tasks)
       else begin
         let touches_prev qs =
           List.exists (fun q -> List.mem q !prev_merge_qubits) qs
@@ -215,11 +213,72 @@ let run_traced ?(options = default_options) timing circuit =
     end
   done;
   Tel.span_close ();
-  let rounds = Array.of_list (List.rev !trace_rounds) in
-  let pipelined =
-    if options.pipeline_splits then mark_overlaps circuit rounds else 0
+  {
+    a_rounds = Array.of_list (List.rev !trace_rounds);
+    a_merge_rounds = !merge_rounds;
+    a_local_rounds = !local_rounds;
+    a_tile_time = !tile_time;
+    a_ripup_attempts = !ripup_attempts;
+    a_ripup_rescues = !ripup_rescues;
+    a_longest_path = !longest_path;
+    a_path_len_sum = !path_len_sum;
+    a_merge_count = !merge_count;
+    a_util_sum = !util_sum;
+    a_util_peak = !util_peak;
+  }
+
+let run_traced ?(options = default_options) timing circuit =
+  Tel.with_span "surgery.run" @@ fun () ->
+  let t0 = Sys.time () in
+  let circuit = Decompose.to_scheduler_gates circuit in
+  let n = Circuit.num_qubits circuit in
+  let side = max 1 (Qec_surface.Resources.lattice_side ~num_logical:n) in
+  let grid = Grid.create side in
+  let placement =
+    match options.placement_override with
+    | Some p ->
+      if Qec_lattice.Placement.num_qubits p <> n then
+        invalid_arg "Surgery_scheduler.run: placement override width mismatch";
+      Qec_lattice.Placement.copy p
+    | None ->
+      Initial_layout.place ~seed:options.seed ~method_:options.initial circuit
+        grid
+  in
+  let grid = Qec_lattice.Placement.grid placement in
+  if Grid.side grid <> side then
+    invalid_arg "Surgery_scheduler.run: placement override grid size mismatch";
+  let dag = Dag.of_circuit circuit in
+  let cycles_of rounds =
+    Trace.cycles timing
+      {
+        Trace.circuit;
+        grid;
+        initial_cells = Qec_lattice.Placement.to_array placement;
+        rounds = Array.to_list rounds;
+      }
+  in
+  (* Deferring ready gates off the previous round's merge qubits buys a
+     split overlap, but it is a greedy bet: the deferred gates can push
+     the whole schedule a round longer than they saved (found by fuzzing
+     — see docs/testing.md). Pipelining must never lose, so build both
+     the deferred and the undeferred schedule, apply the same overlap
+     accounting to each, and keep the cheaper (the deferred one on
+     ties, preserving historical schedules). *)
+  let attempt, pipelined =
+    if not options.pipeline_splits then
+      (schedule ~defer:false options circuit placement timing, 0)
+    else begin
+      let deferred = schedule ~defer:true options circuit placement timing in
+      let plain = schedule ~defer:false options circuit placement timing in
+      let p_deferred = mark_overlaps circuit deferred.a_rounds in
+      let p_plain = mark_overlaps circuit plain.a_rounds in
+      if cycles_of plain.a_rounds < cycles_of deferred.a_rounds then
+        (plain, p_plain)
+      else (deferred, p_deferred)
+    end
   in
   Tel.count ~by:pipelined "surgery.pipelined_splits";
+  let rounds = attempt.a_rounds in
   let trace =
     {
       Trace.circuit;
@@ -232,16 +291,18 @@ let run_traced ?(options = default_options) timing circuit =
   let compile_time_s = Sys.time () -. t0 in
   let stats =
     {
-      merge_rounds = !merge_rounds;
-      local_rounds = !local_rounds;
+      merge_rounds = attempt.a_merge_rounds;
+      local_rounds = attempt.a_local_rounds;
       pipelined_splits = pipelined;
-      tile_time_cycles = !tile_time;
-      ripup_attempts = !ripup_attempts;
-      ripup_rescues = !ripup_rescues;
-      longest_merge_path = !longest_path;
+      tile_time_cycles = attempt.a_tile_time;
+      ripup_attempts = attempt.a_ripup_attempts;
+      ripup_rescues = attempt.a_ripup_rescues;
+      longest_merge_path = attempt.a_longest_path;
       mean_merge_path =
-        (if !merge_count = 0 then 0.
-         else float_of_int !path_len_sum /. float_of_int !merge_count);
+        (if attempt.a_merge_count = 0 then 0.
+         else
+           float_of_int attempt.a_path_len_sum
+           /. float_of_int attempt.a_merge_count);
     }
   in
   let result =
@@ -253,14 +314,14 @@ let run_traced ?(options = default_options) timing circuit =
       lattice_side = side;
       total_cycles;
       rounds = Array.length rounds;
-      braid_rounds = !merge_rounds;
+      braid_rounds = attempt.a_merge_rounds;
       swap_layers = 0;
       swaps_inserted = 0;
       critical_path_cycles = Dag.critical_path ~cost:(St.gate_cycles timing) dag;
       avg_utilization =
-        (if !merge_rounds = 0 then 0.
-         else !util_sum /. float_of_int !merge_rounds);
-      peak_utilization = !util_peak;
+        (if attempt.a_merge_rounds = 0 then 0.
+         else attempt.a_util_sum /. float_of_int attempt.a_merge_rounds);
+      peak_utilization = attempt.a_util_peak;
       compile_time_s;
     }
   in

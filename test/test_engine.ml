@@ -322,6 +322,83 @@ let test_cache_corrupt_entry_is_miss () =
   check_int "corrupt = miss" 1 k.Cache.misses;
   check_int "no disk hit" 0 k.Cache.disk_hits
 
+(* Every single-bit corruption of a valid on-disk entry must behave as a
+   miss — the md5 trailer rejects it — and the recomputed placement must
+   be byte-identical to an uncorrupted run. A flipped digit that still
+   parses must never be silently replayed. *)
+let test_cache_bit_flip_is_miss () =
+  with_temp_dir @@ fun dir ->
+  let c = lowered "bv12" in
+  let place cache =
+    Cache.find_or_place cache ~circuit:c ~side:4 ~method_:IL.Annealed ~seed:7
+  in
+  let reference = place (Cache.create ~dir ()) in
+  let key = Cache.key ~circuit:c ~side:4 ~method_:IL.Annealed ~seed:7 in
+  let path = Filename.concat dir (key ^ ".placement") in
+  let pristine =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* flip one bit in a spread of byte positions across the entry *)
+  let positions =
+    List.filter
+      (fun i -> i < String.length pristine)
+      [ 0; 7; String.length pristine / 2; String.length pristine - 2 ]
+  in
+  List.iter
+    (fun i ->
+      let b = Bytes.of_string pristine in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let cache = Cache.create ~dir () in
+      let p = place cache in
+      let k = Cache.counters cache in
+      check_int (Printf.sprintf "bit flip at %d is a miss" i) 1 k.Cache.misses;
+      check_int (Printf.sprintf "bit flip at %d no disk hit" i) 0
+        k.Cache.disk_hits;
+      Alcotest.(check (array int))
+        (Printf.sprintf "bit flip at %d recomputes identically" i)
+        (Qec_lattice.Placement.to_array reference)
+        (Qec_lattice.Placement.to_array p))
+    positions
+
+let test_cache_truncated_entry_is_miss () =
+  with_temp_dir @@ fun dir ->
+  let c = lowered "bv12" in
+  let place cache =
+    Cache.find_or_place cache ~circuit:c ~side:4 ~method_:IL.Annealed ~seed:7
+  in
+  let reference = place (Cache.create ~dir ()) in
+  let key = Cache.key ~circuit:c ~side:4 ~method_:IL.Annealed ~seed:7 in
+  let path = Filename.concat dir (key ^ ".placement") in
+  let pristine =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  List.iter
+    (fun keep ->
+      let oc = open_out_bin path in
+      output_string oc (String.sub pristine 0 keep);
+      close_out oc;
+      let cache = Cache.create ~dir () in
+      let p = place cache in
+      let k = Cache.counters cache in
+      check_int (Printf.sprintf "truncation to %d is a miss" keep) 1
+        k.Cache.misses;
+      Alcotest.(check (array int))
+        (Printf.sprintf "truncation to %d recomputes identically" keep)
+        (Qec_lattice.Placement.to_array reference)
+        (Qec_lattice.Placement.to_array p))
+    (* len-2 cuts into the md5 hex; bare trailing-newline loss alone
+       still verifies, which is fine — the digest is intact *)
+    [ 0; 1; String.length pristine / 3; String.length pristine - 2 ]
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                               *)
 
@@ -478,6 +555,10 @@ let () =
           Alcotest.test_case "find_or_place" `Quick test_cache_find_or_place;
           Alcotest.test_case "disk round-trip" `Quick test_cache_disk_roundtrip;
           Alcotest.test_case "corrupt entry" `Quick test_cache_corrupt_entry_is_miss;
+          Alcotest.test_case "bit-flipped entry" `Quick
+            test_cache_bit_flip_is_miss;
+          Alcotest.test_case "truncated entry" `Quick
+            test_cache_truncated_entry_is_miss;
         ] );
       ( "engine",
         [
