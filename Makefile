@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench bench-smoke batch-smoke fuzz-smoke fmt lint check clean
+.PHONY: all build test bench bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke fmt lint check clean
 
 CLI := _build/default/bin/autobraid_cli.exe
 
@@ -82,7 +82,33 @@ FUZZ_COUNT ?= 200
 fuzz-smoke: build
 	$(CLI) fuzz --seed 42 --count $(FUZZ_COUNT)
 
-check: fmt build test lint bench-smoke batch-smoke fuzz-smoke
+# Drift gate: re-measure the committed BENCH snapshots and fail on
+# regressions. Only the deterministic cycle-count sections are gated here
+# (BENCH_engine/BENCH_prop carry wall times that vary across hosts).
+bench-check: build
+	./_build/default/bench/main.exe --check BENCH_backends.json \
+		--check BENCH_scale.json --tolerance 0.02
+
+# Profiler smoke: the repeated-run report and its Perfetto trace must come
+# out structurally sound.
+profile-smoke: build
+	@out=$$(mktemp); trace=$$(mktemp); \
+	$(CLI) profile qft9 --repeat 2 --json --trace-out "$$trace" > "$$out" \
+		|| { cat "$$out"; exit 1; }; \
+	grep -q '"schema": "autobraid-profile/v1"' "$$out" \
+		|| { echo "profile-smoke: missing schema tag"; exit 1; }; \
+	grep -q '"phases"' "$$out" \
+		|| { echo "profile-smoke: missing phases"; exit 1; }; \
+	grep -q '"traceEvents"' "$$trace" \
+		|| { echo "profile-smoke: missing traceEvents"; exit 1; }; \
+	if command -v jq >/dev/null 2>&1; then \
+		jq empty "$$out" || { echo "profile-smoke: report is not JSON"; exit 1; }; \
+		jq empty "$$trace" || { echo "profile-smoke: trace is not JSON"; exit 1; }; \
+	fi; \
+	rm -f "$$out" "$$trace"; \
+	echo "profile-smoke: OK"
+
+check: fmt build test lint bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke
 	@echo "check: OK"
 
 clean:

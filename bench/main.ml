@@ -8,9 +8,17 @@
      dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
      dune exec bench/main.exe -- backends --json BENCH_backends.json
      dune exec bench/main.exe -- engine --json BENCH_engine.json
+     dune exec bench/main.exe -- scale --json BENCH_scale.json
+     dune exec bench/main.exe -- --check BENCH_backends.json --check \
+       BENCH_scale.json --tolerance 0.02    # drift gate vs committed JSON
 
    Sections: table1 table2 fig16 fig17 fig18 compile-time ablation planar
-   magic backends engine prop micro all.
+   magic backends scale engine prop micro all.
+
+   `--check FILE` (repeatable) re-measures the section named inside FILE
+   and exits 1 if any gated metric regresses past `--tolerance` (cycle
+   counts, default 2%) or `--wall-tolerance` (host timings, default
+   200%) — see Qec_obs.Drift for the gating policy.
 
    Absolute numbers differ from the paper (different host, regenerated
    benchmark netlists, re-implemented baseline); the claims under test are
@@ -53,6 +61,13 @@ let profiled name f =
 
 let us r = S.time_us timing33 r
 let cp_us r = S.critical_path_us timing33 r
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Qec_report.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\n[wrote %s]\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: impact of LLG-driven initial-layout optimization            *)
@@ -688,8 +703,14 @@ let backend_outcome_json (o : Autobraid.Comm_backend.outcome) =
       );
     ]
 
-let backends ~json_out () =
-  header "Backends: braiding vs lattice surgery (d = 33)";
+(* One backends-style comparison section: run every circuit through braid
+   and surgery, print the side-by-side table, and return (optionally
+   writing) the machine-readable snapshot keyed by [section] — the same
+   shape `--check` gates against. *)
+let backends_section ~section ~circuits ~json_out () =
+  header
+    (Printf.sprintf "%s: braiding vs lattice surgery (d = 33)"
+       (String.capitalize_ascii section));
   let module CB = Autobraid.Comm_backend in
   let braid = CB.braid () in
   let surgery = Qec_surgery.Backend.make () in
@@ -726,46 +747,53 @@ let backends ~json_out () =
               (float_of_int rb.S.total_cycles /. float_of_int rs.S.total_cycles);
           ];
         (name, ob, os))
-      backend_circuits
+      circuits
   in
   TP.print t;
   print_endline
     "(same gate set either way; surgery holds corridors for d cycles, \
      pipelines splits under disjoint fronts, and never inserts SWAPs)";
-  match json_out with
-  | None -> ()
-  | Some path ->
+  let json =
     let open Qec_report.Json in
-    let json =
-      Obj
-        [
-          ("section", String "backends");
-          ("d", Int T.default_d);
-          ( "circuits",
-            List
-              (List.map
-                 (fun (name, ob, os) ->
-                   let rb = ob.CB.result in
-                   Obj
-                     [
-                       ("name", String name);
-                       ("num_qubits", Int rb.S.num_qubits);
-                       ("num_gates", Int rb.S.num_gates);
-                       ("braid", backend_outcome_json ob);
-                       ("surgery", backend_outcome_json os);
-                       ( "speedup",
-                         Float
-                           (float_of_int ob.CB.result.S.total_cycles
-                           /. float_of_int os.CB.result.S.total_cycles) );
-                     ])
-                 rows) );
-        ]
-    in
-    let oc = open_out path in
-    output_string oc (to_string ~indent:true json);
-    output_string oc "\n";
-    close_out oc;
-    Printf.printf "\n[wrote %s]\n" path
+    Obj
+      [
+        ("section", String section);
+        ("d", Int T.default_d);
+        ( "circuits",
+          List
+            (List.map
+               (fun (name, ob, os) ->
+                 let rb = ob.CB.result in
+                 Obj
+                   [
+                     ("name", String name);
+                     ("num_qubits", Int rb.S.num_qubits);
+                     ("num_gates", Int rb.S.num_gates);
+                     ("braid", backend_outcome_json ob);
+                     ("surgery", backend_outcome_json os);
+                     ( "speedup",
+                       Float
+                         (float_of_int ob.CB.result.S.total_cycles
+                         /. float_of_int os.CB.result.S.total_cycles) );
+                   ])
+               rows) );
+      ]
+  in
+  Option.iter (fun path -> write_json path json) json_out;
+  json
+
+let backends ~json_out () =
+  ignore
+    (backends_section ~section:"backends" ~circuits:backend_circuits ~json_out
+       ())
+
+(* The drift-gated mid-size sweep: big enough that routing pressure and
+   SWAP insertion actually bite, small enough for CI. Committed as
+   BENCH_scale.json and compared by `--check` on every run. *)
+let scale_circuits = [ ("qft50", B.Qft.circuit 50); ("bv32", B.Bv.circuit 32) ]
+
+let scale ~json_out () =
+  ignore (backends_section ~section:"scale" ~circuits:scale_circuits ~json_out ())
 
 (* ------------------------------------------------------------------ *)
 (* Engine: batch throughput and the placement cache's payoff            *)
@@ -790,7 +818,7 @@ let engine_specs =
     spec "qft20";
   ]
 
-let engine ~json_out () =
+let engine_section ~json_out () =
   header "Engine: cached multicore batch compilation";
   let jobs = Qec_util.Parallel.default_jobs () in
   let dir = Filename.temp_file "autobraid_bench_cache" "" in
@@ -849,36 +877,32 @@ let engine ~json_out () =
     "(%d specs on %d workers; cold pass: %d annealed placements, warm \
      passes replay them; all three passes byte-identical)\n"
     (List.length engine_specs) jobs k.PC.misses;
-  match json_out with
-  | None -> ()
-  | Some path ->
+  let json =
     let open Qec_report.Json in
-    let json =
-      Obj
-        [
-          ("section", String "engine");
-          ("jobs", Int jobs);
-          ("specs", Int (List.length engine_specs));
-          ("cold_s", Float cold_s);
-          ("warm_memory_s", Float warm_memory_s);
-          ("warm_disk_s", Float warm_disk_s);
-          ("speedup_memory", Float (cold_s /. warm_memory_s));
-          ("speedup_disk", Float (cold_s /. warm_disk_s));
-          ("placements_computed", Int k.PC.misses);
-          ("results_identical", Bool identical);
-        ]
-    in
-    let oc = open_out path in
-    output_string oc (to_string ~indent:true json);
-    output_string oc "\n";
-    close_out oc;
-    Printf.printf "\n[wrote %s]\n" path
+    Obj
+      [
+        ("section", String "engine");
+        ("jobs", Int jobs);
+        ("specs", Int (List.length engine_specs));
+        ("cold_s", Float cold_s);
+        ("warm_memory_s", Float warm_memory_s);
+        ("warm_disk_s", Float warm_disk_s);
+        ("speedup_memory", Float (cold_s /. warm_memory_s));
+        ("speedup_disk", Float (cold_s /. warm_disk_s));
+        ("placements_computed", Int k.PC.misses);
+        ("results_identical", Bool identical);
+      ]
+  in
+  Option.iter (fun path -> write_json path json) json_out;
+  json
+
+let engine ~json_out () = ignore (engine_section ~json_out ())
 
 (* ------------------------------------------------------------------ *)
 (* Property-fuzzer throughput: how much generative coverage one CI
    minute buys. Fixed seed, so the numbers are comparable run to run. *)
 
-let prop ~json_out () =
+let prop_section ~json_out () =
   header "Property-fuzzer throughput (fixed seed, full registry)";
   let module R = Qec_prop.Runner in
   let count = 100 in
@@ -903,27 +927,87 @@ let prop ~json_out () =
     "(every check schedules at least one backend end to end; the CI smoke \
      run covers %d cases per property)\n"
     count;
-  match json_out with
-  | None -> ()
-  | Some path ->
+  let json =
     let open Qec_report.Json in
-    let json =
-      Obj
-        [
-          ("section", String "prop");
-          ("seed", Int report.R.seed);
-          ("cases", Int report.R.cases);
-          ("properties", Int (List.length report.R.properties));
-          ("checks", Int report.R.checks);
-          ("wall_s", Float wall);
-          ("checks_per_s", Float (float_of_int report.R.checks /. wall));
-        ]
-    in
-    let oc = open_out path in
-    output_string oc (to_string ~indent:true json);
-    output_string oc "\n";
-    close_out oc;
-    Printf.printf "\n[wrote %s]\n" path
+    Obj
+      [
+        ("section", String "prop");
+        ("seed", Int report.R.seed);
+        ("cases", Int report.R.cases);
+        ("properties", Int (List.length report.R.properties));
+        ("checks", Int report.R.checks);
+        ("wall_s", Float wall);
+        ("checks_per_s", Float (float_of_int report.R.checks /. wall));
+      ]
+  in
+  Option.iter (fun path -> write_json path json) json_out;
+  json
+
+let prop ~json_out () = ignore (prop_section ~json_out ())
+
+(* ------------------------------------------------------------------ *)
+(* Drift gating: `--check BENCH_*.json` re-measures the file's section
+   and fails on cycle-count (or wall-time) regressions past tolerance.   *)
+
+(* Re-measure the section a committed snapshot claims to be. Only the
+   json-producing sections can be gated. *)
+let current_for_section = function
+  | "backends" ->
+    Some (backends_section ~section:"backends" ~circuits:backend_circuits
+            ~json_out:None ())
+  | "scale" ->
+    Some (backends_section ~section:"scale" ~circuits:scale_circuits
+            ~json_out:None ())
+  | "engine" -> Some (engine_section ~json_out:None ())
+  | "prop" -> Some (prop_section ~json_out:None ())
+  | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Returns true when [path] passes. Prints a verdict either way. *)
+let drift_check ~tolerance ~wall_tolerance path =
+  let module D = Qec_obs.Drift in
+  let module J = Qec_report.Json in
+  let fail msg =
+    Printf.printf "DRIFT FAIL %s: %s\n" path msg;
+    false
+  in
+  match J.of_string (read_file path) with
+  | Error msg -> fail ("unparsable baseline: " ^ msg)
+  | Ok baseline -> (
+    match J.member "section" baseline with
+    | Some (J.String section) -> (
+      match current_for_section section with
+      | None -> fail (Printf.sprintf "section %S is not drift-gated" section)
+      | Some current ->
+        let o = D.check ~tolerance ~wall_tolerance ~baseline ~current in
+        header (Printf.sprintf "Drift check: %s (section %s)" path section);
+        Printf.printf
+          "%d gated metrics, tolerance %.0f%% (cycle) / %.0f%% (wall)\n"
+          o.D.checked (100. *. tolerance) (100. *. wall_tolerance);
+        List.iter
+          (fun f -> Printf.printf "  REGRESSION %s\n" (D.pp_finding f))
+          o.D.regressions;
+        List.iter
+          (fun p -> Printf.printf "  MISSING %s (baseline metric absent)\n" p)
+          o.D.missing;
+        List.iter
+          (fun f -> Printf.printf "  improved %s\n" (D.pp_finding f))
+          o.D.improvements;
+        if D.passed o then (
+          Printf.printf "DRIFT OK %s\n" path;
+          true)
+        else
+          fail
+            (Printf.sprintf "%d regression(s), %d missing metric(s)"
+               (List.length o.D.regressions)
+               (List.length o.D.missing)))
+    | _ -> fail "baseline has no \"section\" key")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure driver     *)
@@ -995,9 +1079,43 @@ let () =
     | [] -> None
   in
   let json_out = find_json args in
+  let rec find_all flag = function
+    | f :: v :: rest when f = flag -> v :: find_all flag rest
+    | _ :: rest -> find_all flag rest
+    | [] -> []
+  in
+  let find_float flag default =
+    match find_all flag args with
+    | v :: _ -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "%s expects a number, got %S\n" flag v;
+        exit 2)
+    | [] -> default
+  in
+  let checks = find_all "--check" args in
+  (* Cycle metrics are deterministic — 2% headroom only guards against
+     benign nondeterminism (e.g. hash order). Wall times vary wildly
+     across hosts and CI neighbours, so they get 3x by default. *)
+  let tolerance = find_float "--tolerance" 0.02 in
+  let wall_tolerance = find_float "--wall-tolerance" 2.0 in
+  if checks <> [] then begin
+    let t0 = Unix.gettimeofday () in
+    let ok =
+      List.fold_left
+        (fun acc path -> drift_check ~tolerance ~wall_tolerance path && acc)
+        true checks
+    in
+    Printf.printf "\n[drift check completed in %.1f s]\n"
+      (Unix.gettimeofday () -. t0);
+    exit (if ok then 0 else 1)
+  end;
   let sections =
     let rec strip = function
-      | "--json" :: _ :: rest -> strip rest
+      | ("--json" | "--check" | "--tolerance" | "--wall-tolerance")
+        :: _ :: rest ->
+        strip rest
       | a :: rest when String.length a > 2 && String.sub a 0 2 = "--" ->
         strip rest
       | a :: rest -> a :: strip rest
@@ -1018,6 +1136,7 @@ let () =
   | "planar" -> profiled "planar" planar
   | "magic" -> profiled "magic" magic
   | "backends" -> profiled "backends" (backends ~json_out)
+  | "scale" -> profiled "scale" (scale ~json_out)
   | "engine" -> profiled "engine" (engine ~json_out)
   | "prop" -> profiled "prop" (prop ~json_out)
   | "micro" -> profiled "micro" micro
@@ -1039,7 +1158,7 @@ let () =
     profiled "micro" micro
   | other ->
     Printf.eprintf
-      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|engine|prop|micro|all)\n"
+      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|scale|engine|prop|micro|all)\n"
       other;
     exit 2);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

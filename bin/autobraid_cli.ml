@@ -128,18 +128,33 @@ let telemetry_out_arg =
         ~doc:"Stream telemetry records (spans, counters, gauges, \
               histograms) to FILE as JSON lines; see docs/observability.md")
 
-(* Install the requested sinks around [f] and print the --metrics summary
-   after whatever [f] printed itself. *)
-let with_telemetry ~metrics ~telemetry_out f =
-  if (not metrics) && telemetry_out = None then f ()
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.json"
+        ~doc:"Write a Chrome trace-event (Perfetto) trace to FILE — one \
+              lane per worker domain; open it at ui.perfetto.dev (see \
+              docs/observability.md)")
+
+(* Install the requested sinks around [f], then print the --metrics
+   summary after whatever [f] printed itself and write the --trace-out
+   Perfetto file. *)
+let with_telemetry ~metrics ~telemetry_out ~trace_out f =
+  if (not metrics) && telemetry_out = None && trace_out = None then f ()
   else begin
     let collector =
       if metrics then Some (Qec_telemetry.Collector.create ()) else None
     in
+    (* Perfetto export needs the whole record set, so --trace-out rides on
+       its own collector and renders after the run. *)
+    let trace_collector =
+      Option.map (fun _ -> Qec_telemetry.Collector.create ()) trace_out
+    in
     let sinks =
-      (match collector with
-      | Some c -> [ Qec_telemetry.Collector.sink c ]
-      | None -> [])
+      List.filter_map
+        (Option.map Qec_telemetry.Collector.sink)
+        [ collector; trace_collector ]
       @
       match telemetry_out with
       | Some path -> begin
@@ -159,6 +174,15 @@ let with_telemetry ~metrics ~telemetry_out f =
         print_newline ();
         Qec_telemetry.Collector.print_summary c)
       collector;
+    (match (trace_out, trace_collector) with
+    | Some path, Some c -> begin
+      match Qec_obs.Perfetto.write path c with
+      | () -> ()
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write trace: %s\n" msg;
+        exit 2
+    end
+    | _ -> ());
     result
   end
 
@@ -240,8 +264,9 @@ let print_peephole (payload : Qec_engine.Engine.payload) =
       stats.Qec_circuit.Optimize.merged_rotations before after
 
 let compile_cmd =
-  let run spec d seed p sched initial best_p optimize metrics telemetry_out =
-    with_telemetry ~metrics ~telemetry_out @@ fun () ->
+  let run spec d seed p sched initial best_p optimize metrics telemetry_out
+      trace_out =
+    with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let s =
       {
@@ -271,7 +296,7 @@ let compile_cmd =
     Term.(
       const run $ circuit_arg $ distance_arg $ seed_arg $ threshold_arg
       $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg $ metrics_arg
-      $ telemetry_out_arg)
+      $ telemetry_out_arg $ trace_out_arg)
 
 (* ---------------- schedule (pluggable backend) ---------------- *)
 
@@ -318,8 +343,8 @@ let print_comparison timing (nb, (rb : Autobraid.Scheduler.result))
     (float_of_int cb /. float_of_int (max 1 cs))
 
 let schedule_cmd =
-  let run spec backend d seed p initial metrics telemetry_out =
-    with_telemetry ~metrics ~telemetry_out @@ fun () ->
+  let run spec backend d seed p initial metrics telemetry_out trace_out =
+    with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let spec_for name =
       {
@@ -380,13 +405,18 @@ let schedule_cmd =
        ~doc:"Schedule a circuit through a pluggable communication backend")
     Term.(
       const run $ circuit_arg $ backend_arg $ distance_arg $ seed_arg
-      $ threshold_arg $ initial_arg $ metrics_arg $ telemetry_out_arg)
+      $ threshold_arg $ initial_arg $ metrics_arg $ telemetry_out_arg
+      $ trace_out_arg)
 
 (* ---------------- batch ---------------- *)
 
 let batch_cmd =
-  let run manifest jobs cache_dir out timings metrics telemetry_out =
-    with_telemetry ~metrics ~telemetry_out @@ fun () ->
+  let run manifest jobs cache_dir out timings metrics telemetry_out trace_out =
+    (* Returns the exit code out of the wrapper instead of exiting inline:
+       [exit] does not unwind, and a failed job must not skip the
+       --trace-out / --telemetry-out flush. *)
+    let code =
+      with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
     let text =
       match
         let ic = open_in_bin manifest in
@@ -429,7 +459,9 @@ let batch_cmd =
       k.Qec_engine.Placement_cache.memory_hits
       k.Qec_engine.Placement_cache.disk_hits
       k.Qec_engine.Placement_cache.misses elapsed;
-    if failed <> [] then exit 1
+      if failed <> [] then 1 else 0
+    in
+    if code <> 0 then exit code
   in
   let manifest_arg =
     Arg.(
@@ -482,7 +514,98 @@ let batch_cmd =
           failed, 2 on an unusable manifest, 0 otherwise.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ out_arg
-      $ timings_arg $ metrics_arg $ telemetry_out_arg)
+      $ timings_arg $ metrics_arg $ telemetry_out_arg $ trace_out_arg)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let run target backend d seed repeat jobs json trace_out =
+    (* TARGET is a batch manifest when it is a JSON file, else a single
+       circuit spec built from the compile-style flags. *)
+    let specs =
+      if Sys.file_exists target && Filename.check_suffix target ".json" then begin
+        let text =
+          match
+            let ic = open_in_bin target in
+            let len = in_channel_length ic in
+            let s = really_input_string ic len in
+            close_in ic;
+            s
+          with
+          | s -> s
+          | exception Sys_error msg ->
+            prerr_endline msg;
+            exit 2
+        in
+        match Qec_engine.Spec.manifest_of_string text with
+        | Ok specs -> specs
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" target msg;
+          exit 2
+      end
+      else
+        [ { Qec_engine.Spec.default with circuit = target; backend; d; seed } ]
+    in
+    let report, collector = Qec_obs.Profile.run ?jobs ~repeat specs in
+    if json then
+      print_endline
+        (Qec_report.Json.to_string ~indent:true (Qec_obs.Profile.to_json report))
+    else Qec_obs.Profile.print report;
+    (match trace_out with
+    | None -> ()
+    | Some path -> begin
+      match Qec_obs.Perfetto.write path collector with
+      | () -> if not json then Printf.printf "\nwrote %s\n" path
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write trace: %s\n" msg;
+        exit 2
+    end);
+    if report.Qec_obs.Profile.jobs_failed > 0 then exit 1
+  in
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"Circuit (benchmark name or .qasm/.real path) or a batch \
+                manifest (.json)")
+  in
+  let backend_arg =
+    Arg.(
+      value & opt string "braid"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Communication backend for a single-circuit TARGET")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "r"; "repeat" ] ~docv:"N"
+          ~doc:"Measured runs; statistics are min/median/p95 across them")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: available cores)")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the autobraid-profile/v1 JSON report (stable schema \
+                and key order) instead of tables")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a spec or batch manifest N times and report per-phase \
+          wall/self time (min/median/p95 across runs), with optional \
+          Perfetto trace export of the last run. Exit 1 when any job \
+          failed, 2 on an unusable target, 0 otherwise.")
+    Term.(
+      const run $ target_arg $ backend_arg $ distance_arg $ seed_arg
+      $ repeat_arg $ jobs_arg $ json_arg $ trace_out_arg)
 
 (* ---------------- info ---------------- *)
 
@@ -577,9 +700,9 @@ let emit_cmd =
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd =
-  let run spec d metrics telemetry_out =
+  let run spec d metrics telemetry_out trace_out =
     guarded spec @@ fun () ->
-    with_telemetry ~metrics ~telemetry_out @@ fun () ->
+    with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
     let timing = Qec_surface.Timing.make ~d () in
     let c = load_circuit spec in
     let _, curve = Autobraid.Scheduler.run_best_p timing c in
@@ -598,7 +721,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"p-threshold sensitivity sweep (Fig. 18)")
     Term.(
-      const run $ circuit_arg $ distance_arg $ metrics_arg $ telemetry_out_arg)
+      const run $ circuit_arg $ distance_arg $ metrics_arg $ telemetry_out_arg
+      $ trace_out_arg)
 
 (* ---------------- export ---------------- *)
 
@@ -826,90 +950,100 @@ let fuzz_cmd =
   let module P = Qec_prop.Property in
   let module R = Qec_prop.Runner in
   let usage fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt in
+  (* The body computes an exit code instead of calling [exit] inline:
+     [exit] does not unwind the stack, so an early exit would skip
+     with_telemetry's flush and leave --trace-out / --telemetry-out files
+     unwritten. Usage errors still die immediately — they happen before
+     any instrumented work. *)
   let run seed count props list_props no_minimize max_failures regress_dir
-      replay max_qubits max_gates cx_density long_range_bias =
+      replay max_qubits max_gates cx_density long_range_bias metrics
+      telemetry_out trace_out =
     if list_props then begin
       List.iter
         (fun (p : P.t) -> Printf.printf "%-24s %s\n" p.name p.description)
         (P.all ());
       exit 0
     end;
-    match replay with
-    | Some path -> (
-      if not (Sys.file_exists path) then usage "%s: no such file" path;
-      match R.replay_file path with
-      | Error msg -> usage "%s: %s" path msg
-      | Ok (prop, P.Pass) ->
-        Printf.printf "%s: %s passed\n" path prop;
-        exit 0
-      | Ok (prop, P.Fail msg) ->
-        Printf.printf "%s: %s FAILED: %s\n" path prop msg;
-        exit 1)
-    | None ->
-      if count < 1 then usage "--count must be >= 1 (got %d)" count;
-      let properties =
-        match props with
-        | [] -> P.all ()
-        | names ->
-          List.map
-            (fun name ->
-              match P.find name with
-              | Some p -> p
-              | None ->
-                usage "unknown property %S; known: %s" name
-                  (String.concat ", " (P.names ())))
-            names
-      in
-      let params =
-        {
-          Qec_prop.Gen.default with
-          max_qubits;
-          max_gates;
-          cx_density;
-          long_range_bias;
-        }
-      in
-      (match Qec_prop.Gen.validate params with
-      | Ok () -> ()
-      | Error msg -> usage "bad generator parameters: %s" msg);
-      let report =
-        R.run ~params ~properties ~minimize:(not no_minimize)
-          ~max_failures ~seed ~count ()
-      in
-      List.iter
-        (fun (f : R.failure) ->
-          Printf.printf "FAIL %s (seed %d, case %d): %s\n" f.property f.seed
-            f.case f.message;
-          let unit_ =
-            match f.counterexample with
-            | R.Circuit _ -> "gates"
-            | R.Source _ -> "bytes"
-          in
-          if f.shrunk_size < f.original_size then
-            Printf.printf "  shrunk %d -> %d %s\n" f.original_size
-              f.shrunk_size unit_;
-          Printf.printf "  reproduce: autobraid fuzz --seed %d --count %d \
-                         --prop %s\n"
-            f.seed (f.case + 1) f.property;
-          print_newline ();
-          (* the counterexample itself, as replayable QASM / raw bytes *)
-          print_string (R.counterexample_to_string f.counterexample);
-          match regress_dir with
-          | None -> ()
-          | Some dir ->
-            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-            let path = R.failure_to_file ~dir f in
-            Printf.printf "\nwrote %s\n" path)
-        report.R.failures;
-      if report.R.failures = [] then begin
-        Printf.printf
-          "fuzz: seed %d, %d cases, %d checks across %d properties: all \
-           passed\n"
-          report.R.seed report.R.cases report.R.checks
-          (List.length report.R.properties);
-        exit 0
-      end
-      else exit 1
+    let code =
+      with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
+      match replay with
+      | Some path -> (
+        if not (Sys.file_exists path) then usage "%s: no such file" path;
+        match R.replay_file path with
+        | Error msg -> usage "%s: %s" path msg
+        | Ok (prop, P.Pass) ->
+          Printf.printf "%s: %s passed\n" path prop;
+          0
+        | Ok (prop, P.Fail msg) ->
+          Printf.printf "%s: %s FAILED: %s\n" path prop msg;
+          1)
+      | None ->
+        if count < 1 then usage "--count must be >= 1 (got %d)" count;
+        let properties =
+          match props with
+          | [] -> P.all ()
+          | names ->
+            List.map
+              (fun name ->
+                match P.find name with
+                | Some p -> p
+                | None ->
+                  usage "unknown property %S; known: %s" name
+                    (String.concat ", " (P.names ())))
+              names
+        in
+        let params =
+          {
+            Qec_prop.Gen.default with
+            max_qubits;
+            max_gates;
+            cx_density;
+            long_range_bias;
+          }
+        in
+        (match Qec_prop.Gen.validate params with
+        | Ok () -> ()
+        | Error msg -> usage "bad generator parameters: %s" msg);
+        let report =
+          R.run ~params ~properties ~minimize:(not no_minimize)
+            ~max_failures ~seed ~count ()
+        in
+        List.iter
+          (fun (f : R.failure) ->
+            Printf.printf "FAIL %s (seed %d, case %d): %s\n" f.property f.seed
+              f.case f.message;
+            let unit_ =
+              match f.counterexample with
+              | R.Circuit _ -> "gates"
+              | R.Source _ -> "bytes"
+            in
+            if f.shrunk_size < f.original_size then
+              Printf.printf "  shrunk %d -> %d %s\n" f.original_size
+                f.shrunk_size unit_;
+            Printf.printf "  reproduce: autobraid fuzz --seed %d --count %d \
+                           --prop %s\n"
+              f.seed (f.case + 1) f.property;
+            print_newline ();
+            (* the counterexample itself, as replayable QASM / raw bytes *)
+            print_string (R.counterexample_to_string f.counterexample);
+            match regress_dir with
+            | None -> ()
+            | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let path = R.failure_to_file ~dir f in
+              Printf.printf "\nwrote %s\n" path)
+          report.R.failures;
+        if report.R.failures = [] then begin
+          Printf.printf
+            "fuzz: seed %d, %d cases, %d checks across %d properties: all \
+             passed\n"
+            report.R.seed report.R.cases report.R.checks
+            (List.length report.R.properties);
+          0
+        end
+        else 1
+    in
+    exit code
   in
   let count_arg =
     Arg.(
@@ -985,7 +1119,8 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ prop_arg $ list_arg
       $ no_minimize_arg $ max_failures_arg $ regress_dir_arg $ replay_arg
       $ max_qubits_arg $ max_gates_arg $ cx_density_arg
-      $ long_range_bias_arg)
+      $ long_range_bias_arg $ metrics_arg $ telemetry_out_arg
+      $ trace_out_arg)
 
 (* ---------------- list ---------------- *)
 
@@ -1007,7 +1142,8 @@ let main =
   Cmd.group
     (Cmd.info "autobraid" ~version:"1.0.0"
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
-    [ compile_cmd; schedule_cmd; batch_cmd; info_cmd; lint_cmd; fuzz_cmd;
-       resources_cmd; emit_cmd; sweep_cmd; trace_cmd; export_cmd; list_cmd ]
+    [ compile_cmd; schedule_cmd; batch_cmd; profile_cmd; info_cmd; lint_cmd;
+       fuzz_cmd; resources_cmd; emit_cmd; sweep_cmd; trace_cmd; export_cmd;
+       list_cmd ]
 
 let () = exit (Cmd.eval main)

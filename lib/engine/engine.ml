@@ -218,22 +218,28 @@ let run_batch ?jobs ?cache specs =
   let n = List.length specs in
   let queue = Qec_util.Parallel.Queue.of_list specs in
   let slots = Array.make n None in
+  let t_queue = Unix.gettimeofday () in
   let worker _id =
+    (* Workers run under Telemetry.worker_scope (via the Parallel probe),
+       so these probes record for real on every domain and merge into the
+       root collector at join. *)
     let rec loop () =
       match Qec_util.Parallel.Queue.pop queue with
       | None -> ()
       | Some (index, spec) ->
         let t0 = Unix.gettimeofday () in
-        let outcome, cache_status = exec_safe cache spec in
+        Tel.sample "engine.queue_wait_s" (t0 -. t_queue);
+        let outcome, cache_status =
+          Tel.with_span "engine.job" @@ fun () -> exec_safe cache spec
+        in
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        Tel.sample "engine.job_s" elapsed_s;
+        Tel.count
+          (match outcome with
+          | Ok _ -> "engine.jobs_ok"
+          | Error _ -> "engine.jobs_failed");
         slots.(index) <-
-          Some
-            {
-              index;
-              spec;
-              elapsed_s = Unix.gettimeofday () -. t0;
-              cache = cache_status;
-              outcome;
-            };
+          Some { index; spec; elapsed_s; cache = cache_status; outcome };
         loop ()
     in
     loop ()
@@ -243,16 +249,8 @@ let run_batch ?jobs ?cache specs =
     Array.to_list slots
     |> List.map (function Some j -> j | None -> assert false)
   in
-  (* Telemetry runs on the caller's domain only (worker probes are no-ops
-     by design), so batch-wide numbers are emitted here. *)
-  List.iter
-    (fun j ->
-      Tel.sample "engine.job_s" j.elapsed_s;
-      Tel.count
-        (match j.outcome with
-        | Ok _ -> "engine.jobs_ok"
-        | Error _ -> "engine.jobs_failed"))
-    results;
+  (* The cache's counters are process-wide totals, so they are read once
+     on the caller's domain rather than per worker. *)
   Option.iter
     (fun c ->
       let k = Placement_cache.counters c in

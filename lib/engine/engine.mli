@@ -66,11 +66,14 @@ val run_batch :
   ?jobs:int -> ?cache:Placement_cache.t -> Spec.t list -> job list
 (** Execute the specs on a worker pool of [jobs] domains (default
     {!Qec_util.Parallel.default_jobs}), sharing [cache] across workers.
-    Results are in input order. Emits telemetry from the caller's domain:
-    an [engine.run_batch] span, [engine.jobs_ok] / [engine.jobs_failed]
-    counters, an [engine.job_s] histogram, and — when a cache is given —
-    [engine.placement_cache.{memory_hits,disk_hits,misses}] counters for
-    this batch. *)
+    Results are in input order. Telemetry is per worker: each domain
+    records an [engine.job] span plus [engine.queue_wait_s] /
+    [engine.job_s] samples and [engine.jobs_ok] / [engine.jobs_failed]
+    counters for the jobs it ran, merged into the installing domain's
+    collector at join (spans land on distinct [(domain, worker)] lanes).
+    The caller's domain adds the [engine.run_batch] span and — when a
+    cache is given — [engine.placement_cache.{memory_hits,disk_hits,
+    misses}] counters for this batch. *)
 
 val job_to_json : ?timings:bool -> job -> Qec_report.Json.t
 (** One deterministic result record: [index], [id], [status], [spec], and

@@ -1,0 +1,91 @@
+module Tel = Qec_telemetry.Telemetry
+module Col = Qec_telemetry.Collector
+module Json = Qec_report.Json
+
+let pid = 1
+let us s = s *. 1e6
+
+let thread_meta (domain, worker) =
+  let name = if worker = 0 then "main" else Printf.sprintf "worker %d" worker in
+  Json.Obj
+    [
+      ("ph", Json.String "M");
+      ("name", Json.String "thread_name");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int domain);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let span_event (s : Tel.span) =
+  Json.Obj
+    [
+      ("ph", Json.String "X");
+      ("name", Json.String s.span_name);
+      ("cat", Json.String "autobraid");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int s.domain);
+      ("ts", Json.Float (us s.start_s));
+      ("dur", Json.Float (us s.total_s));
+      ( "args",
+        Json.Obj
+          [
+            ("depth", Json.Int s.depth);
+            ("worker", Json.Int s.worker);
+            ("self_us", Json.Float (us s.self_s));
+          ] );
+    ]
+
+let counter_event ~ts name args =
+  Json.Obj
+    [
+      ("ph", Json.String "C");
+      ("name", Json.String name);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("ts", Json.Float ts);
+      ("args", Json.Obj args);
+    ]
+
+let to_json c =
+  let spans = Col.spans c in
+  (* Aggregates flush once at the end of the session; stamp their counter
+     samples at the latest span end so the tracks extend across the run. *)
+  let t_end =
+    List.fold_left
+      (fun acc (s : Tel.span) -> Float.max acc (us (s.start_s +. s.total_s)))
+      0. spans
+  in
+  let events =
+    List.map thread_meta (Col.lanes c)
+    @ List.map span_event spans
+    @ List.map
+        (fun (name, v) ->
+          counter_event ~ts:t_end name [ ("value", Json.Int v) ])
+        (Col.counters c)
+    @ List.map
+        (fun (name, v) ->
+          counter_event ~ts:t_end name [ ("value", Json.Float v) ])
+        (Col.gauges c)
+    @ List.map
+        (fun (h : Tel.histogram) ->
+          counter_event ~ts:t_end h.hist_name
+            [
+              ("mean", Json.Float h.mean);
+              ("p50", Json.Float h.p50);
+              ("p95", Json.Float h.p95);
+            ])
+        (Col.histograms c)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string c = Json.to_string (to_json c)
+
+let write path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,19 @@
+(** Chrome trace-event (Perfetto) export of a telemetry collector.
+
+    Spans become ["ph":"X"] complete duration events with [tid] set to the
+    OCaml domain id the span recorded on — each worker domain gets its own
+    lane, labelled by a ["thread_name"] metadata event ("main" for the
+    installing domain, "worker N" otherwise). Counters and gauges become
+    ["ph":"C"] counter tracks, and sample histograms a multi-series
+    counter (mean / p50 / p95). Timestamps are microseconds since the sink
+    was installed. Load the file at https://ui.perfetto.dev or
+    chrome://tracing; see docs/observability.md. *)
+
+val to_json : Qec_telemetry.Collector.t -> Qec_report.Json.t
+(** The [{"traceEvents": [...], "displayTimeUnit": "ms"}] wrapper object. *)
+
+val to_string : Qec_telemetry.Collector.t -> string
+(** {!to_json} rendered compactly. *)
+
+val write : string -> Qec_telemetry.Collector.t -> unit
+(** Write {!to_string} (newline-terminated) to a file. *)

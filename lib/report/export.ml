@@ -132,6 +132,8 @@ let telemetry_to_json collector =
       [
         ("name", Json.String s.span_name);
         ("depth", Json.Int s.depth);
+        ("domain", Json.Int s.domain);
+        ("worker", Json.Int s.worker);
         ("start_s", Json.Float s.start_s);
         ("total_s", Json.Float s.total_s);
         ("self_s", Json.Float s.self_s);

@@ -45,6 +45,10 @@ let histogram_opt c name =
 let spans c =
   List.filter_map (function Telemetry.Span s -> Some s | _ -> None) (records c)
 
+let lanes c =
+  List.map (fun (s : Telemetry.span) -> (s.domain, s.worker)) (spans c)
+  |> List.sort_uniq compare
+
 let phases c =
   let tbl = Hashtbl.create 16 in
   let order = ref [] in

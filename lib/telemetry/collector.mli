@@ -30,6 +30,11 @@ val gauge_opt : t -> string -> float option
 val histograms : t -> Telemetry.histogram list
 val histogram_opt : t -> string -> Telemetry.histogram option
 val spans : t -> Telemetry.span list
+
+val lanes : t -> (int * int) list
+(** Distinct [(domain, worker)] pairs spans were recorded on, sorted —
+    more than one entry means worker domains really reported. *)
+
 val phases : t -> phase list
 
 val phase_table : t -> Qec_util.Tableprint.t

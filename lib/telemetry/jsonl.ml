@@ -14,17 +14,17 @@ let escape s =
     s;
   Buffer.contents buf
 
-(* %.9g keeps fake-clock integers exact ("2", not "2.000000000") so golden
-   files stay readable, and is JSON-valid for finite floats. *)
-let num = Printf.sprintf "%.9g"
+(* The shared shortest-round-trip printer: telemetry JSONL renders floats
+   byte-identically to report JSON (Qec_report.Json uses the same one). *)
+let num = Qec_util.Floatfmt.repr
 
 let line (r : Telemetry.record) =
   match r with
   | Telemetry.Span s ->
     Printf.sprintf
-      {|{"type":"span","name":"%s","depth":%d,"start_s":%s,"total_s":%s,"self_s":%s}|}
-      (escape s.span_name) s.depth (num s.start_s) (num s.total_s)
-      (num s.self_s)
+      {|{"type":"span","name":"%s","depth":%d,"domain":%d,"worker":%d,"start_s":%s,"total_s":%s,"self_s":%s}|}
+      (escape s.span_name) s.depth s.domain s.worker (num s.start_s)
+      (num s.total_s) (num s.self_s)
   | Telemetry.Counter { name; value } ->
     Printf.sprintf {|{"type":"counter","name":"%s","value":%d}|} (escape name)
       value

@@ -1,6 +1,8 @@
 (** JSONL telemetry sink: one JSON object per line, stable snake_case keys
-    ([type], [name], then per-record fields) — see docs/observability.md
-    for the schema and a [jq] walkthrough. *)
+    ([type], [name], then per-record fields; spans carry [domain] and
+    [worker] lane tags) — see docs/observability.md for the schema and a
+    [jq] walkthrough. Floats use the same shortest-round-trip printer as
+    [Qec_report.Json], so the two formats agree byte-for-byte. *)
 
 val line : Telemetry.record -> string
 (** One record as a single JSON line (no trailing newline). *)

@@ -2,12 +2,18 @@
 
     Counters, gauges, sample histograms and nested monotonic timing spans,
     delivered to a pluggable {!sink}. With no sink installed every probe is
-    a single branch on a [ref] — hot paths (the A* router, the scheduler
-    round loop) can stay instrumented unconditionally.
+    a single branch on domain-local state — hot paths (the A* router, the
+    scheduler round loop) can stay instrumented unconditionally.
 
-    Spans stream to the sink as they close; counters, gauges and sample
-    histograms accumulate in the frontend and are emitted (sorted by name,
-    so output is deterministic) on {!flush} / {!uninstall}. *)
+    Telemetry is {b domain-aware}: state lives in [Domain.DLS], so probes
+    never race. The domain that calls {!install} is the {e root}; its spans
+    stream to the sink as they close. Worker domains spawned by
+    [Qec_util.Parallel] attach via {!worker_scope} (registered as the
+    Parallel probe at link time): their spans and aggregates buffer
+    per-domain, tagged [(domain, worker)], and merge into the root's
+    collector when the scope ends at join. Counters, gauges and sample
+    histograms are emitted (sorted by name, so output is deterministic) on
+    {!flush} / {!uninstall}. *)
 
 type span = {
   span_name : string;
@@ -15,6 +21,8 @@ type span = {
   start_s : float;  (** seconds since the sink was installed *)
   total_s : float;  (** wall time between open and close *)
   self_s : float;  (** [total_s] minus the time spent in direct child spans *)
+  domain : int;  (** OCaml domain id the span was recorded on *)
+  worker : int;  (** pool worker id; 0 = the installing (root) domain *)
 }
 
 type histogram = {
@@ -43,45 +51,66 @@ val tee : sink list -> sink
 (** Fan a record out to several sinks; [tee \[\]] is {!null}. *)
 
 val enabled : unit -> bool
-(** [true] iff a sink is installed and the caller runs on the domain that
-    installed it — telemetry state is single-domain, so probes from
-    [Qec_util.Parallel] worker domains are silent no-ops rather than data
-    races. Use this to skip building expensive probe arguments. *)
+(** [true] iff the calling domain has telemetry state — either it
+    installed the sink, or it is a worker inside a {!worker_scope}. Use
+    this to skip building expensive probe arguments. *)
 
 val install : ?clock:(unit -> float) -> sink -> unit
-(** Install [sink] as the active sink, replacing any previous one without
-    flushing it. [clock] (default [Unix.gettimeofday]) must be monotone
-    non-decreasing for span math to make sense; tests inject a fake. *)
+(** Install [sink] as the active sink on the calling domain, replacing any
+    previous one without flushing it. [clock] (default [Unix.gettimeofday])
+    must be monotone non-decreasing for span math to make sense; tests
+    inject a fake. The session is published for {!worker_scope} pickup by
+    subsequently spawned domains. *)
 
 val uninstall : unit -> unit
 (** {!flush} accumulated aggregates, close the sink, disable telemetry.
-    No-op when nothing is installed. *)
+    Only the installing domain can uninstall; elsewhere (and with nothing
+    installed) this is a no-op. *)
 
 val with_sink : ?clock:(unit -> float) -> sink -> (unit -> 'a) -> 'a
 (** [with_sink sink f] installs [sink] for the duration of [f ()], then
     flushes, closes and restores whatever was installed before — safe to
     nest, exception-safe. *)
 
+val worker_scope : worker:int -> (unit -> 'a) -> 'a
+(** [worker_scope ~worker f] attaches the calling domain to the currently
+    installed session (if any) for the duration of [f ()]: probes record
+    into domain-local buffers tagged with this domain's id and [worker],
+    and everything merges into the session when [f] returns or raises —
+    dangling spans are closed first. On a domain that already has state
+    (the root, or a nested call) and when no sink is installed this is
+    just [f ()]. [Qec_util.Parallel] runs every spawned worker inside this
+    scope via its probe. *)
+
 val count : ?by:int -> string -> unit
-(** Add [by] (default 1) to the named counter. *)
+(** Add [by] (default 1) to the named counter. Worker counters are summed
+    into the root's at merge. *)
 
 val gauge : string -> float -> unit
-(** Set the named gauge (last write wins). *)
+(** Set the named gauge (last write wins within a domain; across domains
+    the root's value wins, then the lowest worker id — deterministic
+    regardless of worker scheduling). *)
 
 val sample : string -> float -> unit
-(** Record one observation of the named sample histogram. *)
+(** Record one observation of the named sample histogram. Worker samples
+    append to the root's series; histogram statistics are order-
+    insensitive, so merged results don't depend on scheduling. *)
 
 val span_open : string -> unit
 (** Open a nested timing span. Pair with {!span_close}. *)
 
 val span_close : unit -> unit
-(** Close the innermost open span and emit its record. Unbalanced closes
-    are ignored. *)
+(** Close the innermost open span and emit its record (root) or buffer it
+    (worker). Unbalanced closes are ignored. *)
 
 val with_span : string -> (unit -> 'a) -> 'a
-(** Scoped {!span_open}/{!span_close}; closes on exceptions too. When
-    disabled this is just [f ()]. *)
+(** Scoped {!span_open}/{!span_close}. If [f] raises with child spans
+    still open, the abandoned children are closed before this span's own
+    frame, so outer spans' self-time stays consistent. When disabled this
+    is just [f ()]. *)
 
 val flush : unit -> unit
-(** Emit accumulated counters, gauges and histograms (each sorted by name)
-    and reset them. Spans already streamed on close. *)
+(** Drain merged worker buffers (spans emitted grouped by worker id,
+    chronological within each worker), then emit accumulated counters,
+    gauges and histograms (each sorted by name) and reset them. Root spans
+    already streamed on close. Only meaningful on the installing domain. *)

@@ -1,0 +1,8 @@
+(** The one JSON float printer, shared by {!Qec_report.Json} and
+    {!Qec_telemetry.Jsonl} so report JSON and telemetry JSONL agree
+    byte-for-byte on the same values. *)
+
+val repr : float -> string
+(** Shortest decimal representation that round-trips through
+    [float_of_string]. Integral values render with one decimal ("2.0"),
+    non-finite values as ["null"] (the only JSON-valid spelling). *)

@@ -14,6 +14,29 @@ exception Worker_failure of exn
 (** Wraps an exception raised by a worker function in {!map_jobs} /
     {!map}; re-raised in the caller, for the lowest-index failing item. *)
 
+type probe = {
+  wrap_worker : worker:int -> (unit -> unit) -> unit;
+      (** runs a spawned worker's whole loop; the telemetry probe opens a
+          per-domain recording scope here and merges it at join *)
+  enabled : unit -> bool;  (** telemetry live on the calling domain? *)
+  now : unit -> float;  (** wall clock, only consulted when [enabled] *)
+  count : string -> int -> unit;
+  sample : string -> float -> unit;
+  span_open : string -> unit;
+  span_close : unit -> unit;
+}
+(** Instrumentation hooks. [qec_util] cannot depend on [qec_telemetry]
+    (the dependency points the other way), so telemetry injects itself via
+    {!set_probe} at link time. With the default {!null_probe} every hook
+    is a no-op and workers run exactly as before. *)
+
+val null_probe : probe
+(** The do-nothing probe (default). *)
+
+val set_probe : probe -> unit
+(** Install the process-wide probe. Called once by [Qec_telemetry] on
+    linking; tests may swap in their own. *)
+
 module Queue : sig
   type 'a t
   (** A fixed work list consumed concurrently, lock-free (one atomic
@@ -39,14 +62,18 @@ val run_workers : jobs:int -> (int -> unit) -> unit
     before returning. An exception from the caller's own worker is
     re-raised after the join; workers are expected to capture their own
     failures (e.g. into a results array) — an escape from a spawned
-    domain surfaces via [Domain.join]. *)
+    domain surfaces via [Domain.join]. Spawned workers run under the
+    installed {!probe}'s [wrap_worker], so with telemetry active their
+    spans and counters record for real and merge at join. *)
 
 val map_jobs : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_jobs ~jobs f xs] evaluates [f] on every element using a worker
     pool of [jobs] domains (default {!default_jobs}) fed by a shared
     queue. Falls back to plain [List.map] for lists of length <= 1 or
     [jobs <= 1]. Exceptions raised by [f] are re-raised in the caller as
-    {!Worker_failure}. Results are in input order. *)
+    {!Worker_failure}. Results are in input order. With telemetry active
+    each item reports a [parallel.job] span plus [parallel.queue_wait_s]
+    / [parallel.job_s] histogram samples and a [parallel.jobs] counter. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?domains f xs] is [map_jobs ?jobs:domains f xs] — the original

@@ -135,6 +135,144 @@ let test_with_span_exception () =
     check_float "total" 4. s.Tel.total_s
   | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
 
+(* [f] raises with a child span still open: the abandoned child must be
+   closed first, then exactly the with_span frame — outer spans keep
+   consistent self-time and the stack is not over-popped. *)
+let test_with_span_abandoned_children () =
+  let clock, set = manual_clock () in
+  let c = Collector.create () in
+  (try
+     Tel.with_sink ~clock (Collector.sink c) (fun () ->
+         Tel.with_span "outer" (fun () ->
+             Tel.with_span "mid" (fun () ->
+                 set 1.;
+                 Tel.span_open "dangling";
+                 set 3.;
+                 failwith "boom")))
+   with Failure _ -> ());
+  match Collector.spans c with
+  | [ dangling; mid; outer ] ->
+    Alcotest.(check string) "dangling closed" "dangling" dangling.Tel.span_name;
+    check_int "dangling depth" 2 dangling.Tel.depth;
+    check_float "dangling total" 2. dangling.Tel.total_s;
+    Alcotest.(check string) "mid closed" "mid" mid.Tel.span_name;
+    check_float "mid total" 3. mid.Tel.total_s;
+    check_float "mid self" 1. mid.Tel.self_s;
+    Alcotest.(check string) "outer closed" "outer" outer.Tel.span_name;
+    check_float "outer total" 3. outer.Tel.total_s;
+    check_float "outer self" 0. outer.Tel.self_s
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+(* Nested and repeated spans: phase aggregation sums calls/total/self per
+   name and orders by descending self-time. *)
+let test_phase_self_time_math () =
+  let clock, set = manual_clock () in
+  let c =
+    with_collector ~clock (fun () ->
+        Tel.with_span "a" (fun () ->
+            set 1.;
+            Tel.with_span "b" (fun () -> set 3.);
+            set 4.);
+        Tel.with_span "b" (fun () -> set 6.))
+  in
+  match Collector.phases c with
+  | [ b; a ] ->
+    Alcotest.(check string) "b first (more self)" "b" b.Collector.phase_name;
+    check_int "b calls" 2 b.Collector.calls;
+    check_float "b total" 4. b.Collector.total_s;
+    check_float "b self" 4. b.Collector.self_s;
+    Alcotest.(check string) "a second" "a" a.Collector.phase_name;
+    check_int "a calls" 1 a.Collector.calls;
+    check_float "a total" 4. a.Collector.total_s;
+    check_float "a self" 2. a.Collector.self_s
+  | ps -> Alcotest.failf "expected 2 phases, got %d" (List.length ps)
+
+(* ---------------- multi-domain merge ---------------- *)
+
+(* Every spawned worker in run_workers reports under its own
+   (domain, worker) lane; spans merge at join grouped by worker id, and
+   counters sum across domains. *)
+let test_worker_lanes_and_merge () =
+  let c =
+    with_collector ~clock:(fun () -> 0.) (fun () ->
+        Qec_util.Parallel.run_workers ~jobs:3 (fun id ->
+            Tel.with_span "work" (fun () -> Tel.count ~by:(id + 1) "units")))
+  in
+  check_int "counters sum across domains" 6 (Collector.counter c "units");
+  let spans = Collector.spans c in
+  check_int "one span per worker" 3 (List.length spans);
+  let lanes = Collector.lanes c in
+  check_int "three distinct lanes" 3 (List.length lanes);
+  let workers = List.map snd lanes |> List.sort_uniq compare in
+  Alcotest.(check (list int)) "worker ids" [ 0; 1; 2 ] workers;
+  (* Root spans stream before the workers' buffers drain at flush, and
+     worker buffers drain ordered by worker id. *)
+  let span_workers = List.map (fun (s : Tel.span) -> s.Tel.worker) spans in
+  Alcotest.(check (list int)) "merge order by worker id" [ 0; 1; 2 ]
+    span_workers
+
+(* Cross-domain gauge rule: the root's value wins, else the lowest worker
+   id — deterministic regardless of which domain merged last. *)
+let test_gauge_merge_deterministic () =
+  let c =
+    with_collector ~clock:(fun () -> 0.) (fun () ->
+        Qec_util.Parallel.run_workers ~jobs:4 (fun id ->
+            if id > 0 then Tel.gauge "wg" (float_of_int id);
+            if id = 0 then Tel.gauge "rg" 99.))
+  in
+  check_float "lowest worker wins" 1. (Option.get (Collector.gauge_opt c "wg"));
+  check_float "root gauge untouched" 99.
+    (Option.get (Collector.gauge_opt c "rg"));
+  (* Same gauge set by root AND workers: root wins. *)
+  let c2 =
+    with_collector ~clock:(fun () -> 0.) (fun () ->
+        Qec_util.Parallel.run_workers ~jobs:3 (fun id ->
+            Tel.gauge "g" (float_of_int (10 + id))))
+  in
+  check_float "root beats workers" 10. (Option.get (Collector.gauge_opt c2 "g"))
+
+(* Aggregate telemetry of a map_jobs run is identical for any worker
+   count >= 2 under a constant clock (jobs=1 short-circuits to List.map
+   with no pool, hence no pool telemetry). *)
+let test_merge_determinism_across_jobs () =
+  let xs = List.init 12 Fun.id in
+  let run jobs =
+    let c = Collector.create () in
+    Tel.with_sink
+      ~clock:(fun () -> 0.)
+      (Collector.sink c)
+      (fun () ->
+        let ys = Qec_util.Parallel.map_jobs ~jobs (fun x -> x * x) xs in
+        Alcotest.(check (list int))
+          "results in order"
+          (List.map (fun x -> x * x) xs)
+          ys);
+    c
+  in
+  let view c =
+    ( ( Collector.counters c,
+        List.map
+          (fun p ->
+            (p.Collector.phase_name, p.Collector.calls, p.Collector.total_s))
+          (Collector.phases c) ),
+      ( List.length (Collector.spans c),
+        (Option.get (Collector.histogram_opt c "parallel.job_s")).Tel.count ) )
+  in
+  let v2 = view (run 2) and v4 = view (run 4) in
+  let pp =
+    Alcotest.(
+      pair
+        (pair (list (pair string int))
+           (list (triple string int (float 1e-9))))
+        (pair int int))
+  in
+  Alcotest.check pp "jobs=2 and jobs=4 aggregates agree" v2 v4;
+  let (counters, _), (span_count, job_samples) = v2 in
+  check_int "every item sampled" 12 job_samples;
+  check_int "every item spanned" 12 span_count;
+  check_int "parallel.jobs counter" 12
+    (Option.value ~default:0 (List.assoc_opt "parallel.jobs" counters))
+
 let test_jsonl_golden () =
   let clock, set = manual_clock () in
   let buf = Buffer.create 256 in
@@ -153,14 +291,16 @@ let test_jsonl_golden () =
       Tel.span_close ();
       set 6.;
       Tel.span_close ());
+  (* The test runs on the process's main domain (id 0), worker 0; floats
+     use the shared shortest-round-trip printer ("2.0", not "2"). *)
   let expected =
     String.concat "\n"
       [
-        {|{"type":"span","name":"inner","depth":1,"start_s":1,"total_s":2,"self_s":2}|};
-        {|{"type":"span","name":"outer","depth":0,"start_s":0,"total_s":6,"self_s":4}|};
+        {|{"type":"span","name":"inner","depth":1,"domain":0,"worker":0,"start_s":1.0,"total_s":2.0,"self_s":2.0}|};
+        {|{"type":"span","name":"outer","depth":0,"domain":0,"worker":0,"start_s":0.0,"total_s":6.0,"self_s":4.0}|};
         {|{"type":"counter","name":"alpha","value":3}|};
         {|{"type":"gauge","name":"beta","value":0.5}|};
-        {|{"type":"histogram","name":"gamma","count":2,"sum":4,"min":1,"max":3,"mean":2,"p50":1,"p95":3}|};
+        {|{"type":"histogram","name":"gamma","count":2,"sum":4.0,"min":1.0,"max":3.0,"mean":2.0,"p50":1.0,"p95":3.0}|};
         "";
       ]
   in
@@ -269,7 +409,20 @@ let () =
             test_unbalanced_close_ignored;
           Alcotest.test_case "with_span on exception" `Quick
             test_with_span_exception;
+          Alcotest.test_case "with_span abandoned children" `Quick
+            test_with_span_abandoned_children;
+          Alcotest.test_case "phase self-time math" `Quick
+            test_phase_self_time_math;
           Alcotest.test_case "nested with_sink" `Quick test_nested_with_sink;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "worker lanes and merge" `Quick
+            test_worker_lanes_and_merge;
+          Alcotest.test_case "gauge merge deterministic" `Quick
+            test_gauge_merge_deterministic;
+          Alcotest.test_case "merge determinism across jobs" `Quick
+            test_merge_determinism_across_jobs;
         ] );
       ( "sinks",
         [
