@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke fmt lint check clean
+.PHONY: all build test bench bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke fmt lint check clean
 
 CLI := _build/default/bin/autobraid_cli.exe
 
@@ -87,7 +87,7 @@ fuzz-smoke: build
 # (BENCH_engine/BENCH_prop carry wall times that vary across hosts).
 bench-check: build
 	./_build/default/bench/main.exe --check BENCH_backends.json \
-		--check BENCH_scale.json --tolerance 0.02
+		--check BENCH_scale.json --check BENCH_verify.json --tolerance 0.02
 
 # Profiler smoke: the repeated-run report and its Perfetto trace must come
 # out structurally sound.
@@ -108,7 +108,28 @@ profile-smoke: build
 	rm -f "$$out" "$$trace"; \
 	echo "profile-smoke: OK"
 
-check: fmt build test lint bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke
+# Certification smoke: every committed fixture and a mid-size benchmark
+# must certify clean through both communication backends, and the exit
+# policy must match lint's (0 clean / 1 failed invariant / 2 bad input).
+verify-smoke: build
+	@for f in fixtures/*.qasm; do \
+		echo "verify $$f"; \
+		$(CLI) verify "$$f" || exit 1; \
+	done
+	@for c in qft9 bv12 qaoa12; do \
+		echo "verify $$c (braid + surgery)"; \
+		$(CLI) verify "$$c" || exit 1; \
+		$(CLI) verify "$$c" --backend surgery || exit 1; \
+	done
+	@echo "verify fixtures/batch_manifest.json"; \
+	$(CLI) verify fixtures/batch_manifest.json || exit 1
+	@$(CLI) verify no-such-circuit >/dev/null 2>&1; \
+	[ $$? -eq 2 ] || { echo "verify-smoke: bad input should exit 2"; exit 1; }
+	@$(CLI) verify qft9 --json | grep -q '"schema": "autobraid-cert/v1"' \
+		|| { echo "verify-smoke: missing certificate schema tag"; exit 1; }
+	@echo "verify-smoke: OK"
+
+check: fmt build test lint bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke
 	@echo "check: OK"
 
 clean:

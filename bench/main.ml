@@ -946,6 +946,113 @@ let prop_section ~json_out () =
 let prop ~json_out () = ignore (prop_section ~json_out ())
 
 (* ------------------------------------------------------------------ *)
+(* Verify: certifier throughput and the mutation corpus's kill rate.
+   Every schedule below must certify clean and every applicable mutation
+   must be caught — both are hard failures, so the drift-gated counts
+   (certificates, invariants_checked, mutations_killed) are exact
+   functions of the circuit set and Qec_verify's registries. *)
+
+let verify_circuits =
+  [
+    ("qft16", B.Qft.circuit 16);
+    ("qaoa12", B.Qaoa.circuit 12);
+    ("lr16", B.Misc_circuits.longrange 16);
+  ]
+
+let verify_section ~json_out () =
+  header "Verify: independent schedule certification (d = 33)";
+  let module CB = Autobraid.Comm_backend in
+  let module V = Qec_verify.Certifier in
+  let module M = Qec_verify.Mutate in
+  let braid = CB.braid () in
+  let surgery = Qec_surgery.Backend.make () in
+  let outcomes =
+    List.concat_map
+      (fun (name, circuit) ->
+        List.map
+          (fun (backend : CB.t) -> (name, backend.CB.run timing33 circuit))
+          [ braid; surgery ])
+      verify_circuits
+  in
+  let t0 = Unix.gettimeofday () in
+  let certs =
+    List.map
+      (fun (name, o) ->
+        let cert =
+          V.certify ~backend:o.CB.backend ~result:o.CB.result timing33
+            o.CB.trace
+        in
+        if not (V.ok cert) then
+          failwith
+            (Printf.sprintf "verify bench: %s (%s): %s" name o.CB.backend
+               (V.to_summary cert));
+        cert)
+      outcomes
+  in
+  let certify_s = Unix.gettimeofday () -. t0 in
+  let applied = ref 0 and killed = ref 0 in
+  List.iter
+    (fun (name, o) ->
+      List.iter
+        (fun kind ->
+          match M.apply kind timing33 o.CB.result o.CB.trace with
+          | None -> ()
+          | Some (result, trace) ->
+            incr applied;
+            let cert = V.certify ~result timing33 trace in
+            if V.ok cert then
+              failwith
+                (Printf.sprintf
+                   "verify bench: mutation %s survived certification on %s \
+                    (%s)"
+                   (M.name kind) name o.CB.backend)
+            else incr killed)
+        M.all)
+    outcomes;
+  let schedules = List.length certs in
+  let invariants_checked =
+    schedules * List.length Qec_verify.Invariant.all
+  in
+  let t =
+    TP.create ~headers:[ ("metric", TP.Left); ("value", TP.Right) ] in
+  TP.add_row t [ "schedules certified"; string_of_int schedules ];
+  TP.add_row t [ "invariants checked"; string_of_int invariants_checked ];
+  TP.add_row t
+    [
+      "mutations killed";
+      Printf.sprintf "%d/%d" !killed !applied;
+    ];
+  TP.add_row t [ "certify wall (s)"; Printf.sprintf "%.3f" certify_s ];
+  TP.add_row t
+    [
+      "certificates/s";
+      Printf.sprintf "%.0f" (float_of_int schedules /. certify_s);
+    ];
+  TP.print t;
+  print_endline
+    "(certification re-derives every invariant from the trace alone; a \
+     surviving mutation or a failed certificate aborts the bench)";
+  let json =
+    let open Qec_report.Json in
+    Obj
+      [
+        ("section", String "verify");
+        ("d", Int T.default_d);
+        ("certificates", Int schedules);
+        ("invariants_checked", Int invariants_checked);
+        ("mutations_applied", Int !applied);
+        ("mutations_killed", Int !killed);
+        ("certify_s", Float certify_s);
+        ( "certificates_per_s",
+          Float (float_of_int schedules /. certify_s) );
+      ]
+  in
+  Option.iter (fun path -> write_json path json) json_out;
+  json
+
+let verify ~json_out () = ignore (verify_section ~json_out ())
+
+(* ------------------------------------------------------------------ *)
 (* Drift gating: `--check BENCH_*.json` re-measures the file's section
    and fails on cycle-count (or wall-time) regressions past tolerance.   *)
 
@@ -960,6 +1067,7 @@ let current_for_section = function
             ~json_out:None ())
   | "engine" -> Some (engine_section ~json_out:None ())
   | "prop" -> Some (prop_section ~json_out:None ())
+  | "verify" -> Some (verify_section ~json_out:None ())
   | _ -> None
 
 let read_file path =
@@ -1139,6 +1247,7 @@ let () =
   | "scale" -> profiled "scale" (scale ~json_out)
   | "engine" -> profiled "engine" (engine ~json_out)
   | "prop" -> profiled "prop" (prop ~json_out)
+  | "verify" -> profiled "verify" (verify ~json_out)
   | "micro" -> profiled "micro" micro
   | "all" ->
     profiled "table1" (table1 ~full);
@@ -1155,10 +1264,11 @@ let () =
     (* --json names one file; in `all` mode it belongs to `backends` *)
     profiled "engine" (engine ~json_out:None);
     profiled "prop" (prop ~json_out:None);
+    profiled "verify" (verify ~json_out:None);
     profiled "micro" micro
   | other ->
     Printf.eprintf
-      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|scale|engine|prop|micro|all)\n"
+      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|scale|engine|prop|verify|micro|all)\n"
       other;
     exit 2);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

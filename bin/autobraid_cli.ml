@@ -8,6 +8,7 @@
                 pool with a shared placement cache (see docs/engine.md)
      info       static analysis: sizes, depth, parallelism, LLG census
      lint       span-aware diagnostics (QLxxx rules, see docs/lint.md)
+     verify     independent schedule certification (docs/verify.md)
      resources  surface-code resource estimates for a qubit count / target P_L
      emit       write a built-in benchmark as OpenQASM 2.0
      sweep      p-threshold sensitivity sweep (Fig. 18 style)
@@ -112,6 +113,13 @@ let best_p_arg =
     value & flag
     & info [ "best-p" ]
         ~doc:"Sweep p over 0.0-0.9 and keep the best (slower)")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"Independently certify the schedule's trace after the run \
+              (Qec_verify; docs/verify.md); a failed certificate exits 1")
 
 let metrics_arg =
   Arg.(
@@ -263,40 +271,62 @@ let print_peephole (payload : Qec_engine.Engine.payload) =
       stats.Qec_circuit.Optimize.cancelled_pairs
       stats.Qec_circuit.Optimize.merged_rotations before after
 
+(* Render a payload's certificate (when one was requested) and return
+   whether it failed — callers turn that into exit 1. *)
+let print_certificate (payload : Qec_engine.Engine.payload) =
+  match payload.Qec_engine.Engine.certificate with
+  | None -> false
+  | Some cert ->
+    print_newline ();
+    print_endline (Qec_verify.Certifier.to_summary cert);
+    List.iter
+      (fun inv ->
+        List.iter
+          (fun w ->
+            print_endline ("  " ^ Qec_verify.Certifier.witness_to_string w))
+          (Qec_verify.Certifier.witnesses_for cert inv))
+      (Qec_verify.Certifier.failed cert);
+    not (Qec_verify.Certifier.ok cert)
+
 let compile_cmd =
-  let run spec d seed p sched initial best_p optimize metrics telemetry_out
-      trace_out =
-    with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
-    let timing = Qec_surface.Timing.make ~d () in
-    let s =
-      {
-        Qec_engine.Spec.default with
-        circuit = spec;
-        scheduler =
-          (match sched with
-          | `Full -> Qec_engine.Spec.Full
-          | `Sp -> Qec_engine.Spec.Sp
-          | `Baseline -> Qec_engine.Spec.Baseline);
-        d;
-        seed;
-        threshold_p = p;
-        initial;
-        optimize;
-        best_p = best_p && sched = `Full;
-      }
+  let run spec d seed p sched initial best_p optimize certify metrics
+      telemetry_out trace_out =
+    let code =
+      with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
+      let timing = Qec_surface.Timing.make ~d () in
+      let s =
+        {
+          Qec_engine.Spec.default with
+          circuit = spec;
+          scheduler =
+            (match sched with
+            | `Full -> Qec_engine.Spec.Full
+            | `Sp -> Qec_engine.Spec.Sp
+            | `Baseline -> Qec_engine.Spec.Baseline);
+          d;
+          seed;
+          threshold_p = p;
+          initial;
+          optimize;
+          best_p = best_p && sched = `Full;
+          outputs = { Qec_engine.Spec.default.outputs with certificate = certify };
+        }
+      in
+      match Qec_engine.Engine.run_spec s with
+      | Error e -> die_engine_text e
+      | Ok payload ->
+        print_peephole payload;
+        print_result timing payload.Qec_engine.Engine.result;
+        if print_certificate payload then 1 else 0
     in
-    match Qec_engine.Engine.run_spec s with
-    | Error e -> die_engine_text e
-    | Ok payload ->
-      print_peephole payload;
-      print_result timing payload.Qec_engine.Engine.result
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Schedule a circuit's braiding paths")
     Term.(
       const run $ circuit_arg $ distance_arg $ seed_arg $ threshold_arg
-      $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg $ metrics_arg
-      $ telemetry_out_arg $ trace_out_arg)
+      $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg $ certify_arg
+      $ metrics_arg $ telemetry_out_arg $ trace_out_arg)
 
 (* ---------------- schedule (pluggable backend) ---------------- *)
 
@@ -343,37 +373,46 @@ let print_comparison timing (nb, (rb : Autobraid.Scheduler.result))
     (float_of_int cb /. float_of_int (max 1 cs))
 
 let schedule_cmd =
-  let run spec backend d seed p initial metrics telemetry_out trace_out =
-    with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
-    let timing = Qec_surface.Timing.make ~d () in
-    let spec_for name =
-      {
-        Qec_engine.Spec.default with
-        circuit = spec;
-        backend = name;
-        d;
-        seed;
-        threshold_p = p;
-        initial;
-      }
+  let run spec backend d seed p initial certify metrics telemetry_out
+      trace_out =
+    let code =
+      with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
+      let timing = Qec_surface.Timing.make ~d () in
+      let spec_for name =
+        {
+          Qec_engine.Spec.default with
+          circuit = spec;
+          backend = name;
+          d;
+          seed;
+          threshold_p = p;
+          initial;
+          outputs =
+            { Qec_engine.Spec.default.outputs with certificate = certify };
+        }
+      in
+      let run_one name =
+        let s = spec_for name in
+        match Qec_engine.Engine.run_spec s with
+        | Error e -> die_engine_jsonl s e
+        | Ok payload -> payload
+      in
+      match backend with
+      | "compare" ->
+        let pb = run_one "braid" in
+        let ps = run_one "surgery" in
+        print_comparison timing
+          (pb.Qec_engine.Engine.backend, pb.Qec_engine.Engine.result)
+          (ps.Qec_engine.Engine.backend, ps.Qec_engine.Engine.result);
+        let fb = print_certificate pb and fs = print_certificate ps in
+        if fb || fs then 1 else 0
+      | name ->
+        let payload = run_one name in
+        print_result timing payload.Qec_engine.Engine.result;
+        print_backend_stats payload.Qec_engine.Engine.stats;
+        if print_certificate payload then 1 else 0
     in
-    let run_one name =
-      let s = spec_for name in
-      match Qec_engine.Engine.run_spec s with
-      | Error e -> die_engine_jsonl s e
-      | Ok payload -> payload
-    in
-    match backend with
-    | "compare" ->
-      let pb = run_one "braid" in
-      let ps = run_one "surgery" in
-      print_comparison timing
-        (pb.Qec_engine.Engine.backend, pb.Qec_engine.Engine.result)
-        (ps.Qec_engine.Engine.backend, ps.Qec_engine.Engine.result)
-    | name ->
-      let payload = run_one name in
-      print_result timing payload.Qec_engine.Engine.result;
-      print_backend_stats payload.Qec_engine.Engine.stats
+    if code <> 0 then exit code
   in
   let backend_arg =
     (* Valid names come from the Comm_backend registry, not a hand-rolled
@@ -405,13 +444,14 @@ let schedule_cmd =
        ~doc:"Schedule a circuit through a pluggable communication backend")
     Term.(
       const run $ circuit_arg $ backend_arg $ distance_arg $ seed_arg
-      $ threshold_arg $ initial_arg $ metrics_arg $ telemetry_out_arg
-      $ trace_out_arg)
+      $ threshold_arg $ initial_arg $ certify_arg $ metrics_arg
+      $ telemetry_out_arg $ trace_out_arg)
 
 (* ---------------- batch ---------------- *)
 
 let batch_cmd =
-  let run manifest jobs cache_dir out timings metrics telemetry_out trace_out =
+  let run manifest jobs cache_dir out timings certify metrics telemetry_out
+      trace_out =
     (* Returns the exit code out of the wrapper instead of exiting inline:
        [exit] does not unwind, and a failed job must not skip the
        --trace-out / --telemetry-out flush. *)
@@ -437,6 +477,14 @@ let batch_cmd =
         Printf.eprintf "%s: %s\n" manifest msg;
         exit 2
     in
+    let specs =
+      if certify then
+        List.map
+          (fun (s : Qec_engine.Spec.t) ->
+            { s with outputs = { s.outputs with certificate = true } })
+          specs
+      else specs
+    in
     let cache = Qec_engine.Placement_cache.create ?dir:cache_dir () in
     let t0 = Unix.gettimeofday () in
     let results = Qec_engine.Engine.run_batch ?jobs ~cache specs in
@@ -449,6 +497,15 @@ let batch_cmd =
       output_string oc jsonl;
       close_out oc);
     let failed = Qec_engine.Engine.errors results in
+    let uncertified =
+      List.filter
+        (fun (j : Qec_engine.Engine.job) ->
+          match j.Qec_engine.Engine.outcome with
+          | Ok { Qec_engine.Engine.certificate = Some c; _ } ->
+            not (Qec_verify.Certifier.ok c)
+          | _ -> false)
+        results
+    in
     let k = Qec_engine.Placement_cache.counters cache in
     Printf.eprintf
       "batch: %d jobs, %d ok, %d failed; placement cache %d+%d hits / %d \
@@ -459,7 +516,10 @@ let batch_cmd =
       k.Qec_engine.Placement_cache.memory_hits
       k.Qec_engine.Placement_cache.disk_hits
       k.Qec_engine.Placement_cache.misses elapsed;
-      if failed <> [] then 1 else 0
+      if uncertified <> [] then
+        Printf.eprintf "batch: %d job(s) failed certification\n"
+          (List.length uncertified);
+      if failed <> [] || uncertified <> [] then 1 else 0
     in
     if code <> 0 then exit code
   in
@@ -504,6 +564,15 @@ let batch_cmd =
              (non-deterministic fields, off by default so output is \
              byte-stable)")
   in
+  let batch_certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Force the certificate output on every job: each worker \
+             independently certifies its own schedule (docs/verify.md); \
+             any failed certificate makes the batch exit 1")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -514,7 +583,8 @@ let batch_cmd =
           failed, 2 on an unusable manifest, 0 otherwise.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ out_arg
-      $ timings_arg $ metrics_arg $ telemetry_out_arg $ trace_out_arg)
+      $ timings_arg $ batch_certify_arg $ metrics_arg $ telemetry_out_arg
+      $ trace_out_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -940,6 +1010,142 @@ let lint_cmd =
       const run $ circuit_arg $ fmt_arg $ deny_arg $ schedule_arg
       $ distance_arg $ threshold_arg $ seed_arg)
 
+(* ---------------- verify ---------------- *)
+
+(* Exit-code contract mirrors lint: 0 when every schedule certifies clean,
+   1 when any invariant fails (or a job errors out), 2 on unusable input
+   (unknown circuit, unreadable or malformed manifest). Certification
+   always replays a fresh run from the spec — the exported trace JSON has
+   no deserializer, so the trace is regenerated, which the placement seed
+   makes deterministic. *)
+let verify_cmd =
+  let run target backend d seed p initial json =
+    let with_certificate (s : Qec_engine.Spec.t) =
+      { s with outputs = { s.outputs with certificate = true } }
+    in
+    let specs =
+      if Sys.file_exists target && Filename.check_suffix target ".json" then begin
+        let text =
+          match
+            let ic = open_in_bin target in
+            let len = in_channel_length ic in
+            let s = really_input_string ic len in
+            close_in ic;
+            s
+          with
+          | s -> s
+          | exception Sys_error msg ->
+            prerr_endline msg;
+            exit 2
+        in
+        match Qec_engine.Spec.manifest_of_string text with
+        | Ok specs ->
+          (* Baseline / best_p jobs never record a trace, so there is
+             nothing independent to certify — skip them with a note
+             rather than fail a manifest that batch itself accepts. *)
+          let certifiable, untraced =
+            List.partition
+              (fun (s : Qec_engine.Spec.t) ->
+                s.scheduler <> Qec_engine.Spec.Baseline && not s.best_p)
+              specs
+          in
+          List.iter
+            (fun (s : Qec_engine.Spec.t) ->
+              Printf.eprintf "skipping %s: %s runs record no trace to certify\n"
+                s.circuit
+                (if s.best_p then "best_p" else "baseline"))
+            untraced;
+          if certifiable = [] then begin
+            Printf.eprintf "%s: no certifiable job in manifest\n" target;
+            exit 2
+          end;
+          List.map with_certificate certifiable
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" target msg;
+          exit 2
+      end
+      else
+        [
+          with_certificate
+            {
+              Qec_engine.Spec.default with
+              circuit = target;
+              backend;
+              d;
+              seed;
+              threshold_p = p;
+              initial;
+            };
+        ]
+    in
+    let certs =
+      List.map
+        (fun s ->
+          match Qec_engine.Engine.run_spec s with
+          | Error e -> die_engine_text e
+          | Ok { Qec_engine.Engine.certificate = Some cert; _ } -> cert
+          | Ok { Qec_engine.Engine.certificate = None; _ } ->
+            (* unreachable: the spec demands a certificate and validation
+               rejects untraced runs, but never die silently if it drifts *)
+            prerr_endline "internal: run produced no certificate";
+            exit 1)
+        specs
+    in
+    if json then
+      print_endline
+        (Qec_report.Json.to_string ~indent:true
+           (Qec_report.Json.List
+              (List.map Qec_report.Export.certificate_to_json certs)))
+    else
+      List.iter
+        (fun cert ->
+          print_endline (Qec_verify.Certifier.to_summary cert);
+          List.iter
+            (fun inv ->
+              List.iter
+                (fun w ->
+                  print_endline
+                    ("  " ^ Qec_verify.Certifier.witness_to_string w))
+                (Qec_verify.Certifier.witnesses_for cert inv))
+            (Qec_verify.Certifier.failed cert))
+        certs;
+    exit (if List.for_all Qec_verify.Certifier.ok certs then 0 else 1)
+  in
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Circuit (benchmark name or .qasm/.real path) or a batch \
+             manifest (.json); every resulting schedule is certified")
+  in
+  let backend_arg =
+    Arg.(
+      value & opt string "braid"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Communication backend for a single-circuit TARGET")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the autobraid-cert/v1 certificates as one JSON array \
+                instead of summaries")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Independently certify schedules: replay each spec, re-derive \
+          every trace invariant from first principles (path validity and \
+          disjointness, dependency order, exactly-once execution, swap and \
+          split-pipelining legality, cycle accounting) and report an \
+          autobraid-cert/v1 certificate (docs/verify.md). Exit 0 when all \
+          certify clean, 1 on any failed invariant, 2 on unusable input.")
+    Term.(
+      const run $ target_arg $ backend_arg $ distance_arg $ seed_arg
+      $ threshold_arg $ initial_arg $ json_arg)
+
 (* ---------------- fuzz ---------------- *)
 
 (* Exit-code contract (docs/testing.md): 0 all properties passed, 1 a
@@ -1143,7 +1349,7 @@ let main =
     (Cmd.info "autobraid" ~version:"1.0.0"
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
     [ compile_cmd; schedule_cmd; batch_cmd; profile_cmd; info_cmd; lint_cmd;
-       fuzz_cmd; resources_cmd; emit_cmd; sweep_cmd; trace_cmd; export_cmd;
-       list_cmd ]
+       verify_cmd; fuzz_cmd; resources_cmd; emit_cmd; sweep_cmd; trace_cmd;
+       export_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -54,9 +54,19 @@ val final_placement : t -> Qec_lattice.Placement.t
 type violation = {
   round : int option;  (** 0-based round index, when tied to one round *)
   gate : int option;  (** gate id, when tied to one gate *)
+  code : string;
+      (** stable machine-readable class, ["TV001"]..["TV014"]: TV001 gate
+          id out of range, TV002 executed twice, TV003 before a
+          predecessor, TV004 two-qubit gate in a local slot, TV005
+          non-two-qubit braid/merge entry, TV006 path misses operand
+          tiles, TV007 task/gate operand mismatch, TV008 no two-qubit
+          operands, TV009 path collision, TV010 swap layer touches a
+          qubit twice, TV011 empty round, TV012 overlap on final round,
+          TV013 overlapped split shares qubits, TV014 never executed *)
   msg : string;
 }
-(** One structured rule violation found while replaying a trace. *)
+(** One structured rule violation found while replaying a trace. Tooling
+    should match on [code], never on [msg] (the wording may change). *)
 
 val violation_to_string : violation -> string
 (** ["round K: msg"] when a round is known, [msg] otherwise. *)

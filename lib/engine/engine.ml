@@ -15,6 +15,7 @@ type payload = {
   trace : Autobraid.Trace.t option;
   curve : (float * Scheduler.result) list option;
   peephole : (Qec_circuit.Optimize.stats * int * int) option;
+  certificate : Qec_verify.Certifier.t option;
 }
 
 type cache_status = Memory_hit | Disk_hit | Miss | Uncached
@@ -115,6 +116,7 @@ let exec cache (spec : Spec.t) =
           trace = None;
           curve = None;
           peephole = !peephole;
+          certificate = None;
         },
         !cache_status )
   | Spec.Full | Spec.Sp -> (
@@ -170,6 +172,7 @@ let exec cache (spec : Spec.t) =
             trace = None;
             curve = Some curve;
             peephole = !peephole;
+            certificate = None;
           },
           !cache_status )
     end
@@ -183,6 +186,15 @@ let exec cache (spec : Spec.t) =
           }
       | Some ctor ->
         let outcome = (ctor config).CB.run timing circuit in
+        (* Self-certification happens here, on the worker's own domain,
+           so batch runs certify in parallel with no extra plumbing. *)
+        let certificate =
+          if spec.outputs.Spec.certificate then
+            Some
+              (Qec_verify.Certifier.certify ~backend:outcome.CB.backend
+                 ~result:outcome.CB.result timing outcome.CB.trace)
+          else None
+        in
         Ok
           ( {
               backend = outcome.CB.backend;
@@ -191,6 +203,7 @@ let exec cache (spec : Spec.t) =
               trace = Some outcome.CB.trace;
               curve = None;
               peephole = !peephole;
+              certificate;
             },
             !cache_status ))
 
@@ -340,6 +353,10 @@ let job_to_json ?(timings = false) job =
         | true, Some trace ->
           [ ("trace", Qec_report.Export.trace_to_json ~max_rounds:50 trace) ]
         | _ -> [])
+      @ (match p.certificate with
+        | Some cert ->
+          [ ("certificate", Qec_report.Export.certificate_to_json cert) ]
+        | None -> [])
       @ (match p.curve with
         | None -> []
         | Some curve ->

@@ -36,6 +36,10 @@ type payload = {
       (** the full threshold sweep, when [Spec.best_p] *)
   peephole : (Qec_circuit.Optimize.stats * int * int) option;
       (** when [Spec.optimize]: stats plus (gates before, gates after) *)
+  certificate : Qec_verify.Certifier.t option;
+      (** when [Spec.outputs.certificate]: the independent
+          {!Qec_verify.Certifier} verdict for the run's trace, computed
+          on the worker's own domain *)
 }
 
 type cache_status = Memory_hit | Disk_hit | Miss | Uncached
@@ -78,7 +82,8 @@ val run_batch :
 val job_to_json : ?timings:bool -> job -> Qec_report.Json.t
 (** One deterministic result record: [index], [id], [status], [spec], and
     on success [backend] / [result] / [backend_stats] plus the requested
-    [reliability] / [trace] / [curve] blocks; on failure [error].
+    [reliability] / [trace] / [certificate] / [curve] blocks; on failure
+    [error].
     [result.compile_time_s] is zeroed so records are byte-stable across
     runs and worker counts. [~timings:true] adds the measured [elapsed_s]
     and the [cache] status — useful interactively, off by default because

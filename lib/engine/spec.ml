@@ -3,7 +3,7 @@ module IL = Autobraid.Initial_layout
 
 type scheduler_kind = Full | Sp | Baseline
 
-type outputs = { trace : bool; reliability : bool }
+type outputs = { trace : bool; reliability : bool; certificate : bool }
 
 type t = {
   id : string option;
@@ -31,7 +31,7 @@ let default =
     initial = IL.Annealed;
     optimize = false;
     best_p = false;
-    outputs = { trace = false; reliability = false };
+    outputs = { trace = false; reliability = false; certificate = false };
   }
 
 let initial_to_string = function
@@ -88,14 +88,22 @@ let validate t =
       (Printf.sprintf "scheduler %S only applies to the braid backend"
          (scheduler_to_string t.scheduler))
   in
+  let* () =
+    check
+      ((not t.best_p) || (t.backend = "braid" && t.scheduler = Full))
+      "best_p requires the braid backend with the full scheduler"
+  in
+  (* Certification replays a trace; the baseline scheduler and the best_p
+     sweep produce none. *)
   check
-    ((not t.best_p) || (t.backend = "braid" && t.scheduler = Full))
-    "best_p requires the braid backend with the full scheduler"
+    ((not t.outputs.certificate) || (t.scheduler <> Baseline && not t.best_p))
+    "certificate output requires a traced run (not baseline, not best_p)"
 
 let outputs_to_json o =
   Json.List
     ((if o.trace then [ Json.String "trace" ] else [])
-    @ if o.reliability then [ Json.String "reliability" ] else [])
+    @ (if o.reliability then [ Json.String "reliability" ] else [])
+    @ if o.certificate then [ Json.String "certificate" ] else [])
 
 let to_json t =
   Json.Obj
@@ -189,9 +197,10 @@ let of_json json =
             match item with
             | Json.String "trace" -> Ok { o with trace = true }
             | Json.String "reliability" -> Ok { o with reliability = true }
+            | Json.String "certificate" -> Ok { o with certificate = true }
             | Json.String s -> Error (Printf.sprintf "unknown output %S" s)
             | _ -> Error "field \"outputs\" must be a list of strings")
-          (Ok { trace = false; reliability = false })
+          (Ok { trace = false; reliability = false; certificate = false })
           items
       | Some _ -> Error "field \"outputs\" must be a list of strings"
     in

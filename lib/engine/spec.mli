@@ -17,6 +17,9 @@ type scheduler_kind =
 type outputs = {
   trace : bool;  (** include the per-round trace in the job payload *)
   reliability : bool;  (** include the exposure/failure-probability block *)
+  certificate : bool;
+      (** certify the schedule with [Qec_verify.Certifier] and include
+          the [autobraid-cert/v1] block (traced runs only) *)
 }
 
 type t = {
@@ -42,7 +45,8 @@ val validate : t -> (unit, string) result
 (** Static checks that need no circuit: non-empty [circuit], registered
     [backend] ({!Autobraid.Comm_backend.of_name}), [d >= 1],
     [threshold_p] in [0, 1), [scheduler]/[backend]/[best_p]
-    compatibility. *)
+    compatibility, [outputs.certificate] only on traced runs (neither
+    [Baseline] nor [best_p]). *)
 
 val initial_to_string : Autobraid.Initial_layout.method_ -> string
 (** ["identity" | "bisect" | "metis" | "anneal"] — the CLI's names. *)

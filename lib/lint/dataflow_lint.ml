@@ -1,0 +1,131 @@
+module C = Qec_circuit.Circuit
+module G = Qec_circuit.Gate
+module D = Diagnostic
+module Df = Qec_verify.Dataflow
+module Bitset = Qec_util.Bitset
+
+let diag ?context ~code ~severity ~file fmt =
+  Printf.ksprintf (fun m -> D.make ?context ~code ~severity ~file m) fmt
+
+let gate_context c i =
+  Printf.sprintf "gate %d: %s" i (G.to_string (C.gate c i))
+
+let measured_qubits c =
+  let m = Array.make (C.num_qubits c) false in
+  C.iter (fun _ g -> match g with G.Measure q -> m.(q) <- true | _ -> ()) c;
+  m
+
+(* QL301: liveness says nothing ever reads qubit [q] after gate [g], and
+   [q] is never measured — the gate's effect on that qubit is
+   unobservable. Fires on the last writer, where deleting or retargeting
+   the gate would fix it. Measurement-free circuits are states, not
+   experiments (same convention as QL101), so they are left alone. *)
+let dead_qubit_after_gate ~file c =
+  let measured = measured_qubits c in
+  if C.length c = 0 || Array.for_all not measured then []
+  else begin
+    let live = Df.live_after c in
+    let out = ref [] in
+    C.iter
+      (fun i g ->
+        match g with
+        | G.Measure _ | G.Barrier _ -> ()
+        | _ ->
+          List.iter
+            (fun q ->
+              if (not measured.(q)) && not (Bitset.mem live.(i) q) then
+                out :=
+                  diag ~context:(gate_context c i) ~code:"QL301"
+                    ~severity:D.Info ~file
+                    "%s leaves qubit %d dead: no later gate or measurement \
+                     observes it"
+                    (G.name g) q
+                  :: !out)
+            (G.qubits g))
+      c;
+    List.rev !out
+  end
+
+(* QL302: when most two-qubit gates carry zero critical-path slack the
+   schedule is one long dependency chain — extra lattice bandwidth cannot
+   help, only a lower-depth circuit can. Thresholds keep the rule quiet
+   on small or genuinely parallel circuits. *)
+let zero_slack_chain ~file c =
+  let n2 = C.two_qubit_count c in
+  if n2 < 8 then []
+  else begin
+    let slacks = Df.slack_analysis c in
+    let zero = ref 0 in
+    C.iter
+      (fun i g ->
+        if G.is_two_qubit g && slacks.(i).Df.slack = 0 then incr zero)
+      c;
+    if !zero * 10 >= n2 * 6 then
+      [
+        diag ~code:"QL302" ~severity:D.Info ~file
+          "%d of %d two-qubit gates sit on a zero-slack critical chain \
+           (length %d in units of d); communication bandwidth cannot hide \
+           this latency"
+          !zero n2
+          (Df.critical_length slacks);
+      ]
+    else []
+  end
+
+(* QL303: a gate whose bounding box overlaps four or more concurrent
+   two-qubit gates in its own ASAP layer will contend for channel
+   vertices no matter how the router orders the round. Only the worst
+   offender is reported. *)
+let congestion_hotspot ~file c =
+  let worst =
+    List.fold_left
+      (fun acc (p : Df.congestion) ->
+        match acc with
+        | Some (b : Df.congestion) when b.degree >= p.degree -> acc
+        | _ -> Some p)
+      None (Df.congestion_pressure c)
+  in
+  match worst with
+  | Some { Df.layer; task; degree } when degree >= 4 ->
+    [
+      diag
+        ~context:(gate_context c task.Autobraid.Task.id)
+        ~code:"QL303" ~severity:D.Info ~file
+        "gate %d's bounding box overlaps %d concurrent two-qubit gates in \
+         ASAP layer %d (congestion hotspot)"
+        task.Autobraid.Task.id degree layer;
+    ]
+  | _ -> []
+
+(* QL304: a qubit that participates in the computation but is never
+   measured leaves the experiment as an entangled, unreleased wire — in a
+   measured circuit that is usually a forgotten ancilla. *)
+let ancilla_never_released ~file c =
+  let measured = measured_qubits c in
+  if Array.for_all not measured then []
+  else begin
+    let touched = Array.make (C.num_qubits c) false in
+    C.iter
+      (fun _ g ->
+        match g with
+        | G.Barrier _ -> ()
+        | _ -> List.iter (fun q -> touched.(q) <- true) (G.qubits g))
+      c;
+    let out = ref [] in
+    Array.iteri
+      (fun q t ->
+        if t && not measured.(q) then
+          out :=
+            diag ~code:"QL304" ~severity:D.Info ~file
+              "qubit %d is used but never measured or released (ancilla left \
+               entangled)"
+              q
+            :: !out)
+      touched;
+    List.rev !out
+  end
+
+let check ~file c =
+  dead_qubit_after_gate ~file c
+  @ zero_slack_chain ~file c @ congestion_hotspot ~file c
+  @ ancilla_never_released ~file c

@@ -1,0 +1,12 @@
+(** Dataflow-analysis lint rules (QL3xx).
+
+    Powered by [Qec_verify.Dataflow]'s liveness, critical-path-slack and
+    congestion analyses. All QL3xx rules are advisory ([Info] severity):
+    they flag structural inefficiencies — dead results, latency-bound
+    chains, congestion hotspots, unreleased ancillas — that a scheduler
+    must still execute faithfully, so they never gate an exit code. *)
+
+val check : file:string -> Qec_circuit.Circuit.t -> Diagnostic.t list
+(** Run every QL3xx rule: QL301 dead qubit after gate, QL302 zero-slack
+    hot chain, QL303 congestion hotspot, QL304 ancilla never released.
+    Catalog in docs/lint.md. *)

@@ -9,7 +9,7 @@ let elaboration_error_code = "QL013"
 
 let lint_program = Ast_lint.check
 
-let lint_circuit = Circuit_lint.check
+let lint_circuit ~file c = Circuit_lint.check ~file c @ Dataflow_lint.check ~file c
 
 let lint_source ~file src =
   match Parser.parse_string src with
@@ -26,7 +26,7 @@ let lint_source ~file src =
       ast_diags
     else
       match Frontend.elaborate ~name:file program with
-      | circuit -> ast_diags @ Circuit_lint.check ~file circuit
+      | circuit -> ast_diags @ lint_circuit ~file circuit
       | exception Frontend.Unsupported { pos; msg } ->
         ast_diags
         @ [ D.make ?pos ~code:elaboration_error_code ~severity:D.Error ~file msg ]

@@ -15,7 +15,8 @@ val lint_program : file:string -> Qec_qasm.Ast.program -> Diagnostic.t list
 (** AST passes only ({!Ast_lint.check}). *)
 
 val lint_circuit : file:string -> Qec_circuit.Circuit.t -> Diagnostic.t list
-(** Circuit passes only ({!Circuit_lint.check}). *)
+(** Circuit passes: {!Circuit_lint.check} (QL1xx) followed by
+    {!Dataflow_lint.check} (QL3xx). *)
 
 val lint_source : file:string -> string -> Diagnostic.t list
 (** Parse (syntax errors become QL000 diagnostics), run AST passes; when

@@ -33,12 +33,13 @@ let check_options ~file ?threshold_p ?d () =
 let check_trace ~file trace =
   List.map
     (fun (v : Autobraid.Trace.violation) ->
+      (* The TV code is the stable handle; round/gate locate the witness. *)
       let context =
         match (v.round, v.gate) with
-        | Some r, Some g -> Some (Printf.sprintf "round %d, gate %d" r g)
-        | Some r, None -> Some (Printf.sprintf "round %d" r)
-        | None, Some g -> Some (Printf.sprintf "gate %d" g)
-        | None, None -> None
+        | Some r, Some g -> Printf.sprintf "%s, round %d, gate %d" v.code r g
+        | Some r, None -> Printf.sprintf "%s, round %d" v.code r
+        | None, Some g -> Printf.sprintf "%s, gate %d" v.code g
+        | None, None -> v.code
       in
-      D.make ?context ~code:"QL210" ~severity:D.Error ~file v.msg)
+      D.make ~context ~code:"QL210" ~severity:D.Error ~file v.msg)
     (Autobraid.Trace.check trace)

@@ -210,6 +210,65 @@ let diff_backends =
                end));
   }
 
+(* ---------------- certification ---------------- *)
+
+let verify_certify =
+  {
+    name = "verify/certify";
+    description =
+      "every backend's schedule certifies clean under the independent \
+       Qec_verify certifier, and each applicable adversarial trace \
+       mutation is rejected with the mutated invariant named";
+    check =
+      Circuit
+        (guard (fun c ->
+             let module V = Qec_verify.Certifier in
+             let module M = Qec_verify.Mutate in
+             let outcomes =
+               [
+                 (CB.braid ()).CB.run timing c;
+                 (Qec_surgery.Backend.make ()).CB.run timing c;
+               ]
+             in
+             let rec check_outcomes = function
+               | [] -> Pass
+               | (o : CB.outcome) :: rest -> (
+                 let cert =
+                   V.certify ~backend:o.CB.backend ~result:o.CB.result timing
+                     o.CB.trace
+                 in
+                 if not (V.ok cert) then
+                   failf "%s failed certification: %s" o.CB.backend
+                     (V.to_summary cert)
+                 else
+                   let rec check_mutations = function
+                     | [] -> check_outcomes rest
+                     | kind :: kinds -> (
+                       match M.apply kind timing o.CB.result o.CB.trace with
+                       | None -> check_mutations kinds
+                       | Some (result', trace') ->
+                         let cert' =
+                           V.certify ~backend:o.CB.backend ~result:result'
+                             timing trace'
+                         in
+                         let expected = M.expected kind in
+                         if List.mem expected (V.failed cert') then
+                           check_mutations kinds
+                         else
+                           failf
+                             "%s: mutation %s escaped certification \
+                              (expected %s; failed: %s)"
+                             o.CB.backend (M.name kind)
+                             (Qec_verify.Invariant.id expected)
+                             (String.concat ","
+                                (List.map Qec_verify.Invariant.id
+                                   (V.failed cert'))))
+                   in
+                   check_mutations M.all)
+             in
+             check_outcomes outcomes));
+  }
+
 (* ---------------- engine identities ---------------- *)
 
 let with_temp_qasm c f =
@@ -238,7 +297,7 @@ let spec_for path =
   {
     Spec.default with
     circuit = path;
-    outputs = { Spec.trace = true; reliability = false };
+    outputs = { Spec.trace = true; reliability = false; certificate = false };
   }
 
 (* Deterministic rendering of a run's observable output: the result record
@@ -344,7 +403,12 @@ let engine_batch_identity =
                    base with
                    Spec.id = Some "baseline";
                    scheduler = Spec.Baseline;
-                   outputs = { Spec.trace = false; reliability = false };
+                   outputs =
+                     {
+                       Spec.trace = false;
+                       reliability = false;
+                       certificate = false;
+                     };
                  };
                ]
              in
@@ -484,6 +548,7 @@ let all () =
     trace_surgery;
     surgery_pipeline_bounds;
     diff_backends;
+    verify_certify;
     engine_spec_identity;
     engine_cache_identity;
     engine_batch_identity;

@@ -244,3 +244,51 @@ let diagnostic_to_json (d : Qec_lint.Diagnostic.t) =
       | Some c -> [ ("context", Json.String c) ])
 
 let diagnostics_to_json ds = Json.List (List.map diagnostic_to_json ds)
+
+let certificate_to_json (c : Qec_verify.Certifier.t) =
+  let module Cert = Qec_verify.Certifier in
+  let module Inv = Qec_verify.Invariant in
+  let witness_to_json (w : Cert.witness) =
+    Json.Obj
+      ([]
+      @ (match w.round with
+        | Some r -> [ ("round", Json.Int r) ]
+        | None -> [])
+      @ (match w.gate with Some g -> [ ("gate", Json.Int g) ] | None -> [])
+      @ [ ("detail", Json.String w.detail) ])
+  in
+  let invariant_to_json inv =
+    let ws = Cert.witnesses_for c inv in
+    Json.Obj
+      ([
+         ("id", Json.String (Inv.id inv));
+         ("title", Json.String (Inv.title inv));
+         ("status", Json.String (if ws = [] then "pass" else "fail"));
+       ]
+      @
+      if ws = [] then []
+      else [ ("witnesses", Json.List (List.map witness_to_json ws)) ])
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "autobraid-cert/v1");
+      ("circuit", Json.String c.Cert.circuit_name);
+      ( "backend",
+        match c.Cert.backend with
+        | Some b -> Json.String b
+        | None -> Json.Null );
+      ("num_gates", Json.Int c.Cert.num_gates);
+      ("num_rounds", Json.Int c.Cert.num_rounds);
+      ( "cycles",
+        Json.Obj
+          [
+            ("computed", Json.Int c.Cert.cycles_computed);
+            ("traced", Json.Int c.Cert.cycles_traced);
+            ( "reported",
+              match c.Cert.cycles_reported with
+              | Some n -> Json.Int n
+              | None -> Json.Null );
+          ] );
+      ("ok", Json.Bool (Cert.ok c));
+      ("invariants", Json.List (List.map invariant_to_json Inv.all));
+    ]

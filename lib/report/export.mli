@@ -49,3 +49,9 @@ val diagnostic_to_json : Qec_lint.Diagnostic.t -> Json.t
 
 val diagnostics_to_json : Qec_lint.Diagnostic.t list -> Json.t
 (** A JSON array of {!diagnostic_to_json} objects. *)
+
+val certificate_to_json : Qec_verify.Certifier.t -> Json.t
+(** The [autobraid-cert/v1] schema: circuit/backend identity, round and
+    cycle accounting, overall [ok], and one entry per
+    {!Qec_verify.Invariant.t} with pass/fail status and failure
+    witnesses (round, gate, detail). *)

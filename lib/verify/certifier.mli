@@ -1,0 +1,57 @@
+(** Independent schedule certification.
+
+    [certify] replays a {!Autobraid.Trace.t} and re-derives every
+    {!Invariant.t} from first principles — its own per-qubit program-order
+    dependency lists (not {!Qec_circuit.Dag}), its own placement replay,
+    its own channel-graph adjacency and disjointness checks, and its own
+    cycle accounting — so it shares no verdict-bearing logic with
+    {!Autobraid.Trace.check} or any scheduler. Optimizing a schedule is
+    hard; checking one is cheap (arXiv 2302.00273) — this module is the
+    cheap side, used as the oracle the schedulers must satisfy.
+
+    A certificate reports every invariant individually with failure
+    witnesses (round / gate / detail), and serializes to the
+    [autobraid-cert/v1] JSON schema via [Qec_report.Export]. *)
+
+type witness = {
+  invariant : Invariant.t;
+  round : int option;  (** 0-based round index, when tied to one round *)
+  gate : int option;  (** gate id, when tied to one gate *)
+  detail : string;  (** human-readable explanation *)
+}
+
+type t = {
+  circuit_name : string;
+  backend : string option;  (** producing backend, when known *)
+  num_gates : int;
+  num_rounds : int;
+  cycles_computed : int;  (** independent recomputation from round shapes *)
+  cycles_traced : int;  (** {!Autobraid.Trace.cycles} *)
+  cycles_reported : int option;  (** [result.total_cycles], when given *)
+  witnesses : witness list;  (** all failures, replay order; [] = clean *)
+}
+
+val certify :
+  ?backend:string ->
+  ?result:Autobraid.Scheduler.result ->
+  Qec_surface.Timing.t ->
+  Autobraid.Trace.t ->
+  t
+(** Replay and certify. With [~result], the scheduler-reported
+    [total_cycles] joins the cycle-accounting cross-check. Never raises on
+    malformed traces — corruption becomes witnesses. *)
+
+val ok : t -> bool
+(** No invariant failed. *)
+
+val failed : t -> Invariant.t list
+(** Invariants with at least one witness, in {!Invariant.all} order. *)
+
+val witnesses_for : t -> Invariant.t -> witness list
+(** Witnesses of one invariant, replay order. *)
+
+val witness_to_string : witness -> string
+(** E.g. ["path/disjoint: round 3, gate 5: ..."]. *)
+
+val to_summary : t -> string
+(** One line: certified / failed counts plus the first witness. *)

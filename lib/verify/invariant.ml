@@ -1,0 +1,43 @@
+type t =
+  | Gate_exactly_once
+  | Gate_dependency_order
+  | Round_shape
+  | Path_channel
+  | Path_disjoint
+  | Swap_legal
+  | Split_pipeline
+  | Cycle_account
+
+let all =
+  [
+    Gate_exactly_once;
+    Gate_dependency_order;
+    Round_shape;
+    Path_channel;
+    Path_disjoint;
+    Swap_legal;
+    Split_pipeline;
+    Cycle_account;
+  ]
+
+let id = function
+  | Gate_exactly_once -> "gate/exactly-once"
+  | Gate_dependency_order -> "gate/dependency-order"
+  | Round_shape -> "round/shape"
+  | Path_channel -> "path/channel"
+  | Path_disjoint -> "path/disjoint"
+  | Swap_legal -> "swap/legal"
+  | Split_pipeline -> "surgery/split-pipeline"
+  | Cycle_account -> "cycles/account"
+
+let title = function
+  | Gate_exactly_once -> "every circuit gate executes exactly once"
+  | Gate_dependency_order -> "no gate runs before a program-order predecessor"
+  | Round_shape -> "rounds are non-empty and slot gates by arity"
+  | Path_channel -> "paths are valid channel routes between operand tiles"
+  | Path_disjoint -> "simultaneous paths are pairwise vertex-disjoint"
+  | Swap_legal -> "swap layers touch each qubit at most once"
+  | Split_pipeline -> "overlapped splits never collide with the next round"
+  | Cycle_account -> "cycle totals match an independent recomputation"
+
+let of_id s = List.find_opt (fun i -> id i = s) all

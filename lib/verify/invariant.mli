@@ -1,0 +1,44 @@
+(** The certifiable schedule invariants.
+
+    Each constructor names one property a valid trace must satisfy; the
+    certifier ({!Certifier}) re-derives every one from first principles
+    and reports them individually, so a certificate names {e which}
+    contract a bad schedule broke, not just that one did. Identifiers are
+    stable ["family/detail"] slugs used in the [autobraid-cert/v1] JSON
+    schema and by the mutation corpus. *)
+
+type t =
+  | Gate_exactly_once
+      (** every lowered circuit gate executes exactly once, with all
+          referenced gate ids in range *)
+  | Gate_dependency_order
+      (** no gate executes before a program-order predecessor on any of
+          its operand qubits *)
+  | Round_shape
+      (** rounds are non-empty; local slots hold only non-two-qubit
+          gates; braid/merge entries are two-qubit gates whose task
+          operands match the gate *)
+  | Path_channel
+      (** each braid/merge path is a valid channel path (distinct,
+          consecutively adjacent vertices) whose endpoints are corners of
+          the operand tiles under the placement current at that round *)
+  | Path_disjoint
+      (** paths within one round are pairwise vertex-disjoint *)
+  | Swap_legal  (** a swap layer touches each qubit at most once *)
+  | Split_pipeline
+      (** an overlapped split is followed by a round touching none of the
+          merge operand qubits *)
+  | Cycle_account
+      (** independently recomputed cycle total matches {!Autobraid.Trace.cycles}
+          and the scheduler-reported total *)
+
+val all : t list
+(** Every invariant, in certificate order. *)
+
+val id : t -> string
+(** Stable slug, e.g. ["gate/exactly-once"], ["path/disjoint"]. *)
+
+val title : t -> string
+(** One-line human description. *)
+
+val of_id : string -> t option

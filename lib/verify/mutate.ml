@@ -1,0 +1,314 @@
+module Circuit = Qec_circuit.Circuit
+module Gate = Qec_circuit.Gate
+module Trace = Autobraid.Trace
+module Task = Autobraid.Task
+module St = Qec_surface.Surgery_timing
+
+type kind =
+  | Path_overlap
+  | Dropped_dependency
+  | Double_execute
+  | Illegal_overlap
+  | Corrupt_cycles
+
+let all =
+  [
+    Path_overlap;
+    Dropped_dependency;
+    Double_execute;
+    Illegal_overlap;
+    Corrupt_cycles;
+  ]
+
+let name = function
+  | Path_overlap -> "path-overlap"
+  | Dropped_dependency -> "dropped-dependency"
+  | Double_execute -> "double-execute"
+  | Illegal_overlap -> "illegal-overlap"
+  | Corrupt_cycles -> "corrupt-cycles"
+
+let of_name s = List.find_opt (fun k -> name k = s) all
+
+let expected = function
+  | Path_overlap -> Invariant.Path_disjoint
+  | Dropped_dependency -> Invariant.Gate_dependency_order
+  | Double_execute -> Invariant.Gate_exactly_once
+  | Illegal_overlap -> Invariant.Split_pipeline
+  | Corrupt_cycles -> Invariant.Cycle_account
+
+let description = function
+  | Path_overlap -> "copy one round's first path onto its second operation"
+  | Dropped_dependency ->
+    "hoist a local gate into a round before its predecessor"
+  | Double_execute -> "append an already-executed gate to a later round"
+  | Illegal_overlap ->
+    "claim split pipelining where the next round conflicts"
+  | Corrupt_cycles -> "report a cycle total off by one"
+
+(* ---------------- helpers over the round list ---------------- *)
+
+let set_round rounds i r = List.mapi (fun j r0 -> if j = i then r else r0) rounds
+
+(* Round index in which each in-range gate id executes. *)
+let execution_rounds (trace : Trace.t) =
+  let n = Circuit.length trace.Trace.circuit in
+  let er = Array.make n (-1) in
+  let mark g round = if g >= 0 && g < n && er.(g) < 0 then er.(g) <- round in
+  List.iteri
+    (fun round -> function
+      | Trace.Local { gates } -> List.iter (fun g -> mark g round) gates
+      | Trace.Braid { braids = ops; locals }
+      | Trace.Merge { merges = ops; locals; _ } ->
+        List.iter (fun ((t : Task.t), _) -> mark t.Task.id round) ops;
+        List.iter (fun g -> mark g round) locals
+      | Trace.Swap_layer _ -> ())
+    trace.Trace.rounds;
+  er
+
+(* Immediate program-order predecessors per gate (same derivation the
+   certifier uses, duplicated on purpose: the mutator may not share the
+   verifier's code any more than the schedulers may). *)
+let program_preds circuit =
+  let n = Circuit.length circuit in
+  let last = Array.make (Circuit.num_qubits circuit) (-1) in
+  let preds = Array.make n [] in
+  for g = 0 to n - 1 do
+    let qs = Gate.qubits (Circuit.gate circuit g) in
+    preds.(g) <-
+      List.sort_uniq compare
+        (List.filter_map
+           (fun q -> if last.(q) >= 0 then Some last.(q) else None)
+           qs);
+    List.iter (fun q -> last.(q) <- g) qs
+  done;
+  preds
+
+let gate_qubits (trace : Trace.t) g =
+  if g >= 0 && g < Circuit.length trace.Trace.circuit then
+    Gate.qubits (Circuit.gate trace.Trace.circuit g)
+  else []
+
+(* Appending gate [g] to round [i]'s locals must not create collateral
+   damage: the round must be able to hold locals, and the previous round
+   must not be an overlapped merge whose qubits [g] would newly touch
+   (that would trip the split-pipeline invariant instead of the one the
+   mutation targets). *)
+let can_host_local rounds_arr i g_qubits =
+  let holds_locals =
+    match rounds_arr.(i) with
+    | Trace.Local _ | Trace.Braid _ | Trace.Merge _ -> true
+    | Trace.Swap_layer _ -> false
+  in
+  holds_locals
+  && (i = 0
+     ||
+     match rounds_arr.(i - 1) with
+     | Trace.Merge { merges; split_overlapped = true; _ } ->
+       not
+         (List.exists
+            (fun ((t : Task.t), _) ->
+              List.mem t.q1 g_qubits || List.mem t.q2 g_qubits)
+            merges)
+     | _ -> true)
+
+let add_local round g =
+  match round with
+  | Trace.Local { gates } -> Trace.Local { gates = gates @ [ g ] }
+  | Trace.Braid { braids; locals } ->
+    Trace.Braid { braids; locals = locals @ [ g ] }
+  | Trace.Merge { merges; locals; split_overlapped } ->
+    Trace.Merge { merges; locals = locals @ [ g ]; split_overlapped }
+  | Trace.Swap_layer _ -> invalid_arg "Mutate.add_local"
+
+(* ---------------- the five mutations ---------------- *)
+
+let path_overlap (trace : Trace.t) =
+  let mutate_ops ops =
+    match ops with
+    | ((_, p1) as op1) :: ((t2 : Task.t), _) :: rest ->
+      Some (op1 :: (t2, p1) :: rest)
+    | _ -> None
+  in
+  let rec scan i = function
+    | [] -> None
+    | Trace.Braid { braids; locals } :: _ when List.length braids >= 2 ->
+      Option.map
+        (fun braids' ->
+          set_round trace.Trace.rounds i (Trace.Braid { braids = braids'; locals }))
+        (mutate_ops braids)
+    | Trace.Merge { merges; locals; split_overlapped } :: _
+      when List.length merges >= 2 ->
+      Option.map
+        (fun merges' ->
+          set_round trace.Trace.rounds i
+            (Trace.Merge { merges = merges'; locals; split_overlapped }))
+        (mutate_ops merges)
+    | _ :: rest -> scan (i + 1) rest
+  in
+  Option.map
+    (fun rounds -> { trace with Trace.rounds })
+    (scan 0 trace.Trace.rounds)
+
+let dropped_dependency (trace : Trace.t) =
+  let rounds_arr = Array.of_list trace.Trace.rounds in
+  let er = execution_rounds trace in
+  let preds = program_preds trace.Trace.circuit in
+  let locals_of = function
+    | Trace.Local { gates } -> gates
+    | Trace.Braid { locals; _ } | Trace.Merge { locals; _ } -> locals
+    | Trace.Swap_layer _ -> []
+  in
+  let remove_local round g =
+    let drop = List.filter (fun x -> x <> g) in
+    match round with
+    | Trace.Local { gates } -> Trace.Local { gates = drop gates }
+    | Trace.Braid { braids; locals } ->
+      Trace.Braid { braids; locals = drop locals }
+    | Trace.Merge { merges; locals; split_overlapped } ->
+      Trace.Merge { merges; locals = drop locals; split_overlapped }
+    | Trace.Swap_layer _ as r -> r
+  in
+  (* A candidate: local gate [g] in round [r] whose latest predecessor
+     runs in round [rp >= 1]; hoist [g] into some round [r' < rp]. The
+     source round must stay non-empty. *)
+  let candidate =
+    let found = ref None in
+    Array.iteri
+      (fun r round ->
+        if !found = None then
+          List.iter
+            (fun g ->
+              if !found = None && g >= 0 && preds.(g) <> [] then begin
+                let rp =
+                  List.fold_left (fun acc p -> max acc er.(p)) (-1) preds.(g)
+                in
+                let source_stays_nonempty =
+                  match round with
+                  | Trace.Local { gates } -> List.length gates >= 2
+                  | Trace.Braid _ | Trace.Merge _ -> true
+                  | Trace.Swap_layer _ -> false
+                in
+                if rp >= 1 && source_stays_nonempty then begin
+                  let qs = gate_qubits trace g in
+                  let r' = ref 0 in
+                  while
+                    !r' < rp && not (can_host_local rounds_arr !r' qs)
+                  do
+                    incr r'
+                  done;
+                  if !r' < rp then found := Some (r, g, !r')
+                end
+              end)
+            (locals_of round))
+      rounds_arr;
+    !found
+  in
+  Option.map
+    (fun (r, g, r') ->
+      let rounds =
+        List.mapi
+          (fun i round ->
+            if i = r then remove_local round g
+            else if i = r' then add_local round g
+            else round)
+          trace.Trace.rounds
+      in
+      { trace with Trace.rounds })
+    candidate
+
+let double_execute (trace : Trace.t) =
+  let rounds_arr = Array.of_list trace.Trace.rounds in
+  let er = execution_rounds trace in
+  let circuit = trace.Trace.circuit in
+  (* Re-append a single-qubit gate to the latest hospitable round at or
+     after its execution round — list order makes the copy the second
+     occurrence even within the same round. *)
+  let candidate = ref None in
+  for g = Circuit.length circuit - 1 downto 0 do
+    if
+      !candidate = None && er.(g) >= 0
+      && not (Gate.is_two_qubit (Circuit.gate circuit g))
+    then begin
+      let qs = gate_qubits trace g in
+      for i = Array.length rounds_arr - 1 downto er.(g) do
+        if !candidate = None && can_host_local rounds_arr i qs then
+          candidate := Some (g, i)
+      done
+    end
+  done;
+  Option.map
+    (fun (g, i) ->
+      let rounds =
+        List.mapi
+          (fun j round -> if j = i then add_local round g else round)
+          trace.Trace.rounds
+      in
+      { trace with Trace.rounds })
+    !candidate
+
+let illegal_overlap timing (result : Autobraid.Scheduler.result)
+    (trace : Trace.t) =
+  let rounds_arr = Array.of_list trace.Trace.rounds in
+  let touched i =
+    match rounds_arr.(i) with
+    | Trace.Local { gates } -> List.concat_map (gate_qubits trace) gates
+    | Trace.Braid { braids = ops; locals }
+    | Trace.Merge { merges = ops; locals; _ } ->
+      List.concat_map (fun ((t : Task.t), _) -> [ t.q1; t.q2 ]) ops
+      @ List.concat_map (gate_qubits trace) locals
+    | Trace.Swap_layer { swaps } ->
+      List.concat_map (fun (a, b) -> [ a; b ]) swaps
+  in
+  let illegal_to_overlap i merges =
+    i + 1 >= Array.length rounds_arr
+    || List.exists
+         (fun ((t : Task.t), _) ->
+           let next = touched (i + 1) in
+           List.mem t.q1 next || List.mem t.q2 next)
+         merges
+  in
+  let site = ref None in
+  Array.iteri
+    (fun i -> function
+      | Trace.Merge { merges; split_overlapped = false; _ }
+        when !site = None && illegal_to_overlap i merges ->
+        site := Some i
+      | _ -> ())
+    rounds_arr;
+  Option.map
+    (fun i ->
+      let rounds =
+        List.mapi
+          (fun j round ->
+            match round with
+            | Trace.Merge { merges; locals; _ } when j = i ->
+              Trace.Merge { merges; locals; split_overlapped = true }
+            | r -> r)
+          trace.Trace.rounds
+      in
+      (* Claiming the overlap un-charges the split; keep every cycle
+         total consistent with the mutated trace so only the pipelining
+         contract is broken. *)
+      ( {
+          result with
+          Autobraid.Scheduler.total_cycles =
+            result.Autobraid.Scheduler.total_cycles - St.split_cycles timing;
+        },
+        { trace with Trace.rounds } ))
+    !site
+
+let apply kind timing (result : Autobraid.Scheduler.result) (trace : Trace.t) =
+  match kind with
+  | Path_overlap -> Option.map (fun t -> (result, t)) (path_overlap trace)
+  | Dropped_dependency ->
+    Option.map (fun t -> (result, t)) (dropped_dependency trace)
+  | Double_execute -> Option.map (fun t -> (result, t)) (double_execute trace)
+  | Illegal_overlap -> illegal_overlap timing result trace
+  | Corrupt_cycles ->
+    Some
+      ( {
+          result with
+          Autobraid.Scheduler.total_cycles =
+            result.Autobraid.Scheduler.total_cycles + 1;
+        },
+        trace )

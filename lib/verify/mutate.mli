@@ -1,0 +1,40 @@
+(** Adversarial trace mutations — the certifier's own test suite.
+
+    Each {!kind} corrupts a valid schedule in a way that breaks exactly
+    one contract; {!expected} names the {!Invariant.t} a sound certifier
+    must then report. Running every kind against every backend's traces
+    gives a mutation-kill score for the verifier itself: a mutation that
+    certifies clean means a blind spot. *)
+
+type kind =
+  | Path_overlap  (** two paths in one round share a vertex *)
+  | Dropped_dependency
+      (** a local gate is hoisted above a program-order predecessor *)
+  | Double_execute  (** a gate is appended to a later round again *)
+  | Illegal_overlap
+      (** a split is marked overlapped although the next round conflicts
+          (or does not exist); the cycle totals are adjusted consistently
+          so only the pipelining contract breaks *)
+  | Corrupt_cycles  (** the reported total is off by one *)
+
+val all : kind list
+
+val name : kind -> string
+(** Stable slug, e.g. ["path-overlap"]. *)
+
+val of_name : string -> kind option
+
+val expected : kind -> Invariant.t
+(** The invariant this mutation must trip. *)
+
+val description : kind -> string
+
+val apply :
+  kind ->
+  Qec_surface.Timing.t ->
+  Autobraid.Scheduler.result ->
+  Autobraid.Trace.t ->
+  (Autobraid.Scheduler.result * Autobraid.Trace.t) option
+(** Mutate a (result, trace) pair. [None] when the trace offers no site
+    for this mutation (e.g. [Illegal_overlap] on a braiding trace, which
+    has no merge rounds). Inputs are never modified. *)

@@ -125,7 +125,8 @@ let gen_spec : Spec.t QCheck.Gen.t =
   let* optimize = bool in
   let* best_p = bool in
   let* trace = bool in
-  let+ reliability = bool in
+  let* reliability = bool in
+  let+ certificate = bool in
   {
     Spec.id;
     circuit;
@@ -137,7 +138,7 @@ let gen_spec : Spec.t QCheck.Gen.t =
     initial;
     optimize;
     best_p;
-    outputs = { Spec.trace; reliability };
+    outputs = { Spec.trace; reliability; certificate };
   }
 
 let prop_spec_roundtrip =

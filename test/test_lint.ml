@@ -214,6 +214,66 @@ let test_ql104 () =
   check_codes "silent when square" []
     (circuit_codes ~n:4 [ G.Cx (0, 1); G.Cx (2, 3) ])
 
+(* ---------------- dataflow rules (QL3xx) ---------------- *)
+
+let dataflow_codes gates ~n =
+  codes (Qec_lint.Dataflow_lint.check ~file:"circ" (C.create ~num_qubits:n gates))
+
+let test_ql301_ql304 () =
+  (* q1's H is unobservable and q1 is never released: the liveness rule
+     fires at the last writer and the ancilla rule at the qubit — they
+     diagnose the same forgotten wire from both ends. *)
+  check_codes "fires QL301+QL304" [ "QL301"; "QL304" ]
+    (dataflow_codes ~n:2 [ G.H 1; G.H 0; G.Measure 0 ]);
+  check_codes "all measured silent" []
+    (dataflow_codes ~n:2 [ G.H 0; G.Measure 0 ]);
+  (* measurement-free circuits are states, not experiments (QL101's
+     convention) *)
+  check_codes "no measurements silent" []
+    (dataflow_codes ~n:2 [ G.H 0; G.H 1 ])
+
+let test_ql302 () =
+  (* a pure 8-gate CX chain: every gate zero-slack *)
+  check_codes "fires QL302" [ "QL302" ]
+    (dataflow_codes ~n:9
+       [ G.Cx (0, 1); G.Cx (1, 2); G.Cx (2, 3); G.Cx (3, 4); G.Cx (4, 5);
+         G.Cx (5, 6); G.Cx (6, 7); G.Cx (7, 8) ]);
+  (* a 6-gate chain plus 6 parallel CXs: only half are zero-slack, below
+     the 60% threshold (the parallel pairs sit on adjacent cells of the
+     4x4 identity placement so no congestion hotspot appears either) *)
+  check_codes "parallel slack silent" []
+    (dataflow_codes ~n:16
+       [ G.Cx (0, 1); G.Cx (1, 2); G.Cx (2, 0); G.Cx (0, 1); G.Cx (1, 2);
+         G.Cx (2, 0); G.Cx (4, 5); G.Cx (6, 7); G.Cx (8, 9); G.Cx (10, 11);
+         G.Cx (12, 13); G.Cx (14, 15) ]);
+  (* under 8 two-qubit gates the rule stays quiet however tight the chain *)
+  check_codes "small circuit silent" []
+    (dataflow_codes ~n:4 [ G.Cx (0, 1); G.Cx (1, 2); G.Cx (2, 3) ])
+
+(* Five layer-0 CXs criss-crossing a 5x5 identity placement: the
+   full-grid cx q0,q24 overlaps the other four bounding boxes. *)
+let crossing =
+  [ G.Cx (0, 24); G.Cx (4, 20); G.Cx (2, 22); G.Cx (10, 14); G.Cx (7, 17) ]
+
+let test_ql303 () =
+  check_codes "fires QL303" [ "QL303" ] (dataflow_codes ~n:25 crossing);
+  (* dropping the full-grid gate caps every degree at 3 *)
+  check_codes "degree 3 silent" []
+    (dataflow_codes ~n:25 (List.tl crossing))
+
+(* QL3xx diagnostics are informational: they never move the exit code,
+   even under --deny warning. *)
+let test_ql3xx_severity () =
+  let diags =
+    Qec_lint.Dataflow_lint.check ~file:"circ"
+      (C.create ~num_qubits:2 [ G.H 1; G.H 0; G.Measure 0 ])
+  in
+  check_bool "fired" true (diags <> []);
+  List.iter
+    (fun (d : D.t) -> check_bool "info severity" true (d.severity = D.Info))
+    diags;
+  check_int "exit stays 0" 0 (Lint.exit_code ~deny_warning:true diags)
+
 (* ---------------- schedule rules (QL2xx) ---------------- *)
 
 let test_ql201 () =
@@ -324,12 +384,24 @@ let fixture name =
   List.find Sys.file_exists
     [ Filename.concat "../fixtures" name; Filename.concat "fixtures" name ]
 
+(* The fixtures carry no error or warning diagnostics; the QL3xx dataflow
+   rules are informational by design, so their firings are pinned exactly
+   instead of forbidden. adder4 drops its carry chain without measuring it
+   (QL301 at each last writer, QL304 per unmeasured qubit) and both
+   circuits are dense two-qubit chains with no slack (QL302). *)
 let test_fixtures_clean () =
   List.iter
-    (fun f ->
+    (fun (f, expected) ->
       let diags, _src = Lint.lint_file (fixture f) in
-      check_codes (f ^ " is clean") [] (codes diags))
-    [ "adder4.qasm"; "qft5.qasm" ]
+      check_codes (f ^ " diagnostics") expected (codes diags);
+      check_int (f ^ " has no errors/warnings") 0
+        (Lint.error_count ~deny_warning:true diags))
+    [
+      ( "adder4.qasm",
+        [ "QL301"; "QL301"; "QL301"; "QL301"; "QL301"; "QL302";
+          "QL304"; "QL304"; "QL304"; "QL304"; "QL304" ] );
+      ("qft5.qasm", [ "QL302" ]);
+    ]
 
 let test_lint_is_read_only () =
   let c = B.Qft.circuit 9 in
@@ -379,6 +451,14 @@ let () =
           Alcotest.test_case "QL102 pairs chain" `Quick test_ql102_chain;
           Alcotest.test_case "QL103 no braids" `Quick test_ql103;
           Alcotest.test_case "QL104 lattice capacity" `Quick test_ql104;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "QL301/QL304 dead wires" `Quick test_ql301_ql304;
+          Alcotest.test_case "QL302 zero-slack chain" `Quick test_ql302;
+          Alcotest.test_case "QL303 congestion hotspot" `Quick test_ql303;
+          Alcotest.test_case "QL3xx stay informational" `Quick
+            test_ql3xx_severity;
         ] );
       ( "schedule",
         [

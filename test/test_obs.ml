@@ -98,6 +98,10 @@ let test_classify () =
   check_some "cold_s" D.Lower_better D.Wall;
   check_some "checks_per_s" D.Higher_better D.Wall;
   check_some "speedup_memory" D.Higher_better D.Wall;
+  check_some "invariants_checked" D.Higher_better D.Cycle;
+  check_some "mutations_killed" D.Higher_better D.Cycle;
+  check_some "certificates_per_s" D.Higher_better D.Wall;
+  check_some "certify_s" D.Lower_better D.Wall;
   Alcotest.(check bool) "utilization ungated" true
     (D.classify "avg_utilization" = None);
   Alcotest.(check bool) "descriptors ungated" true (D.classify "name" = None)
