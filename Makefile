@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke fmt lint check clean
+.PHONY: all build test bench bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke serve-smoke fmt lint check clean
 
 CLI := _build/default/bin/autobraid_cli.exe
 
@@ -83,11 +83,17 @@ fuzz-smoke: build
 	$(CLI) fuzz --seed 42 --count $(FUZZ_COUNT)
 
 # Drift gate: re-measure the committed BENCH snapshots and fail on
-# regressions. Only the deterministic cycle-count sections are gated here
-# (BENCH_engine/BENCH_prop carry wall times that vary across hosts).
+# regressions. Only the deterministic cycle-count sections are gated at
+# tight tolerance (BENCH_engine/BENCH_prop carry wall times that vary
+# across hosts). BENCH_serve is all wall numbers, so it gets its own very
+# loose band — it exists to catch catastrophic serving regressions (an
+# accidentally serialized pool, a cache that stopped hitting), not 20%
+# noise.
 bench-check: build
 	./_build/default/bench/main.exe --check BENCH_backends.json \
 		--check BENCH_scale.json --check BENCH_verify.json --tolerance 0.02
+	./_build/default/bench/main.exe --check BENCH_serve.json \
+		--wall-tolerance 9.0
 
 # Profiler smoke: the repeated-run report and its Perfetto trace must come
 # out structurally sound.
@@ -129,7 +135,55 @@ verify-smoke: build
 		|| { echo "verify-smoke: missing certificate schema tag"; exit 1; }
 	@echo "verify-smoke: OK"
 
-check: fmt build test lint bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke
+# Serve smoke: boot the daemon, hit it with two concurrent clients whose
+# responses must be byte-identical to a local batch run, check the stats
+# endpoint saw the shared cache, exercise admission control on a
+# zero-capacity daemon, and drain both cleanly.
+serve-smoke: build
+	@dir=$$(mktemp -d); sock="$$dir/serve.sock"; \
+	$(CLI) serve --socket "$$sock" --jobs 2 --cache-dir "$$dir/cache" \
+		2> "$$dir/daemon.log" & pid=$$!; \
+	for i in $$(seq 1 100); do [ -S "$$sock" ] && break; sleep 0.1; done; \
+	[ -S "$$sock" ] || { echo "serve-smoke: daemon never bound its socket"; \
+		cat "$$dir/daemon.log"; exit 1; }; \
+	$(CLI) serve --connect "$$sock" --ping | grep -q '"pong"' \
+		|| { echo "serve-smoke: ping failed"; exit 1; }; \
+	$(CLI) serve --connect "$$sock" --manifest fixtures/batch_manifest.json \
+		> "$$dir/a.jsonl" 2> /dev/null & c1=$$!; \
+	$(CLI) serve --connect "$$sock" --manifest fixtures/batch_manifest.json \
+		> "$$dir/b.jsonl" 2> /dev/null & c2=$$!; \
+	wait $$c1 && wait $$c2 \
+		|| { echo "serve-smoke: concurrent clients failed"; \
+		     cat "$$dir/daemon.log"; exit 1; }; \
+	$(CLI) batch fixtures/batch_manifest.json --jobs 2 \
+		-o "$$dir/local.jsonl" 2> /dev/null || exit 1; \
+	cmp "$$dir/a.jsonl" "$$dir/local.jsonl" \
+		|| { echo "serve-smoke: client A diverged from one-shot batch"; exit 1; }; \
+	cmp "$$dir/b.jsonl" "$$dir/local.jsonl" \
+		|| { echo "serve-smoke: client B diverged from one-shot batch"; exit 1; }; \
+	$(CLI) serve --connect "$$sock" --stats > "$$dir/stats.json" || exit 1; \
+	grep -q '"memory_hits"' "$$dir/stats.json" \
+		|| { echo "serve-smoke: stats missing cache counters"; exit 1; }; \
+	grep -q '"serve.request_s"' "$$dir/stats.json" \
+		|| { echo "serve-smoke: stats missing latency histogram"; exit 1; }; \
+	$(CLI) serve --connect "$$sock" --shutdown > /dev/null || exit 1; \
+	wait $$pid || { echo "serve-smoke: daemon exited nonzero"; \
+		cat "$$dir/daemon.log"; exit 1; }; \
+	[ ! -e "$$sock" ] || { echo "serve-smoke: socket not removed on drain"; exit 1; }; \
+	sock2="$$dir/tiny.sock"; \
+	$(CLI) serve --socket "$$sock2" --jobs 1 --max-pending 0 \
+		2>> "$$dir/daemon.log" & pid2=$$!; \
+	for i in $$(seq 1 100); do [ -S "$$sock2" ] && break; sleep 0.1; done; \
+	$(CLI) serve --connect "$$sock2" qft9 2>&1 | grep -q overloaded \
+		|| { echo "serve-smoke: zero-capacity daemon should reject with overloaded"; exit 1; }; \
+	$(CLI) serve --connect "$$sock2" --ping | grep -q '"pong"' \
+		|| { echo "serve-smoke: daemon unresponsive after overload"; exit 1; }; \
+	$(CLI) serve --connect "$$sock2" --shutdown > /dev/null || exit 1; \
+	wait $$pid2 || { echo "serve-smoke: overloaded daemon exited nonzero"; exit 1; }; \
+	rm -rf "$$dir"; \
+	echo "serve-smoke: OK"
+
+check: fmt build test lint bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke serve-smoke
 	@echo "check: OK"
 
 clean:

@@ -1053,6 +1053,112 @@ let verify_section ~json_out () =
 let verify ~json_out () = ignore (verify_section ~json_out ())
 
 (* ------------------------------------------------------------------ *)
+(* Serve: daemon round-trip latency/throughput against an in-process
+   server, cold placement cache vs warm. Every request crosses the real
+   socket + protocol + admission path, so requests/s is an end-to-end
+   number, not an engine microbenchmark. *)
+
+let serve_section ~json_out () =
+  header "Serve: daemon round-trips, cold vs warm placement cache";
+  let module Server = Qec_serve.Server in
+  let module C = Qec_serve.Client in
+  let module P = Qec_serve.Protocol in
+  let die fmt = Printf.ksprintf failwith fmt in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "absrvb%d.sock" (Unix.getpid ()))
+  in
+  let jobs = min 2 (Qec_util.Parallel.default_jobs ()) in
+  let config = { (Server.default_config ~socket ()) with jobs } in
+  let daemon = Domain.spawn (fun () -> Server.run config) in
+  let client =
+    match C.connect_retry socket with
+    | Ok c -> c
+    | Error msg -> die "serve bench: %s" msg
+  in
+  (* distinct (circuit, seed) pairs: every request of the cold pass
+     anneals its own placement; the warm pass replays all of them from
+     the daemon's shared in-memory cache *)
+  let specs =
+    List.concat_map
+      (fun circuit ->
+        List.map
+          (fun seed -> { Qec_engine.Spec.default with circuit; seed })
+          [ 1; 2; 3; 4 ])
+      [ "qft9"; "bv12" ]
+  in
+  let request spec =
+    let t0 = Unix.gettimeofday () in
+    match C.compile client spec with
+    | Ok (P.Result _) -> Unix.gettimeofday () -. t0
+    | Ok _ -> die "serve bench: unexpected response"
+    | Error msg -> die "serve bench: %s" msg
+  in
+  let pass () =
+    let t0 = Unix.gettimeofday () in
+    let latencies = List.map request specs in
+    (Unix.gettimeofday () -. t0, latencies)
+  in
+  let cold_wall, cold_lat = pass () in
+  let warm_wall, warm_lat = pass () in
+  (match C.shutdown client with
+  | Ok _ -> ()
+  | Error msg -> die "serve bench: shutdown: %s" msg);
+  C.close client;
+  Domain.join daemon;
+  let p95 latencies =
+    let a = Array.of_list latencies in
+    Array.sort compare a;
+    a.(min (Array.length a - 1)
+         (int_of_float (float_of_int (Array.length a - 1) *. 0.95 +. 0.5)))
+  in
+  let n = List.length specs in
+  let requests_per_s = float_of_int n /. warm_wall in
+  let warm_speedup = cold_wall /. warm_wall in
+  let t =
+    TP.create
+      ~headers:
+        [ ("pass", TP.Left); ("wall (s)", TP.Right); ("p95 (ms)", TP.Right) ]
+  in
+  TP.add_row t
+    [
+      "cold (anneal per request)";
+      Printf.sprintf "%.3f" cold_wall;
+      Printf.sprintf "%.2f" (1e3 *. p95 cold_lat);
+    ];
+  TP.add_row t
+    [
+      "warm (shared cache)";
+      Printf.sprintf "%.3f" warm_wall;
+      Printf.sprintf "%.2f" (1e3 *. p95 warm_lat);
+    ];
+  TP.print t;
+  Printf.printf
+    "(%d requests per pass over one connection, %d workers; warm pass: \
+     %.0f requests/s, %.2fx over cold)\n"
+    n jobs requests_per_s warm_speedup;
+  let json =
+    let open Qec_report.Json in
+    Obj
+      [
+        ("section", String "serve");
+        ("jobs", Int jobs);
+        ("requests", Int (2 * n));
+        ("cold_wall_s", Float cold_wall);
+        ("warm_wall_s", Float warm_wall);
+        ("p95_cold_s", Float (p95 cold_lat));
+        ("p95_warm_s", Float (p95 warm_lat));
+        ("requests_per_s", Float requests_per_s);
+        ("warm_speedup", Float warm_speedup);
+      ]
+  in
+  Option.iter (fun path -> write_json path json) json_out;
+  json
+
+let serve ~json_out () = ignore (serve_section ~json_out ())
+
+(* ------------------------------------------------------------------ *)
 (* Drift gating: `--check BENCH_*.json` re-measures the file's section
    and fails on cycle-count (or wall-time) regressions past tolerance.   *)
 
@@ -1068,6 +1174,7 @@ let current_for_section = function
   | "engine" -> Some (engine_section ~json_out:None ())
   | "prop" -> Some (prop_section ~json_out:None ())
   | "verify" -> Some (verify_section ~json_out:None ())
+  | "serve" -> Some (serve_section ~json_out:None ())
   | _ -> None
 
 let read_file path =
@@ -1248,6 +1355,7 @@ let () =
   | "engine" -> profiled "engine" (engine ~json_out)
   | "prop" -> profiled "prop" (prop ~json_out)
   | "verify" -> profiled "verify" (verify ~json_out)
+  | "serve" -> profiled "serve" (serve ~json_out)
   | "micro" -> profiled "micro" micro
   | "all" ->
     profiled "table1" (table1 ~full);
@@ -1265,10 +1373,11 @@ let () =
     profiled "engine" (engine ~json_out:None);
     profiled "prop" (prop ~json_out:None);
     profiled "verify" (verify ~json_out:None);
+    profiled "serve" (serve ~json_out:None);
     profiled "micro" micro
   | other ->
     Printf.eprintf
-      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|scale|engine|prop|verify|micro|all)\n"
+      "unknown section %S (expected table1|table2|fig16|fig17|fig18|compile-time|ablation|planar|magic|backends|scale|engine|prop|verify|serve|micro|all)\n"
       other;
     exit 2);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

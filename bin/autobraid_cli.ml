@@ -145,6 +145,31 @@ let trace_out_arg =
               lane per worker domain; open it at ui.perfetto.dev (see \
               docs/observability.md)")
 
+(* What a SIGINT/SIGTERM must flush before the process dies. Long
+   commands (batch, fuzz, serve client runs) install the handlers; the
+   hook is populated by with_telemetry while sinks are live, so an
+   interrupted run still gets its --telemetry-out file closed and its
+   --trace-out Perfetto trace written (the placement cache needs no
+   flushing — it persists entries as they are inserted). The handler
+   exits directly instead of raising: an exception from a signal handler
+   would surface at an arbitrary safe point and be swallowed by the
+   engine's per-job catch-all. *)
+let signal_flush_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let install_interrupt_flush () =
+  let handle signum =
+    !signal_flush_hook ();
+    (* [signum] is OCaml's portable (negative) signal number, not the OS
+       one — map it back so the exit code is the conventional 128+N. *)
+    let os = if signum = Sys.sigterm then 15 else 2 in
+    Stdlib.exit (128 + os)
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 (* Install the requested sinks around [f], then print the --metrics
    summary after whatever [f] printed itself and write the --trace-out
    Perfetto file. *)
@@ -174,23 +199,39 @@ let with_telemetry ~metrics ~telemetry_out ~trace_out f =
       end
       | None -> []
     in
+    let write_trace () =
+      match (trace_out, trace_collector) with
+      | Some path, Some c -> begin
+        match Qec_obs.Perfetto.write path c with
+        | () -> Ok ()
+        | exception Sys_error msg -> Error msg
+      end
+      | _ -> Ok ()
+    in
+    signal_flush_hook :=
+      (fun () ->
+        (* uninstall = flush aggregates + close sinks (the --telemetry-out
+           channel sink closes its file here) *)
+        Qec_telemetry.Telemetry.uninstall ();
+        ignore (write_trace ()));
     let result =
-      Qec_telemetry.Telemetry.with_sink (Qec_telemetry.Telemetry.tee sinks) f
+      Fun.protect
+        ~finally:(fun () -> signal_flush_hook := fun () -> ())
+        (fun () ->
+          Qec_telemetry.Telemetry.with_sink
+            (Qec_telemetry.Telemetry.tee sinks)
+            f)
     in
     Option.iter
       (fun c ->
         print_newline ();
         Qec_telemetry.Collector.print_summary c)
       collector;
-    (match (trace_out, trace_collector) with
-    | Some path, Some c -> begin
-      match Qec_obs.Perfetto.write path c with
-      | () -> ()
-      | exception Sys_error msg ->
-        Printf.eprintf "cannot write trace: %s\n" msg;
-        exit 2
-    end
-    | _ -> ());
+    (match write_trace () with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "cannot write trace: %s\n" msg;
+      exit 2);
     result
   end
 
@@ -452,6 +493,10 @@ let schedule_cmd =
 let batch_cmd =
   let run manifest jobs cache_dir out timings certify metrics telemetry_out
       trace_out =
+    (* A batch is the long-running command: Ctrl-C / SIGTERM mid-run must
+       still flush the telemetry sinks (cache entries persist as they are
+       inserted, so the cache needs nothing). *)
+    install_interrupt_flush ();
     (* Returns the exit code out of the wrapper instead of exiting inline:
        [exit] does not unwind, and a failed job must not skip the
        --trace-out / --telemetry-out flush. *)
@@ -1170,6 +1215,9 @@ let fuzz_cmd =
         (P.all ());
       exit 0
     end;
+    (* Fuzz campaigns run long; an interrupt must still close the sinks
+       (and write --trace-out) instead of losing the whole record. *)
+    install_interrupt_flush ();
     let code =
       with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
       match replay with
@@ -1328,6 +1376,262 @@ let fuzz_cmd =
       $ long_range_bias_arg $ metrics_arg $ telemetry_out_arg
       $ trace_out_arg)
 
+(* ---------------- serve ---------------- *)
+
+(* Exit-code contract (docs/serve.md): daemon mode exits 0 after a clean
+   drain. Client mode exits 0 on success, 1 when the server answered with
+   an error record (or a batch had failures), 2 on connection / protocol /
+   usage trouble. *)
+let serve_cmd =
+  let module P = Qec_serve.Protocol in
+  let module C = Qec_serve.Client in
+  let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt in
+  let print_json j = print_endline (Qec_report.Json.to_string j) in
+  let run socket connect jobs max_pending timeout cache_dir trace_out ping
+      stats shutdown manifest circuit d seed p backend initial certify =
+    match (socket, connect) with
+    | None, None | Some _, Some _ ->
+      die "serve: pass exactly one of --socket PATH (daemon) or --connect \
+           PATH (client)"
+    | Some path, None ->
+      (* daemon mode: foreground, logs on stderr, drains on SIGTERM/SIGINT
+         or a shutdown request *)
+      if ping || stats || shutdown || manifest <> None || circuit <> None then
+        die "serve: client actions require --connect, not --socket";
+      let config =
+        {
+          (Qec_serve.Server.default_config ~socket:path ()) with
+          jobs = (match jobs with Some j -> max 1 j | None -> Qec_util.Parallel.default_jobs ());
+          max_pending;
+          timeout_s = timeout;
+          cache_dir;
+          trace_out;
+          handle_signals = true;
+          log = prerr_endline;
+        }
+      in
+      (try Qec_serve.Server.run config
+       with Unix.Unix_error (e, _, arg) ->
+         die "serve: cannot listen on %s%s: %s" path
+           (if arg = "" then "" else " (" ^ arg ^ ")")
+           (Unix.error_message e))
+    | None, Some path -> (
+      let client =
+        match C.connect path with Ok c -> c | Error msg -> die "serve: %s" msg
+      in
+      let finish code = C.close client; if code <> 0 then exit code in
+      let expect what = function
+        | Ok r -> r
+        | Error msg -> die "serve: %s failed: %s" what msg
+      in
+      match (ping, stats, shutdown, manifest, circuit) with
+      | true, false, false, None, None -> (
+        match expect "ping" (C.ping client) with
+        | P.Pong _ as r ->
+          print_json
+            (match r with
+            | P.Pong { version; _ } ->
+              Qec_report.Json.Obj
+                [
+                  ("type", Qec_report.Json.String "pong");
+                  ("version", Qec_report.Json.String version);
+                ]
+            | _ -> assert false);
+          finish 0
+        | _ -> die "serve: unexpected response to ping")
+      | false, true, false, None, None -> (
+        match expect "stats" (C.stats client) with
+        | P.Stats_resp { stats; _ } ->
+          print_endline (Qec_report.Json.to_string ~indent:true stats);
+          finish 0
+        | _ -> die "serve: unexpected response to stats")
+      | false, false, true, None, None -> (
+        match expect "shutdown" (C.shutdown client) with
+        | P.Shutdown_ack _ ->
+          print_endline "shutdown acknowledged; server draining";
+          finish 0
+        | _ -> die "serve: unexpected response to shutdown")
+      | false, false, false, Some file, None -> (
+        let specs =
+          match
+            let ic = open_in_bin file in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Qec_engine.Spec.manifest_of_string s
+          with
+          | Ok specs -> specs
+          | Error msg -> die "%s: %s" file msg
+          | exception Sys_error msg -> die "%s" msg
+        in
+        match expect "batch" (C.batch client specs) with
+        | records, ok_n, failed_n ->
+          (* job records print in manifest order, exactly as `autobraid
+             batch` renders them, whatever order the pool finished in *)
+          let jobs =
+            List.filter_map
+              (function P.Result { job; _ } -> Some job | _ -> None)
+              records
+          in
+          let indexed =
+            List.map
+              (fun job ->
+                match Qec_report.Json.member "index" job with
+                | Some (Qec_report.Json.Int i) -> (i, job)
+                | _ -> die "serve: result record without an index")
+              jobs
+          in
+          List.iter
+            (fun (_, job) -> print_endline (C.job_line job))
+            (List.sort (fun (a, _) (b, _) -> compare a b) indexed);
+          List.iter
+            (function
+              | P.Error_resp { kind; message; _ } ->
+                Printf.eprintf "serve: %s: %s\n" kind message
+              | _ -> ())
+            records;
+          Printf.eprintf "serve: %d ok, %d failed\n" ok_n failed_n;
+          finish (if failed_n > 0 || List.length jobs <> List.length specs then 1 else 0))
+      | false, false, false, None, Some name -> (
+        let spec =
+          {
+            Qec_engine.Spec.default with
+            circuit = name;
+            backend;
+            d;
+            seed;
+            threshold_p = p;
+            initial;
+            outputs =
+              { Qec_engine.Spec.default.outputs with certificate = certify };
+          }
+        in
+        match expect "compile" (C.compile client spec) with
+        | P.Result { job; _ } ->
+          print_endline (C.job_line job);
+          let failed =
+            match Qec_report.Json.member "error" job with
+            | Some _ -> true
+            | None -> false
+          in
+          finish (if failed then 1 else 0)
+        | P.Error_resp { kind; message; _ } ->
+          Printf.eprintf "serve: %s: %s\n" kind message;
+          finish 1
+        | _ -> die "serve: unexpected response to compile")
+      | _ ->
+        die "serve: pass exactly one of --ping, --stats, --shutdown, \
+             --manifest FILE or a CIRCUIT")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Run as a daemon listening on this Unix-domain socket \
+                (foreground; drains on SIGTERM/SIGINT or a shutdown \
+                request)")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:"Act as a client of the daemon at this socket")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: available cores)")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Admission-control bound: requests that would push the \
+                queue past N are answered with an immediate `overloaded` \
+                error record")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request queue-wait deadline; a request that waited \
+                longer is answered with a `timeout` error and never \
+                starts executing")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist the shared placement cache in DIR (advisory \
+                cross-process lock; safe to share with batch runs)")
+  in
+  let serve_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE.json"
+          ~doc:"Write a Perfetto trace of the whole serving session when \
+                the daemon drains")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Client: liveness check")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Client: print the live stats snapshot (queue depth, \
+                latency histograms, cache counters) as indented JSON")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Client: ask the daemon to drain and exit")
+  in
+  let serve_manifest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:"Client: submit a batch manifest (same schema as `autobraid \
+                batch`) and print the job records in manifest order — \
+                byte-identical to a local batch run")
+  in
+  let serve_circuit_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT"
+          ~doc:"Client: compile one circuit (benchmark name or file path \
+                as resolved by the server) and print its job record")
+  in
+  let serve_backend_arg =
+    Arg.(
+      value & opt string "braid"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Client compile: communication backend name")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Compilation-as-a-service daemon over a Unix-domain socket \
+          (autobraid-serve/v1: newline-delimited JSON with request-id \
+          correlation), or a client for one (--connect). The daemon runs \
+          the engine core on a shared worker pool with one placement \
+          cache, bounded admission (--max-pending), per-request queue \
+          deadlines (--timeout) and live stats; see docs/serve.md.")
+    Term.(
+      const run $ socket_arg $ connect_arg $ jobs_arg $ max_pending_arg
+      $ timeout_arg $ cache_dir_arg $ serve_trace_arg $ ping_arg $ stats_arg
+      $ shutdown_arg $ serve_manifest_arg $ serve_circuit_arg $ distance_arg
+      $ seed_arg $ threshold_arg $ serve_backend_arg $ initial_arg
+      $ certify_arg)
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -1348,8 +1652,8 @@ let main =
   Cmd.group
     (Cmd.info "autobraid" ~version:"1.0.0"
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
-    [ compile_cmd; schedule_cmd; batch_cmd; profile_cmd; info_cmd; lint_cmd;
-       verify_cmd; fuzz_cmd; resources_cmd; emit_cmd; sweep_cmd; trace_cmd;
-       export_cmd; list_cmd ]
+    [ compile_cmd; schedule_cmd; batch_cmd; serve_cmd; profile_cmd; info_cmd;
+       lint_cmd; verify_cmd; fuzz_cmd; resources_cmd; emit_cmd; sweep_cmd;
+       trace_cmd; export_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

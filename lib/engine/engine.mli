@@ -1,12 +1,25 @@
 (** The batch compilation engine — every entry point's one execution path.
 
+    The engine is split into a pure re-entrant core and this IO shell:
+
+    - {!Engine_core} holds the single-spec execution path (validation,
+      circuit loading, cache replay, backend dispatch, certification) and
+      the deterministic JSONL rendering. It is safe to call concurrently
+      from any domain and has no process-global effects.
+    - This module is the shell: it registers backends, wraps the core in
+      telemetry spans, and orchestrates the multicore batch pool. Its
+      types are equal (not just isomorphic) to the core's, so callers can
+      mix both freely.
+
     {!run_spec} executes a single declarative {!Spec.t}: load the circuit,
     optionally peephole-optimize, resolve the communication backend from
     the {!Autobraid.Comm_backend} registry, obtain the initial placement
     (through the {!Placement_cache} when one is supplied), schedule, and
     package the requested outputs. The CLI's [compile] and
     [schedule --backend ...] are thin wrappers over this function, so
-    their byte-identity is structural rather than promised.
+    their byte-identity is structural rather than promised; the
+    [autobraid serve] daemon ({!Qec_serve}) calls the core directly from
+    its long-lived worker pool.
 
     {!run_batch} runs a list of specs on an OCaml 5 domain worker pool fed
     by a shared {!Qec_util.Parallel.Queue}. Results come back in input
@@ -15,7 +28,7 @@
     and scheduling is deterministic: the rendered JSONL is byte-identical
     for any [~jobs] value. *)
 
-type error = {
+type error = Engine_core.error = {
   kind : string;
       (** stable machine-readable tag: ["circuit-not-found"], ["parse"],
           ["unsupported"], ["invalid-circuit"], ["io"], ["invalid-spec"],
@@ -23,7 +36,7 @@ type error = {
   message : string;  (** human-readable; parse errors are [file:line:col]-prefixed *)
 }
 
-type payload = {
+type payload = Engine_core.payload = {
   backend : string;
       (** what actually ran: the registry backend's name, or
           ["gp-baseline"] for [Spec.scheduler = Baseline] *)
@@ -42,12 +55,16 @@ type payload = {
           on the worker's own domain *)
 }
 
-type cache_status = Memory_hit | Disk_hit | Miss | Uncached
+type cache_status = Engine_core.cache_status =
+  | Memory_hit
+  | Disk_hit
+  | Miss
+  | Uncached
 
 val cache_status_to_string : cache_status -> string
 (** ["memory-hit" | "disk-hit" | "miss" | "uncached"]. *)
 
-type job = {
+type job = Engine_core.job = {
   index : int;  (** position in the submitted batch *)
   spec : Spec.t;
   elapsed_s : float;  (** wall time for this job (informational only) *)
@@ -60,6 +77,19 @@ val ensure_backends : unit -> unit
     {!Autobraid.Comm_backend} on linking; surgery via
     {!Qec_surgery.Backend.register}). Idempotent; call before resolving
     backend names. *)
+
+val load_circuit : Spec.t -> (Qec_circuit.Circuit.t, error) result
+(** Re-exported {!Engine_core.load_circuit}. *)
+
+val exec :
+  Placement_cache.t option ->
+  Spec.t ->
+  (payload * cache_status, error) result
+(** Re-exported {!Engine_core.exec}. *)
+
+val exec_safe :
+  Placement_cache.t option -> Spec.t -> (payload, error) result * cache_status
+(** Re-exported {!Engine_core.exec_safe}. *)
 
 val run_spec : ?cache:Placement_cache.t -> Spec.t -> (payload, error) result
 (** Execute one spec. Never raises: spec validation failures, unreadable
@@ -78,6 +108,9 @@ val run_batch :
     The caller's domain adds the [engine.run_batch] span and — when a
     cache is given — [engine.placement_cache.{memory_hits,disk_hits,
     misses}] counters for this batch. *)
+
+val result_json : Autobraid.Scheduler.result -> Qec_report.Json.t
+(** Re-exported {!Engine_core.result_json}. *)
 
 val job_to_json : ?timings:bool -> job -> Qec_report.Json.t
 (** One deterministic result record: [index], [id], [status], [spec], and

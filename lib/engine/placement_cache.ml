@@ -15,6 +15,12 @@ type t = {
   dir : string option;
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
+  disk_lock : Mutex.t;
+      (* serializes this process's disk writes so at most one domain at a
+         time holds the cross-process lockf lock — POSIX drops a process's
+         fcntl locks when ANY fd on the file closes, so two domains
+         locking/unlocking concurrently would silently release each
+         other's locks *)
   memory_hits : int Atomic.t;
   disk_hits : int Atomic.t;
   misses : int Atomic.t;
@@ -30,6 +36,7 @@ let create ?dir () : t =
     dir;
     table = Hashtbl.create 64;
     lock = Mutex.create ();
+    disk_lock = Mutex.create ();
     memory_hits = Atomic.make 0;
     disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
@@ -84,20 +91,54 @@ let entry_payload (e : entry) =
 
 let entry_digest e = Digest.to_hex (Digest.string (entry_payload e))
 
+(* Cross-process advisory write lock on <dir>/.lock. Two daemons or
+   batches sharing one --cache-dir serialize entry writes here, so their
+   tmp files and renames never interleave on the same key. Reads stay
+   lock-free by design: the per-entry tmp+rename protocol means a reader
+   only ever opens a fully renamed file, and the md5 trailer demotes any
+   torn or interleaved bytes that slip through (crash mid-write, NFS) to
+   a miss instead of a wrong placement. The lock is best-effort — if the
+   lock file cannot be created or locked, writes fall back to bare
+   tmp+rename, which is already atomic per entry on POSIX. *)
+let with_file_lock dir f =
+  let lock_path = Filename.concat dir ".lock" in
+  match Unix.openfile lock_path [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644 with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+    let locked =
+      match Unix.lockf fd Unix.F_LOCK 0 with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (if locked then
+           try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      f
+
 let write_disk t key (e : entry) =
   match path_of t key with
   | None -> ()
   | Some path -> (
     try
-      let tmp, oc =
-        Filename.open_temp_file
-          ~temp_dir:(Option.get t.dir)
-          ("." ^ key) ".tmp"
-      in
-      Printf.fprintf oc "%s\n%smd5 %s\n" format_version (entry_payload e)
-        (entry_digest e);
-      close_out oc;
-      Sys.rename tmp path
+      (* disk_lock first: only one domain of this process may hold the
+         lockf lock at a time (see the field's comment), then the
+         cross-process lock, then the atomic tmp+rename publish. *)
+      Mutex.lock t.disk_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.disk_lock)
+        (fun () ->
+          with_file_lock (Option.get t.dir) @@ fun () ->
+          let tmp, oc =
+            Filename.open_temp_file
+              ~temp_dir:(Option.get t.dir)
+              ("." ^ key) ".tmp"
+          in
+          Printf.fprintf oc "%s\n%smd5 %s\n" format_version (entry_payload e)
+            (entry_digest e);
+          close_out oc;
+          Sys.rename tmp path)
     with Sys_error _ | Unix.Unix_error _ ->
       (* A cache write failure must never fail the compilation. *)
       ())

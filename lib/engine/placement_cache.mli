@@ -18,10 +18,16 @@
 
     Disk entries are one text file per key, written atomically
     (temp file + rename), so concurrent batches sharing a [--cache-dir]
-    never observe torn files. Every entry ends with an md5 trailer over
-    its payload: unreadable, truncated, or bit-flipped entries — even
-    ones that still parse — fail the digest check, count as misses, and
-    are recomputed and rewritten, never replayed or crashed on. *)
+    never observe torn files. Writers additionally serialize on a
+    cross-process advisory lock ([<dir>/.lock], best-effort [lockf]) so
+    two daemons or batches sharing the directory cannot interleave entry
+    writes; within one process a mutex keeps at most one domain in the
+    locked section (POSIX drops all of a process's [fcntl] locks when any
+    descriptor on the file closes). Reads take no lock at all: every
+    entry ends with an md5 trailer over its payload, so unreadable,
+    truncated, torn, or bit-flipped entries — even ones that still
+    parse — fail the digest check, count as misses, and are recomputed
+    and rewritten, never replayed or crashed on. *)
 
 type t
 

@@ -21,8 +21,11 @@ let classify key =
   | "certificates" | "invariants_checked" | "mutations_applied"
   | "mutations_killed" ->
     Some (Higher_better, Cycle)
+  (* Serve section: throughput and the warm-cache payoff are
+     better-when-bigger wall metrics; they must be listed before the
+     [_s]-suffix fallback would misread requests_per_s as a latency. *)
   | "speedup_memory" | "speedup_disk" | "checks_per_s"
-  | "certificates_per_s" ->
+  | "certificates_per_s" | "requests_per_s" | "warm_speedup" ->
     Some (Higher_better, Wall)
   | _ ->
     let n = String.length key in

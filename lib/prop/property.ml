@@ -539,6 +539,63 @@ let qasm_crash =
               failf "lint_source raised: %s" (Printexc.to_string e)));
   }
 
+(* ---------------- serve protocol crash safety ---------------- *)
+
+(* The daemon's per-line loop leans entirely on Protocol.decode being
+   total: a malformed line must come back as a structured error record,
+   never as an exception that kills a reader thread. Feed the mutated
+   bytes both raw and spliced into otherwise well-formed request
+   envelopes (so the spec/jobs sub-parsers get fuzzed too), and hold the
+   response decoder to the same standard. *)
+let serve_protocol =
+  let module SP = Qec_serve.Protocol in
+  {
+    name = "serve/protocol";
+    description =
+      "serve request/response line decoding is total: structured \
+       Ok/Error on arbitrary bytes, never an exception";
+    check =
+      Source
+        (fun src ->
+          let lines =
+            [
+              src;
+              Printf.sprintf {|{"op": %s}|} src;
+              Json.to_string (Json.Obj [ ("op", Json.String src) ]);
+              Printf.sprintf {|{"op": "compile", "id": "x", "spec": %s}|} src;
+              Printf.sprintf {|{"op": "batch", "jobs": %s}|} src;
+            ]
+          in
+          let check_request line =
+            match SP.decode line with
+            | Ok _ -> None
+            | Error { Qec_engine.Engine_core.kind = "parse" | "bad-request"; _ }
+              ->
+              None
+            | Error e ->
+              Some
+                (Printf.sprintf "decode produced unexpected kind %S" e.kind)
+            | exception e ->
+              Some ("Protocol.decode raised: " ^ Printexc.to_string e)
+          in
+          let check_response line =
+            match SP.response_of_line line with
+            | Ok _ | Error _ -> None
+            | exception e ->
+              Some ("Protocol.response_of_line raised: " ^ Printexc.to_string e)
+          in
+          match
+            List.find_map
+              (fun line ->
+                match check_request line with
+                | Some _ as bad -> bad
+                | None -> check_response line)
+              lines
+          with
+          | Some msg -> Fail msg
+          | None -> Pass);
+  }
+
 (* ---------------- registry ---------------- *)
 
 let all () =
@@ -555,6 +612,7 @@ let all () =
     qasm_roundtrip;
     lint_stable_codes;
     qasm_crash;
+    serve_protocol;
   ]
 
 let names () = List.map (fun p -> p.name) (all ())

@@ -27,7 +27,11 @@
       pretty-print → re-lex round trip;
     - [qasm/crash] (source-keyed) — mutated QASM bytes must produce
       structured positioned errors from the frontend and the lint pass,
-      never an unhandled exception.
+      never an unhandled exception;
+    - [serve/protocol] (source-keyed) — the serve daemon's wire decoding
+      ({!Qec_serve.Protocol}) is total: arbitrary bytes, raw or spliced
+      into well-formed request envelopes, yield [Ok] or a structured
+      [parse]/[bad-request] error, never an exception.
 
     Checks are deterministic, so a failing (seed, case) replays exactly
     and shrinking can re-evaluate candidates. *)

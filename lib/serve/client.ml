@@ -1,0 +1,91 @@
+(* Minimal blocking client for the autobraid-serve protocol: connect,
+   check the hello banner, then line-oriented request/response. Used by
+   `autobraid serve --connect`, the serve tests and the serve bench —
+   deliberately synchronous (one read at a time); concurrency comes from
+   opening several clients. *)
+
+module Json = Qec_report.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_response t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error ("read failed: " ^ msg)
+  | line -> Protocol.response_of_line line
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  | () -> (
+    let t =
+      { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    in
+    match read_response t with
+    | Ok (Protocol.Hello v) when String.equal v Protocol.version -> Ok t
+    | Ok (Protocol.Hello v) ->
+      close t;
+      Error
+        (Printf.sprintf "server speaks %s but this client speaks %s" v
+           Protocol.version)
+    | Ok _ ->
+      close t;
+      Error "server did not open with a hello line"
+    | Error msg ->
+      close t;
+      Error msg)
+
+(* The daemon may not have bound its socket yet when a test or bench that
+   just spawned it connects; retry briefly instead of making every caller
+   write its own sleep loop. *)
+let rec connect_retry ?(attempts = 100) ?(delay_s = 0.05) path =
+  match connect path with
+  | Ok _ as ok -> ok
+  | Error _ as e when attempts <= 1 -> e
+  | Error _ ->
+    Unix.sleepf delay_s;
+    connect_retry ~attempts:(attempts - 1) ~delay_s path
+
+let send t json =
+  try
+    output_string t.oc (Protocol.encode json);
+    output_char t.oc '\n';
+    flush t.oc;
+    Ok ()
+  with Sys_error msg -> Error ("write failed: " ^ msg)
+
+let rpc t json =
+  match send t json with Error _ as e -> e | Ok () -> read_response t
+
+let ping ?id t = rpc t (Protocol.ping_request ?id ())
+let stats ?id t = rpc t (Protocol.stats_request ?id ())
+let shutdown ?id t = rpc t (Protocol.shutdown_request ?id ())
+
+let compile ?id ?op t spec = rpc t (Protocol.compile_request ?id ?op spec)
+
+(* One batch request; collects the streamed per-job result/error records
+   (in arrival order) until the final done record. *)
+let batch ?id t specs =
+  match send t (Protocol.batch_request ?id specs) with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec collect acc =
+      match read_response t with
+      | Error _ as e -> e
+      | Ok (Protocol.Done { ok; failed; _ }) ->
+        Ok (List.rev acc, ok, failed)
+      | Ok r -> collect (r :: acc)
+    in
+    collect []
+
+(* Render a result record's embedded job exactly as the one-shot engine
+   JSONL writer would: the record carries the job object verbatim, and
+   Json.to_string is the inverse of the parse, so this is byte-identical
+   to `autobraid batch` output for the same spec. *)
+let job_line json = Json.to_string json

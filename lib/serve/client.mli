@@ -1,0 +1,48 @@
+(** Blocking client for the [autobraid-serve/v1] protocol.
+
+    Synchronous by design — one request, then read until satisfied;
+    concurrency tests open several clients. Backs
+    [autobraid serve --connect], [test_serve] and the serve bench. *)
+
+module Json := Qec_report.Json
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to a socket path and validate the server's hello banner
+    (protocol-version mismatch is an error). *)
+
+val connect_retry : ?attempts:int -> ?delay_s:float -> string -> (t, string) result
+(** {!connect}, retried (default 100 × 50 ms) while the daemon is still
+    starting up. *)
+
+val close : t -> unit
+
+val send : t -> Json.t -> (unit, string) result
+(** Write one raw request line (already-encoded JSON). Use with
+    {!read_response} for pipelined / out-of-order traffic. *)
+
+val read_response : t -> (Protocol.response, string) result
+(** Read and decode the next response line. *)
+
+val rpc : t -> Json.t -> (Protocol.response, string) result
+(** {!send} then one {!read_response}. *)
+
+val ping : ?id:string -> t -> (Protocol.response, string) result
+val stats : ?id:string -> t -> (Protocol.response, string) result
+val shutdown : ?id:string -> t -> (Protocol.response, string) result
+
+val compile :
+  ?id:string -> ?op:string -> t -> Qec_engine.Spec.t ->
+  (Protocol.response, string) result
+
+val batch :
+  ?id:string -> t -> Qec_engine.Spec.t list ->
+  (Protocol.response list * int * int, string) result
+(** Streamed per-job records (arrival order) plus the final done
+    record's [(ok, failed)] counts. *)
+
+val job_line : Json.t -> string
+(** Print a result record's embedded job object exactly as the one-shot
+    engine JSONL writer would — byte-identical to [autobraid batch]
+    output for the same spec. *)

@@ -1,0 +1,221 @@
+(* The autobraid-serve/v1 wire protocol: newline-delimited JSON objects in
+   both directions over a Unix-domain stream socket.
+
+   Decoding is total: any byte sequence maps to [Ok request] or to a
+   structured [Engine_core.error] (kind "parse" for invalid JSON,
+   "bad-request" for a well-formed object of the wrong shape) — the
+   daemon's per-line loop must never be killable by input. Encoding is
+   deterministic (Qec_report.Json printing), so responses are
+   byte-reproducible and the serve/protocol fuzz property can assert
+   stability. *)
+
+module Json = Qec_report.Json
+module Spec = Qec_engine.Spec
+module Core = Qec_engine.Engine_core
+
+let version = "autobraid-serve/v1"
+
+type request =
+  | Compile of { id : string option; op : string; spec : Spec.t }
+  | Batch of { id : string option; specs : Spec.t list }
+  | Ping of { id : string option }
+  | Stats of { id : string option }
+  | Shutdown of { id : string option }
+
+let request_id = function
+  | Compile { id; _ }
+  | Batch { id; _ }
+  | Ping { id; _ }
+  | Stats { id; _ }
+  | Shutdown { id; _ } ->
+    id
+
+(* ---------------- request decode ---------------- *)
+
+let err kind fmt =
+  Printf.ksprintf
+    (fun message -> Error { Core.kind; message })
+    fmt
+
+let decode line =
+  match Json.of_string line with
+  | Error msg -> err "parse" "request is not valid JSON: %s" msg
+  | Ok (Json.Obj fields as obj) -> (
+    let id =
+      match Json.member "id" obj with
+      | Some (Json.String s) -> Ok (Some s)
+      | None | Some Json.Null -> Ok None
+      | Some _ -> err "bad-request" "request \"id\" must be a string"
+    in
+    match id with
+    | Error _ as e -> e
+    | Ok id -> (
+      let known_keys op = [ "op"; "id" ] @ op in
+      let reject_unknown allowed =
+        match
+          List.find_opt (fun (k, _) -> not (List.mem k allowed)) fields
+        with
+        | Some (k, _) -> err "bad-request" "unknown request field %S" k
+        | None -> Ok ()
+      in
+      match Json.member "op" obj with
+      | Some (Json.String (("compile" | "schedule") as op)) -> (
+        match reject_unknown (known_keys [ "spec" ]) with
+        | Error _ as e -> e
+        | Ok () -> (
+          match Json.member "spec" obj with
+          | None -> err "bad-request" "%s request is missing \"spec\"" op
+          | Some spec_json -> (
+            match Spec.of_json spec_json with
+            | Ok spec -> Ok (Compile { id; op; spec })
+            | Error msg -> err "bad-request" "bad spec: %s" msg)))
+      | Some (Json.String "batch") -> (
+        match reject_unknown (known_keys [ "jobs" ]) with
+        | Error _ as e -> e
+        | Ok () -> (
+          match Json.member "jobs" obj with
+          | None -> err "bad-request" "batch request is missing \"jobs\""
+          | Some jobs -> (
+            match Spec.manifest_of_json jobs with
+            | Ok [] -> err "bad-request" "batch request has no jobs"
+            | Ok specs -> Ok (Batch { id; specs })
+            | Error msg -> err "bad-request" "bad jobs: %s" msg)))
+      | Some (Json.String (("ping" | "stats" | "shutdown") as op)) -> (
+        match reject_unknown (known_keys []) with
+        | Error _ as e -> e
+        | Ok () ->
+          Ok
+            (match op with
+            | "ping" -> Ping { id }
+            | "stats" -> Stats { id }
+            | _ -> Shutdown { id }))
+      | Some (Json.String op) ->
+        err "bad-request"
+          "unknown op %S (expected compile|schedule|batch|ping|stats|shutdown)"
+          op
+      | Some _ -> err "bad-request" "request \"op\" must be a string"
+      | None -> err "bad-request" "request is missing \"op\""))
+  | Ok _ -> err "bad-request" "request must be a JSON object"
+
+(* ---------------- request encode (client side) ---------------- *)
+
+let with_id id fields =
+  (match id with Some id -> [ ("id", Json.String id) ] | None -> []) @ fields
+
+let compile_request ?id ?(op = "compile") spec =
+  Json.Obj
+    (("op", Json.String op) :: with_id id [ ("spec", Spec.to_json spec) ])
+
+let batch_request ?id specs =
+  Json.Obj
+    (("op", Json.String "batch")
+    :: with_id id [ ("jobs", Json.List (List.map Spec.to_json specs)) ])
+
+let control_request ?id op = Json.Obj (("op", Json.String op) :: with_id id [])
+let ping_request ?id () = control_request ?id "ping"
+let stats_request ?id () = control_request ?id "stats"
+let shutdown_request ?id () = control_request ?id "shutdown"
+
+let encode json = Json.to_string json
+
+(* ---------------- response encode (server side) ---------------- *)
+
+let request_field = function
+  | Some id -> [ ("request", Json.String id) ]
+  | None -> []
+
+let hello = Json.Obj [ ("type", Json.String "hello"); ("version", Json.String version) ]
+
+let result_record ~request job =
+  Json.Obj
+    (("type", Json.String "result")
+    :: request_field request
+    @ [ ("job", Core.job_to_json job) ])
+
+let error_record ~request (e : Core.error) =
+  Json.Obj
+    (("type", Json.String "error")
+    :: request_field request
+    @ [
+        ( "error",
+          Json.Obj
+            [
+              ("kind", Json.String e.Core.kind);
+              ("message", Json.String e.Core.message);
+            ] );
+      ])
+
+let pong_record ~request =
+  Json.Obj
+    (("type", Json.String "pong")
+    :: request_field request
+    @ [ ("version", Json.String version) ])
+
+let stats_record ~request stats =
+  Json.Obj
+    (("type", Json.String "stats") :: request_field request @ [ ("stats", stats) ])
+
+let done_record ~request ~ok ~failed =
+  Json.Obj
+    (("type", Json.String "done")
+    :: request_field request
+    @ [ ("ok", Json.Int ok); ("failed", Json.Int failed) ])
+
+let shutdown_record ~request =
+  Json.Obj (("type", Json.String "shutdown") :: request_field request)
+
+(* ---------------- response decode (client side) ---------------- *)
+
+type response =
+  | Hello of string
+  | Result of { request : string option; job : Json.t }
+  | Error_resp of { request : string option; kind : string; message : string }
+  | Pong of { request : string option; version : string }
+  | Stats_resp of { request : string option; stats : Json.t }
+  | Done of { request : string option; ok : int; failed : int }
+  | Shutdown_ack of { request : string option }
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error ("response is not valid JSON: " ^ msg)
+  | Ok (Json.Obj _ as obj) -> (
+    let request =
+      match Json.member "request" obj with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    match Json.member "type" obj with
+    | Some (Json.String "hello") -> (
+      match Json.member "version" obj with
+      | Some (Json.String v) -> Ok (Hello v)
+      | _ -> Error "hello response has no version")
+    | Some (Json.String "result") -> (
+      match Json.member "job" obj with
+      | Some job -> Ok (Result { request; job })
+      | None -> Error "result response has no job")
+    | Some (Json.String "error") -> (
+      match Json.member "error" obj with
+      | Some (Json.Obj _ as e) -> (
+        match (Json.member "kind" e, Json.member "message" e) with
+        | Some (Json.String kind), Some (Json.String message) ->
+          Ok (Error_resp { request; kind; message })
+        | _ -> Error "error response has a malformed error object")
+      | _ -> Error "error response has no error object")
+    | Some (Json.String "pong") -> (
+      match Json.member "version" obj with
+      | Some (Json.String v) -> Ok (Pong { request; version = v })
+      | _ -> Error "pong response has no version")
+    | Some (Json.String "stats") -> (
+      match Json.member "stats" obj with
+      | Some stats -> Ok (Stats_resp { request; stats })
+      | None -> Error "stats response has no stats")
+    | Some (Json.String "done") -> (
+      match (Json.member "ok" obj, Json.member "failed" obj) with
+      | Some (Json.Int ok), Some (Json.Int failed) ->
+        Ok (Done { request; ok; failed })
+      | _ -> Error "done response has malformed counts")
+    | Some (Json.String "shutdown") -> Ok (Shutdown_ack { request })
+    | Some (Json.String t) -> Error (Printf.sprintf "unknown response type %S" t)
+    | _ -> Error "response has no type"
+  )
+  | Ok _ -> Error "response must be a JSON object"

@@ -1,0 +1,92 @@
+(** The [autobraid-serve/v1] wire protocol.
+
+    Newline-delimited JSON objects in both directions over a Unix-domain
+    stream socket. On connect the server sends one {!hello} line; after
+    that the client sends request lines and the server answers with one
+    or more response lines per request, correlated by the request's
+    optional [id] (echoed back as ["request"]). Responses to different
+    in-flight requests may interleave — that is the point of the
+    correlation ids.
+
+    Requests: [{"op": "compile"|"schedule", "id"?, "spec": {...}}],
+    [{"op": "batch", "id"?, "jobs": [...]}], and the bodyless
+    [ping] / [stats] / [shutdown]. [schedule] is accepted as an alias of
+    [compile] (the CLI's two one-shot entry points are the same engine
+    path); the spec and jobs payloads are exactly
+    {!Qec_engine.Spec.of_json} / manifest JSON.
+
+    Responses: [result] (carrying one verbatim {!Qec_engine.Engine_core}
+    job record — byte-identical to what [autobraid batch] would emit for
+    the same spec), [error] (structured [kind]/[message], reusing the
+    engine's stable kinds plus the serve-level ["parse"],
+    ["bad-request"], ["overloaded"], ["timeout"] and ["shutting-down"]),
+    [pong], [stats], [done] (batch completion marker) and [shutdown]
+    (drain acknowledgement).
+
+    {!decode} is total: arbitrary bytes produce [Ok] or a structured
+    error, never an exception — the daemon loop's crash-safety rests on
+    this, and the [serve/protocol] fuzz property enforces it. *)
+
+module Json := Qec_report.Json
+
+val version : string
+(** ["autobraid-serve/v1"]. *)
+
+type request =
+  | Compile of { id : string option; op : string; spec : Qec_engine.Spec.t }
+      (** [op] is ["compile"] or ["schedule"] as received *)
+  | Batch of { id : string option; specs : Qec_engine.Spec.t list }
+  | Ping of { id : string option }
+  | Stats of { id : string option }
+  | Shutdown of { id : string option }
+
+val request_id : request -> string option
+
+val decode : string -> (request, Qec_engine.Engine_core.error) result
+(** Decode one request line. Total: invalid JSON is [Error] kind
+    ["parse"], a structurally wrong request is kind ["bad-request"];
+    no input raises. *)
+
+(** {2 Request encoding (client side)} *)
+
+val compile_request : ?id:string -> ?op:string -> Qec_engine.Spec.t -> Json.t
+(** [op] defaults to ["compile"]; pass ["schedule"] for the alias. *)
+
+val batch_request : ?id:string -> Qec_engine.Spec.t list -> Json.t
+val ping_request : ?id:string -> unit -> Json.t
+val stats_request : ?id:string -> unit -> Json.t
+val shutdown_request : ?id:string -> unit -> Json.t
+
+val encode : Json.t -> string
+(** One compact line (no trailing newline). *)
+
+(** {2 Response encoding (server side)} *)
+
+val hello : Json.t
+
+val result_record : request:string option -> Qec_engine.Engine_core.job -> Json.t
+(** The job record is embedded verbatim ({!Qec_engine.Engine_core.job_to_json}
+    without timings), so extracting ["job"] and re-printing it reproduces
+    the one-shot engine rendering byte for byte. *)
+
+val error_record :
+  request:string option -> Qec_engine.Engine_core.error -> Json.t
+
+val pong_record : request:string option -> Json.t
+val stats_record : request:string option -> Json.t -> Json.t
+val done_record : request:string option -> ok:int -> failed:int -> Json.t
+val shutdown_record : request:string option -> Json.t
+
+(** {2 Response decoding (client side)} *)
+
+type response =
+  | Hello of string  (** protocol version *)
+  | Result of { request : string option; job : Json.t }
+  | Error_resp of { request : string option; kind : string; message : string }
+  | Pong of { request : string option; version : string }
+  | Stats_resp of { request : string option; stats : Json.t }
+  | Done of { request : string option; ok : int; failed : int }
+  | Shutdown_ack of { request : string option }
+
+val response_of_line : string -> (response, string) result
+(** Total, like {!decode}. *)

@@ -400,6 +400,83 @@ let test_cache_truncated_entry_is_miss () =
        still verifies, which is fine — the digest is intact *)
     [ 0; 1; String.length pristine / 3; String.length pristine - 2 ]
 
+(* A torn write — two unlocked writers interleaving, leaving one entry's
+   prefix spliced onto another's suffix — must read back as a miss, not a
+   silently replayed wrong placement. The advisory lock makes this
+   unreachable between locked processes; the md5 trailer is the backstop
+   for everything else (NFS, kill -9 mid-rename, foreign writers). *)
+let test_cache_torn_write_is_miss () =
+  with_temp_dir @@ fun dir ->
+  let c = lowered "bv12" in
+  let place ?(seed = 7) cache =
+    Cache.find_or_place cache ~circuit:c ~side:4 ~method_:IL.Annealed ~seed
+  in
+  let reference = place (Cache.create ~dir ()) in
+  let _other = place ~seed:8 (Cache.create ~dir ()) in
+  let read key =
+    let path = Filename.concat dir (key ^ ".placement") in
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let k7 = Cache.key ~circuit:c ~side:4 ~method_:IL.Annealed ~seed:7 in
+  let k8 = Cache.key ~circuit:c ~side:4 ~method_:IL.Annealed ~seed:8 in
+  let e7 = read k7 and e8 = read k8 in
+  let cut = String.length e7 / 2 in
+  let torn =
+    String.sub e7 0 cut ^ String.sub e8 cut (String.length e8 - cut)
+  in
+  check_bool "splice really differs" true (torn <> e7 && torn <> e8);
+  let oc = open_out_bin (Filename.concat dir (k7 ^ ".placement")) in
+  output_string oc torn;
+  close_out oc;
+  let cache = Cache.create ~dir () in
+  let p = place cache in
+  let k = Cache.counters cache in
+  check_int "torn write is a miss" 1 k.Cache.misses;
+  check_int "torn write no disk hit" 0 k.Cache.disk_hits;
+  Alcotest.(check (array int))
+    "torn write recomputes identically"
+    (Qec_lattice.Placement.to_array reference)
+    (Qec_lattice.Placement.to_array p)
+
+(* Several cache instances hammering the same directory concurrently
+   (the serve daemon next to a batch run) must leave only valid entries
+   behind: a fresh cache replays every key from disk, byte-identical to
+   the sequential reference. *)
+let test_cache_concurrent_writers () =
+  with_temp_dir @@ fun dir ->
+  let c = lowered "bv12" in
+  let seeds = [ 3; 4; 5 ] in
+  let place cache seed =
+    Cache.find_or_place cache ~circuit:c ~side:4 ~method_:IL.Annealed ~seed
+  in
+  let reference =
+    let cache = Cache.create () in
+    List.map (fun s -> Qec_lattice.Placement.to_array (place cache s)) seeds
+  in
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let cache = Cache.create ~dir () in
+            List.iter (fun s -> ignore (place cache s)) seeds))
+  in
+  List.iter Domain.join writers;
+  let warm = Cache.create ~dir () in
+  let replayed =
+    List.map (fun s -> Qec_lattice.Placement.to_array (place warm s)) seeds
+  in
+  let k = Cache.counters warm in
+  check_int "all keys replay from disk" (List.length seeds) k.Cache.disk_hits;
+  check_int "no recomputation" 0 k.Cache.misses;
+  List.iteri
+    (fun i (r, p) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "concurrent entry %d identical" i)
+        r p)
+    (List.combine reference replayed)
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                               *)
 
@@ -560,6 +637,9 @@ let () =
             test_cache_bit_flip_is_miss;
           Alcotest.test_case "truncated entry" `Quick
             test_cache_truncated_entry_is_miss;
+          Alcotest.test_case "torn write" `Quick test_cache_torn_write_is_miss;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_cache_concurrent_writers;
         ] );
       ( "engine",
         [
