@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the one-stop pre-commit gate.
 
-.PHONY: all build test bench bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke serve-smoke fmt lint check clean
+.PHONY: all build test bench bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke lookahead-smoke serve-smoke fmt lint check clean
 
 CLI := _build/default/bin/autobraid_cli.exe
 
@@ -135,6 +135,29 @@ verify-smoke: build
 		|| { echo "verify-smoke: missing certificate schema tag"; exit 1; }
 	@echo "verify-smoke: OK"
 
+# Lookahead smoke: the portfolio scheduler must beat plain braiding on
+# the long-range family (the committed BENCH_backends.json win) and must
+# never be worse anywhere. The returned schedule is the "total cycles"
+# table row; the greedy run it raced is the greedy_cycles stat.
+lookahead-smoke: build
+	@for c in lr16 lr24; do \
+		out=$$($(CLI) schedule $$c --backend lookahead) || exit 1; \
+		total=$$(echo "$$out" | awk -F'|' '/total cycles/ {gsub(/ /,"",$$3); print $$3}'); \
+		greedy=$$(echo "$$out" | awk '/greedy_cycles/ {print $$2}'); \
+		[ -n "$$total" ] && [ -n "$$greedy" ] \
+			|| { echo "lookahead-smoke: $$c missing cycle stats"; exit 1; }; \
+		[ "$$total" -le "$$greedy" ] \
+			|| { echo "lookahead-smoke: $$c lookahead $$total > braid $$greedy"; exit 1; }; \
+	done
+	@out=$$($(CLI) schedule lr24 --backend lookahead); \
+	total=$$(echo "$$out" | awk -F'|' '/total cycles/ {gsub(/ /,"",$$3); print $$3}'); \
+	greedy=$$(echo "$$out" | awk '/greedy_cycles/ {print $$2}'); \
+	[ "$$total" -lt "$$greedy" ] \
+		|| { echo "lookahead-smoke: expected a strict win on lr24 ($$total vs $$greedy)"; exit 1; }
+	@$(CLI) schedule lr24 --backend compare | grep -q lookahead \
+		|| { echo "lookahead-smoke: compare does not include lookahead"; exit 1; }
+	@echo "lookahead-smoke: OK"
+
 # Serve smoke: boot the daemon, hit it with two concurrent clients whose
 # responses must be byte-identical to a local batch run, check the stats
 # endpoint saw the shared cache, exercise admission control on a
@@ -183,7 +206,7 @@ serve-smoke: build
 	rm -rf "$$dir"; \
 	echo "serve-smoke: OK"
 
-check: fmt build test lint bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke serve-smoke
+check: fmt build test lint bench-smoke bench-check batch-smoke fuzz-smoke profile-smoke verify-smoke lookahead-smoke serve-smoke
 	@echo "check: OK"
 
 clean:

@@ -709,11 +709,12 @@ let backend_outcome_json (o : Autobraid.Comm_backend.outcome) =
    shape `--check` gates against. *)
 let backends_section ~section ~circuits ~json_out () =
   header
-    (Printf.sprintf "%s: braiding vs lattice surgery (d = 33)"
+    (Printf.sprintf "%s: braiding vs lattice surgery vs lookahead (d = 33)"
        (String.capitalize_ascii section));
   let module CB = Autobraid.Comm_backend in
   let braid = CB.braid () in
   let surgery = Qec_surgery.Backend.make () in
+  let lookahead = Qec_lookahead.Backend.make () in
   let t =
     TP.create
       ~headers:
@@ -723,9 +724,11 @@ let backends_section ~section ~circuits ~json_out () =
           ("#gate", TP.Right);
           ("braid (us)", TP.Right);
           ("surgery (us)", TP.Right);
+          ("lookahead (us)", TP.Right);
           ("braid rounds", TP.Right);
           ("surgery rounds", TP.Right);
           ("speedup", TP.Right);
+          ("la speedup", TP.Right);
         ]
   in
   let rows =
@@ -733,7 +736,8 @@ let backends_section ~section ~circuits ~json_out () =
       (fun (name, circuit) ->
         let ob = braid.CB.run timing33 circuit in
         let os = surgery.CB.run timing33 circuit in
-        let rb = ob.CB.result and rs = os.CB.result in
+        let ol = lookahead.CB.run timing33 circuit in
+        let rb = ob.CB.result and rs = os.CB.result and rl = ol.CB.result in
         TP.add_row t
           [
             name;
@@ -741,18 +745,22 @@ let backends_section ~section ~circuits ~json_out () =
             TP.si_cell (float_of_int rb.S.num_gates);
             TP.si_cell (us rb);
             TP.si_cell (us rs);
+            TP.si_cell (us rl);
             string_of_int rb.S.rounds;
             string_of_int rs.S.rounds;
             Printf.sprintf "%.2fx"
               (float_of_int rb.S.total_cycles /. float_of_int rs.S.total_cycles);
+            Printf.sprintf "%.2fx"
+              (float_of_int rb.S.total_cycles /. float_of_int rl.S.total_cycles);
           ];
-        (name, ob, os))
+        (name, ob, os, ol))
       circuits
   in
   TP.print t;
   print_endline
-    "(same gate set either way; surgery holds corridors for d cycles, \
-     pipelines splits under disjoint fronts, and never inserts SWAPs)";
+    "(same gate set each way; surgery holds corridors for d cycles and \
+     pipelines splits; lookahead races a candidate-ordering portfolio \
+     against the greedy round and is never worse than braid)";
   let json =
     let open Qec_report.Json in
     Obj
@@ -762,7 +770,7 @@ let backends_section ~section ~circuits ~json_out () =
         ( "circuits",
           List
             (List.map
-               (fun (name, ob, os) ->
+               (fun (name, ob, os, ol) ->
                  let rb = ob.CB.result in
                  Obj
                    [
@@ -771,10 +779,15 @@ let backends_section ~section ~circuits ~json_out () =
                      ("num_gates", Int rb.S.num_gates);
                      ("braid", backend_outcome_json ob);
                      ("surgery", backend_outcome_json os);
+                     ("lookahead", backend_outcome_json ol);
                      ( "speedup",
                        Float
                          (float_of_int ob.CB.result.S.total_cycles
                          /. float_of_int os.CB.result.S.total_cycles) );
+                     ( "lookahead_speedup",
+                       Float
+                         (float_of_int ob.CB.result.S.total_cycles
+                         /. float_of_int ol.CB.result.S.total_cycles) );
                    ])
                rows) );
       ]

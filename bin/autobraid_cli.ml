@@ -3,7 +3,8 @@
    Subcommands:
      compile    schedule a circuit and report latency/utilization
      schedule   same, through a selectable communication backend
-                (braid / surgery / compare; see docs/surgery.md)
+                (braid / surgery / lookahead / compare; docs/backends.md)
+     backends   list registered backends and their --backend-opt schemas
      batch      compile a JSON manifest of specs on a multicore worker
                 pool with a shared placement cache (see docs/engine.md)
      info       static analysis: sizes, depth, parallelism, LLG census
@@ -144,6 +145,40 @@ let trace_out_arg =
         ~doc:"Write a Chrome trace-event (Perfetto) trace to FILE — one \
               lane per worker domain; open it at ui.perfetto.dev (see \
               docs/observability.md)")
+
+(* ---------------- per-backend options (--backend-opt) ---------------- *)
+
+(* The declared specs a spec's backend_options decode against: the
+   registry entry's, or the baseline codec when the spec runs the
+   baseline scheduler (it is not in the registry). An unknown backend
+   yields the empty schema; the engine reports the name error itself. *)
+let option_specs_for (s : Qec_engine.Spec.t) =
+  if s.Qec_engine.Spec.scheduler = Qec_engine.Spec.Baseline then
+    Gp_baseline.options_spec
+  else
+    match Autobraid.Comm_backend.of_name s.Qec_engine.Spec.backend with
+    | Some e -> e.Autobraid.Comm_backend.options
+    | None -> []
+
+let parse_backend_opts specs raw =
+  List.map
+    (fun arg ->
+      match Autobraid.Comm_backend.Options.parse_kv specs arg with
+      | Ok kv -> kv
+      | Error msg ->
+        Printf.eprintf "--backend-opt: %s\n" msg;
+        exit 2)
+    raw
+
+let backend_opt_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "backend-opt" ] ~docv:"KEY=VALUE"
+        ~doc:
+          "Backend-specific option (repeatable), checked against the \
+           backend's declared schema — `autobraid backends` lists every \
+           key. Supersedes the braid-only -p/-s spellings, which survive \
+           as compatibility aliases.")
 
 (* What a SIGINT/SIGTERM must flush before the process dies. Long
    commands (batch, fuzz, serve client runs) install the handlers; the
@@ -330,8 +365,8 @@ let print_certificate (payload : Qec_engine.Engine.payload) =
     not (Qec_verify.Certifier.ok cert)
 
 let compile_cmd =
-  let run spec d seed p sched initial best_p optimize certify metrics
-      telemetry_out trace_out =
+  let run spec d seed p sched initial backend_opts best_p optimize certify
+      metrics telemetry_out trace_out =
     let code =
       with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
       let timing = Qec_surface.Timing.make ~d () in
@@ -353,6 +388,13 @@ let compile_cmd =
           outputs = { Qec_engine.Spec.default.outputs with certificate = certify };
         }
       in
+      let s =
+        {
+          s with
+          Qec_engine.Spec.backend_options =
+            parse_backend_opts (option_specs_for s) backend_opts;
+        }
+      in
       match Qec_engine.Engine.run_spec s with
       | Error e -> die_engine_text e
       | Ok payload ->
@@ -366,8 +408,9 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Schedule a circuit's braiding paths")
     Term.(
       const run $ circuit_arg $ distance_arg $ seed_arg $ threshold_arg
-      $ scheduler_arg $ initial_arg $ best_p_arg $ optimize_arg $ certify_arg
-      $ metrics_arg $ telemetry_out_arg $ trace_out_arg)
+      $ scheduler_arg $ initial_arg $ backend_opt_arg $ best_p_arg
+      $ optimize_arg $ certify_arg $ metrics_arg $ telemetry_out_arg
+      $ trace_out_arg)
 
 (* ---------------- schedule (pluggable backend) ---------------- *)
 
@@ -382,54 +425,77 @@ let print_backend_stats = function
         else Printf.printf "  %-20s %.2f\n" k v)
       stats
 
-let print_comparison timing (nb, (rb : Autobraid.Scheduler.result))
-    (ns, (rs : Autobraid.Scheduler.result)) =
-  let t =
-    Qec_util.Tableprint.create
-      ~headers:
-        [
-          ("metric", Qec_util.Tableprint.Left);
-          (nb, Qec_util.Tableprint.Right);
-          (ns, Qec_util.Tableprint.Right);
-        ]
-  in
-  let add k f = Qec_util.Tableprint.add_row t [ k; f rb; f rs ] in
-  add "total cycles" (fun r -> string_of_int r.Autobraid.Scheduler.total_cycles);
-  add "execution time (us)" (fun r ->
-      Qec_util.Tableprint.si_cell (Autobraid.Scheduler.time_us timing r));
-  add "rounds" (fun r -> string_of_int r.Autobraid.Scheduler.rounds);
-  add "comm rounds" (fun r ->
-      string_of_int r.Autobraid.Scheduler.braid_rounds);
-  add "swap layers" (fun r -> string_of_int r.Autobraid.Scheduler.swap_layers);
-  add "swaps inserted" (fun r ->
-      string_of_int r.Autobraid.Scheduler.swaps_inserted);
-  add "avg utilization" (fun r ->
-      Printf.sprintf "%.1f%%" (100. *. r.Autobraid.Scheduler.avg_utilization));
-  add "peak utilization" (fun r ->
-      Printf.sprintf "%.1f%%" (100. *. r.Autobraid.Scheduler.peak_utilization));
-  Qec_util.Tableprint.print t;
-  let cb = rb.Autobraid.Scheduler.total_cycles
-  and cs = rs.Autobraid.Scheduler.total_cycles in
-  Printf.printf "\nspeedup (%s/%s cycles): %.2fx\n" nb ns
-    (float_of_int cb /. float_of_int (max 1 cs))
+(* One column per backend, first column is the reference the speedup
+   lines divide by (the braid baseline in compare mode). *)
+let print_comparison timing
+    (results : (string * Autobraid.Scheduler.result) list) =
+  match results with
+  | [] -> ()
+  | (base_name, base) :: rest ->
+    let t =
+      Qec_util.Tableprint.create
+        ~headers:
+          (("metric", Qec_util.Tableprint.Left)
+          :: List.map (fun (n, _) -> (n, Qec_util.Tableprint.Right)) results)
+    in
+    let add k f =
+      Qec_util.Tableprint.add_row t (k :: List.map (fun (_, r) -> f r) results)
+    in
+    add "total cycles" (fun r ->
+        string_of_int r.Autobraid.Scheduler.total_cycles);
+    add "execution time (us)" (fun r ->
+        Qec_util.Tableprint.si_cell (Autobraid.Scheduler.time_us timing r));
+    add "rounds" (fun r -> string_of_int r.Autobraid.Scheduler.rounds);
+    add "comm rounds" (fun r ->
+        string_of_int r.Autobraid.Scheduler.braid_rounds);
+    add "swap layers" (fun r ->
+        string_of_int r.Autobraid.Scheduler.swap_layers);
+    add "swaps inserted" (fun r ->
+        string_of_int r.Autobraid.Scheduler.swaps_inserted);
+    add "avg utilization" (fun r ->
+        Printf.sprintf "%.1f%%" (100. *. r.Autobraid.Scheduler.avg_utilization));
+    add "peak utilization" (fun r ->
+        Printf.sprintf "%.1f%%"
+          (100. *. r.Autobraid.Scheduler.peak_utilization));
+    Qec_util.Tableprint.print t;
+    print_newline ();
+    List.iter
+      (fun (n, (r : Autobraid.Scheduler.result)) ->
+        Printf.printf "speedup (%s/%s cycles): %.2fx\n" base_name n
+          (float_of_int base.Autobraid.Scheduler.total_cycles
+          /. float_of_int (max 1 r.Autobraid.Scheduler.total_cycles)))
+      rest
 
 let schedule_cmd =
-  let run spec backend d seed p initial certify metrics telemetry_out
-      trace_out =
+  let run spec backend d seed p initial backend_opts certify metrics
+      telemetry_out trace_out =
     let code =
       with_telemetry ~metrics ~telemetry_out ~trace_out @@ fun () ->
       let timing = Qec_surface.Timing.make ~d () in
+      if backend = "compare" && backend_opts <> [] then begin
+        (* Each backend has its own schema; one key=value list cannot
+           target three of them at once. *)
+        prerr_endline "--backend-opt does not apply to --backend compare";
+        exit 2
+      end;
       let spec_for name =
+        let s =
+          {
+            Qec_engine.Spec.default with
+            circuit = spec;
+            backend = name;
+            d;
+            seed;
+            threshold_p = p;
+            initial;
+            outputs =
+              { Qec_engine.Spec.default.outputs with certificate = certify };
+          }
+        in
         {
-          Qec_engine.Spec.default with
-          circuit = spec;
-          backend = name;
-          d;
-          seed;
-          threshold_p = p;
-          initial;
-          outputs =
-            { Qec_engine.Spec.default.outputs with certificate = certify };
+          s with
+          Qec_engine.Spec.backend_options =
+            parse_backend_opts (option_specs_for s) backend_opts;
         }
       in
       let run_one name =
@@ -440,13 +506,14 @@ let schedule_cmd =
       in
       match backend with
       | "compare" ->
-        let pb = run_one "braid" in
-        let ps = run_one "surgery" in
+        let payloads = List.map run_one [ "braid"; "surgery"; "lookahead" ] in
         print_comparison timing
-          (pb.Qec_engine.Engine.backend, pb.Qec_engine.Engine.result)
-          (ps.Qec_engine.Engine.backend, ps.Qec_engine.Engine.result);
-        let fb = print_certificate pb and fs = print_certificate ps in
-        if fb || fs then 1 else 0
+          (List.map
+             (fun (p : Qec_engine.Engine.payload) ->
+               (p.Qec_engine.Engine.backend, p.Qec_engine.Engine.result))
+             payloads);
+        let failures = List.map print_certificate payloads in
+        if List.exists Fun.id failures then 1 else 0
       | name ->
         let payload = run_one name in
         print_result timing payload.Qec_engine.Engine.result;
@@ -464,8 +531,7 @@ let schedule_cmd =
         Error
           (`Msg
             (Printf.sprintf "unknown backend %S (expected %s or compare)" s
-               (String.concat ", "
-                  (List.map fst (Autobraid.Comm_backend.all ())))))
+               (String.concat ", " (Autobraid.Comm_backend.names ()))))
     in
     let backend_conv = Arg.conv (parse, Format.pp_print_string) in
     Arg.(
@@ -474,10 +540,12 @@ let schedule_cmd =
           ~doc:
             (Printf.sprintf
                "Communication backend (registered: %s), or compare (run \
-                braid and surgery, print a side-by-side table)"
+                braid, surgery and lookahead, print a side-by-side table)"
                (String.concat ", "
                   (List.map
-                     (fun (n, d) -> Printf.sprintf "%s (%s)" n d)
+                     (fun (e : Autobraid.Comm_backend.entry) ->
+                       Printf.sprintf "%s (%s)" e.Autobraid.Comm_backend.name
+                         e.Autobraid.Comm_backend.description)
                      (Autobraid.Comm_backend.all ())))))
   in
   Cmd.v
@@ -485,14 +553,14 @@ let schedule_cmd =
        ~doc:"Schedule a circuit through a pluggable communication backend")
     Term.(
       const run $ circuit_arg $ backend_arg $ distance_arg $ seed_arg
-      $ threshold_arg $ initial_arg $ certify_arg $ metrics_arg
-      $ telemetry_out_arg $ trace_out_arg)
+      $ threshold_arg $ initial_arg $ backend_opt_arg $ certify_arg
+      $ metrics_arg $ telemetry_out_arg $ trace_out_arg)
 
 (* ---------------- batch ---------------- *)
 
 let batch_cmd =
-  let run manifest jobs cache_dir out timings certify metrics telemetry_out
-      trace_out =
+  let run manifest jobs cache_dir out timings backend_opts certify metrics
+      telemetry_out trace_out =
     (* A batch is the long-running command: Ctrl-C / SIGTERM mid-run must
        still flush the telemetry sinks (cache entries persist as they are
        inserted, so the cache needs nothing). *)
@@ -529,6 +597,22 @@ let batch_cmd =
             { s with outputs = { s.outputs with certificate = true } })
           specs
       else specs
+    in
+    let specs =
+      (* Appended after each job's own options, so the command line wins;
+         every job's backend must accept every given key. *)
+      match backend_opts with
+      | [] -> specs
+      | raw ->
+        List.map
+          (fun (s : Qec_engine.Spec.t) ->
+            {
+              s with
+              Qec_engine.Spec.backend_options =
+                s.Qec_engine.Spec.backend_options
+                @ parse_backend_opts (option_specs_for s) raw;
+            })
+          specs
     in
     let cache = Qec_engine.Placement_cache.create ?dir:cache_dir () in
     let t0 = Unix.gettimeofday () in
@@ -628,8 +712,8 @@ let batch_cmd =
           failed, 2 on an unusable manifest, 0 otherwise.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_dir_arg $ out_arg
-      $ timings_arg $ batch_certify_arg $ metrics_arg $ telemetry_out_arg
-      $ trace_out_arg)
+      $ timings_arg $ backend_opt_arg $ batch_certify_arg $ metrics_arg
+      $ telemetry_out_arg $ trace_out_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -870,9 +954,13 @@ let export_cmd =
               (Qec_telemetry.Collector.sink collector)
             @@ fun () ->
             let b =
-              match which with
-              | `Braid -> Autobraid.Comm_backend.braid ()
-              | `Surgery -> Qec_surgery.Backend.make ()
+              match Autobraid.Comm_backend.of_name which with
+              | Some e ->
+                e.Autobraid.Comm_backend.ctor
+                  Autobraid.Comm_backend.default_config
+                  (Autobraid.Comm_backend.Options.defaults
+                     e.Autobraid.Comm_backend.options)
+              | None -> assert false (* the conv validated the name *)
             in
             b.Autobraid.Comm_backend.run timing c
           in
@@ -913,9 +1001,17 @@ let export_cmd =
                 (p-sweep)")
   in
   let backend_arg =
+    let parse s =
+      if Autobraid.Comm_backend.of_name s <> None then Ok s
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %S (registered: %s)" s
+               (String.concat ", " (Autobraid.Comm_backend.names ()))))
+    in
     Arg.(
       value
-      & opt (some (enum [ ("braid", `Braid); ("surgery", `Surgery) ])) None
+      & opt (some (conv (parse, Format.pp_print_string))) None
       & info [ "backend" ] ~docv:"BACKEND"
           ~doc:"With -f json: export one communication backend's outcome \
                 (backend name, result, backend_stats, trace, exposure, \
@@ -931,6 +1027,70 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export results, traces and graphs (json/dot/csv)")
     Term.(
       const run $ circuit_arg $ distance_arg $ fmt_arg $ backend_arg $ out_arg)
+
+(* ---------------- backends ---------------- *)
+
+let backends_cmd =
+  let json_of_value = function
+    | Autobraid.Comm_backend.Options.Bool b -> Qec_report.Json.Bool b
+    | Autobraid.Comm_backend.Options.Int i -> Qec_report.Json.Int i
+    | Autobraid.Comm_backend.Options.Float f -> Qec_report.Json.Float f
+    | Autobraid.Comm_backend.Options.String s -> Qec_report.Json.String s
+  in
+  let run json =
+    let entries = Autobraid.Comm_backend.all () in
+    if json then
+      print_endline
+        (Qec_report.Json.to_string ~indent:true
+           (Qec_report.Json.List
+              (List.map
+                 (fun (e : Autobraid.Comm_backend.entry) ->
+                   Qec_report.Json.Obj
+                     [
+                       ("name", Qec_report.Json.String e.name);
+                       ("description", Qec_report.Json.String e.description);
+                       ( "options",
+                         Qec_report.Json.List
+                           (List.map
+                              (fun (s : Autobraid.Comm_backend.Options.spec) ->
+                                Qec_report.Json.Obj
+                                  [
+                                    ("key", Qec_report.Json.String s.key);
+                                    ( "type",
+                                      Qec_report.Json.String
+                                        (Autobraid.Comm_backend.Options
+                                         .kind_to_string s.kind) );
+                                    ("default", json_of_value s.default);
+                                    ("doc", Qec_report.Json.String s.doc);
+                                  ])
+                              e.options) );
+                     ])
+                 entries)))
+    else
+      List.iteri
+        (fun i (e : Autobraid.Comm_backend.entry) ->
+          if i > 0 then print_newline ();
+          Printf.printf "%s: %s\n" e.name e.description;
+          if e.options = [] then print_endline "  (no options)"
+          else
+            List.iter
+              (fun (flag, doc) -> Printf.printf "  %-24s %s\n" flag doc)
+              (Autobraid.Comm_backend.Options.to_flags e.options))
+        entries
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable listing: name, description and option \
+                schema (key, type, default, doc) per backend")
+  in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:
+         "List registered communication backends and their --backend-opt \
+          schemas")
+    Term.(const run $ json_arg)
 
 (* ---------------- trace ---------------- *)
 
@@ -1654,6 +1814,6 @@ let main =
        ~doc:"Surface-code braiding-path scheduler (AutoBraid, MICRO'21)")
     [ compile_cmd; schedule_cmd; batch_cmd; serve_cmd; profile_cmd; info_cmd;
        lint_cmd; verify_cmd; fuzz_cmd; resources_cmd; emit_cmd; sweep_cmd;
-       trace_cmd; export_cmd; list_cmd ]
+       trace_cmd; export_cmd; backends_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -25,6 +25,31 @@ let default_options =
     seed = 11;
   }
 
+(* The baseline is not in the Comm_backend registry (it produces no
+   trace), but it speaks the same per-backend options codec so the engine
+   decodes every backend's knobs uniformly. *)
+let options_spec =
+  let open Autobraid.Comm_backend.Options in
+  [
+    {
+      key = "router";
+      kind = TEnum [ "dimension"; "astar" ];
+      default = String "dimension";
+      doc =
+        "dimension = braidflash-style single-bend routes (the faithful \
+         baseline), astar = detouring A* ablation";
+    };
+  ]
+
+let of_backend_options opts base =
+  {
+    base with
+    router =
+      (match Autobraid.Comm_backend.Options.get_string opts "router" with
+      | "astar" -> Astar
+      | _ -> Dimension_ordered);
+  }
+
 let run ?(options = default_options) timing circuit : Scheduler.result =
   let t0 = Sys.time () in
   let circuit = Decompose.to_scheduler_gates circuit in

@@ -27,6 +27,18 @@ type options = {
 
 val default_options : options
 
+val options_spec : Autobraid.Comm_backend.Options.spec list
+(** The baseline's knobs in the shared per-backend options codec:
+    [router] (["dimension"|"astar"]). The baseline stays out of the
+    {!Autobraid.Comm_backend} registry (it produces no trace), but the
+    engine decodes its [backend_options] against this spec like any
+    registered backend's. *)
+
+val of_backend_options :
+  Autobraid.Comm_backend.Options.t -> options -> options
+(** Overlay a decoded (complete, type-checked) options record onto
+    [base]. *)
+
 val run :
   ?options:options ->
   Qec_surface.Timing.t ->

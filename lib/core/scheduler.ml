@@ -67,7 +67,15 @@ let auto_strategy coupling =
   if Coupling.density coupling > 0.35 then Layout_opt.Odd_even
   else Layout_opt.Greedy
 
-let run_impl ~record ~options timing circuit =
+type round_route =
+  round:int ->
+  router:Qec_lattice.Router.t ->
+  occ:Qec_lattice.Occupancy.t ->
+  placement:Qec_lattice.Placement.t ->
+  Task.t list ->
+  Stack_finder.outcome
+
+let run_impl ?route ~record ~options timing circuit =
   if options.threshold_p < 0. || options.threshold_p >= 1. then
     invalid_arg "Scheduler.run: threshold_p out of [0, 1)";
   Tel.with_span "scheduler.run" @@ fun () ->
@@ -154,33 +162,41 @@ let run_impl ~record ~options timing circuit =
     else begin
       Occupancy.clear occ;
       let outcome =
-        Stack_finder.find ~retry:options.retry
-          ~confine_llg:options.confine_llg ?priority_of router occ placement
-          cx_tasks
-      in
-      let outcome =
-        (* Optional topological compaction: shorten the round's paths and
-           use the freed vertices to rescue gates that failed to route. *)
-        if options.compaction && outcome.Stack_finder.routed <> [] then begin
-          let routed =
-            Compaction.compact router occ placement
-              outcome.Stack_finder.routed
+        (* The round-router seam: a custom [route] owns the whole
+           routing decision for the round (candidate orderings, rip-up,
+           rescue) and must leave [occ] holding exactly the reservations
+           of the outcome it returns. The default is the stack finder
+           plus optional compaction below. *)
+        match route with
+        | Some f -> f ~round:!rounds ~router ~occ ~placement cx_tasks
+        | None ->
+          let outcome =
+            Stack_finder.find ~retry:options.retry
+              ~confine_llg:options.confine_llg ?priority_of router occ
+              placement cx_tasks
           in
-          let rescued, failed =
-            Stack_finder.route_in_order router occ placement
-              outcome.Stack_finder.failed
-          in
-          Tel.count ~by:(List.length rescued) "compaction.rescued_gates";
-          let routed = routed @ rescued in
-          {
-            Stack_finder.routed;
-            failed;
-            ratio =
-              float_of_int (List.length routed)
-              /. float_of_int (List.length cx_tasks);
-          }
-        end
-        else outcome
+          (* Optional topological compaction: shorten the round's paths and
+             use the freed vertices to rescue gates that failed to route. *)
+          if options.compaction && outcome.Stack_finder.routed <> [] then begin
+            let routed =
+              Compaction.compact router occ placement
+                outcome.Stack_finder.routed
+            in
+            let rescued, failed =
+              Stack_finder.route_in_order router occ placement
+                outcome.Stack_finder.failed
+            in
+            Tel.count ~by:(List.length rescued) "compaction.rescued_gates";
+            let routed = routed @ rescued in
+            {
+              Stack_finder.routed;
+              failed;
+              ratio =
+                float_of_int (List.length routed)
+                /. float_of_int (List.length cx_tasks);
+            }
+          end
+          else outcome
       in
       Tel.sample "scheduler.scheduled_ratio" outcome.Stack_finder.ratio;
       let want_swap =
@@ -269,6 +285,10 @@ let run ?(options = default_options) timing circuit =
 
 let run_traced ?(options = default_options) timing circuit =
   let trace, result = run_impl ~record:true ~options timing circuit in
+  (result, trace)
+
+let run_traced_with ?route ?(options = default_options) timing circuit =
+  let trace, result = run_impl ?route ~record:true ~options timing circuit in
   (result, trace)
 
 let default_grid_points = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]

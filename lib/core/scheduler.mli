@@ -87,6 +87,33 @@ val run_traced :
     ({!Trace}) for validation, rendering, and export. Scheduling decisions
     are identical to {!run}'s. *)
 
+type round_route =
+  round:int ->
+  router:Qec_lattice.Router.t ->
+  occ:Qec_lattice.Occupancy.t ->
+  placement:Qec_lattice.Placement.t ->
+  Task.t list ->
+  Stack_finder.outcome
+(** A custom per-round routing policy for {!run_traced_with}. Called once
+    per round that has at least one ready two-qubit gate, with the
+    occupancy already cleared; it owns the whole routing decision
+    (ordering, candidate comparison, rip-up, rescue) and must return with
+    [occ] holding exactly the reservations of the outcome — the driver's
+    SWAP-layer rollback releases those paths when it overrides the
+    round. *)
+
+val run_traced_with :
+  ?route:round_route ->
+  ?options:options ->
+  Qec_surface.Timing.t ->
+  Qec_circuit.Circuit.t ->
+  result * Trace.t
+(** {!run_traced} with the per-round routing block swapped out: frontier
+    bookkeeping, trace emission, SWAP-layer logic and cycle accounting
+    stay shared, only the path search is replaced. With [route] absent
+    this {e is} [run_traced] (same code path). The seam the lookahead
+    backend ([Qec_lookahead]) schedules through. *)
+
 val run_best_p :
   ?options:options ->
   ?grid_points:float list ->

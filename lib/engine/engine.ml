@@ -7,7 +7,9 @@
 include Engine_core
 module Tel = Qec_telemetry.Telemetry
 
-let ensure_backends () = Qec_surgery.Backend.register ()
+let ensure_backends () =
+  Qec_surgery.Backend.register ();
+  Qec_lookahead.Backend.register ()
 
 let run_spec ?cache spec =
   ensure_backends ();

@@ -90,10 +90,20 @@ let load_circuit spec =
 
 (* ---------------- single spec ---------------- *)
 
-let scheduler_variant = function
-  | Spec.Full -> Scheduler.Full
-  | Spec.Sp -> Scheduler.Sp
-  | Spec.Baseline -> Scheduler.Full (* unused; baseline bypasses the registry *)
+(* Compat shim: pre-redesign manifests carry braid's knobs in the spec's
+   [scheduler]/[threshold_p] fields. Merge them underneath the explicit
+   [backend_options] (which therefore win) so old manifests keep their
+   exact meaning. Only braid declares these keys; for other backends the
+   legacy fields are braid-only noise and must not reach the decoder. *)
+let legacy_options (spec : Spec.t) =
+  if spec.backend <> "braid" then []
+  else
+    [
+      ( "variant",
+        CB.Options.String
+          (match spec.scheduler with Spec.Sp -> "sp" | _ -> "full") );
+      ("threshold_p", CB.Options.Float spec.threshold_p);
+    ]
 
 let exec cache (spec : Spec.t) =
   let ( let* ) = Result.bind in
@@ -117,9 +127,17 @@ let exec cache (spec : Spec.t) =
   let timing = Timing.make ~d:spec.d () in
   match spec.scheduler with
   | Spec.Baseline ->
+    let* opts =
+      Result.map_error
+        (fun message ->
+          { kind = "invalid-spec"; message = "backend_options: " ^ message })
+        (CB.Options.decode Gp_baseline.options_spec spec.backend_options)
+    in
     let result =
       Gp_baseline.run
-        ~options:{ Gp_baseline.default_options with seed = spec.seed }
+        ~options:
+          (Gp_baseline.of_backend_options opts
+             { Gp_baseline.default_options with seed = spec.seed })
         timing circuit
     in
     Ok
@@ -158,15 +176,7 @@ let exec cache (spec : Spec.t) =
           else Memory_hit;
         Some p
     in
-    let config =
-      {
-        CB.variant = scheduler_variant spec.scheduler;
-        threshold_p = spec.threshold_p;
-        initial = spec.initial;
-        seed = spec.seed;
-        placement;
-      }
-    in
+    let config = { CB.initial = spec.initial; seed = spec.seed; placement } in
     if spec.best_p then begin
       let options =
         {
@@ -196,10 +206,23 @@ let exec cache (spec : Spec.t) =
         Error
           {
             kind = "unknown-backend";
-            message = Printf.sprintf "unknown backend %S" spec.backend;
+            message =
+              Printf.sprintf "unknown backend %S (registered: %s)"
+                spec.backend
+                (String.concat ", " (CB.names ()));
           }
-      | Some ctor ->
-        let outcome = (ctor config).CB.run timing circuit in
+      | Some entry ->
+        let* opts =
+          Result.map_error
+            (fun message ->
+              {
+                kind = "invalid-spec";
+                message = "backend_options: " ^ message;
+              })
+            (CB.Options.decode entry.CB.options
+               (legacy_options spec @ spec.backend_options))
+        in
+        let outcome = (entry.CB.ctor config opts).CB.run timing circuit in
         (* Self-certification happens here, on the caller's own domain,
            so batch workers and serve workers certify in parallel with no
            extra plumbing. *)

@@ -1,5 +1,6 @@
 module Json = Qec_report.Json
 module IL = Autobraid.Initial_layout
+module CB = Autobraid.Comm_backend
 
 type scheduler_kind = Full | Sp | Baseline
 
@@ -14,6 +15,7 @@ type t = {
   seed : int;
   threshold_p : float;
   initial : IL.method_;
+  backend_options : (string * CB.Options.value) list;
   optimize : bool;
   best_p : bool;
   outputs : outputs;
@@ -29,6 +31,7 @@ let default =
     seed = 11;
     threshold_p = 0.3;
     initial = IL.Annealed;
+    backend_options = [];
     optimize = false;
     best_p = false;
     outputs = { trace = false; reliability = false; certificate = false };
@@ -76,10 +79,9 @@ let validate t =
   in
   let* () =
     check
-      (t.scheduler = Baseline || Autobraid.Comm_backend.of_name t.backend <> None)
+      (t.scheduler = Baseline || CB.of_name t.backend <> None)
       (Printf.sprintf "unknown backend %S (registered: %s)" t.backend
-         (String.concat ", "
-            (List.map fst (Autobraid.Comm_backend.all ()))))
+         (String.concat ", " (CB.names ())))
   in
   let* () =
     check
@@ -93,6 +95,35 @@ let validate t =
       ((not t.best_p) || (t.backend = "braid" && t.scheduler = Full))
       "best_p requires the braid backend with the full scheduler"
   in
+  let* () =
+    check
+      ((not t.best_p) || t.backend_options = [])
+      "best_p sweeps threshold_p itself; backend_options do not apply"
+  in
+  let* () =
+    (* Strictly decode the explicit options against the owning backend's
+       declared spec, then run its semantic validator. (The legacy
+       scheduler/threshold_p fields are merged underneath at execution
+       time; their ranges are checked above.) *)
+    let codec =
+      if t.scheduler = Baseline then
+        Some (Gp_baseline.options_spec, fun _ -> Ok ())
+      else
+        Option.map
+          (fun (e : CB.entry) -> (e.CB.options, e.CB.validate))
+          (CB.of_name t.backend)
+    in
+    match codec with
+    | None -> Ok () (* unreachable: the backend check above failed first *)
+    | Some (specs, validate_opts) ->
+      let* decoded =
+        Result.map_error
+          (fun e -> "backend_options: " ^ e)
+          (CB.Options.decode specs t.backend_options)
+      in
+      Result.map_error (fun e -> "backend_options: " ^ e)
+        (validate_opts decoded)
+  in
   (* Certification replays a trace; the baseline scheduler and the best_p
      sweep produce none. *)
   check
@@ -105,6 +136,19 @@ let outputs_to_json o =
     @ (if o.reliability then [ Json.String "reliability" ] else [])
     @ if o.certificate then [ Json.String "certificate" ] else [])
 
+let json_of_value = function
+  | CB.Options.Bool b -> Json.Bool b
+  | CB.Options.Int i -> Json.Int i
+  | CB.Options.Float f -> Json.Float f
+  | CB.Options.String s -> Json.String s
+
+let value_of_json = function
+  | Json.Bool b -> Ok (CB.Options.Bool b)
+  | Json.Int i -> Ok (CB.Options.Int i)
+  | Json.Float f -> Ok (CB.Options.Float f)
+  | Json.String s -> Ok (CB.Options.String s)
+  | _ -> Error "must be a JSON scalar"
+
 let to_json t =
   Json.Obj
     ((match t.id with Some id -> [ ("id", Json.String id) ] | None -> [])
@@ -116,6 +160,17 @@ let to_json t =
         ("seed", Json.Int t.seed);
         ("threshold_p", Json.Float t.threshold_p);
         ("initial", Json.String (initial_to_string t.initial));
+      ]
+    (* Omitted when empty, so pre-redesign specs re-encode byte-
+       identically. *)
+    @ (match t.backend_options with
+      | [] -> []
+      | opts ->
+        [
+          ( "backend_options",
+            Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) opts) );
+        ])
+    @ [
         ("optimize", Json.Bool t.optimize);
         ("best_p", Json.Bool t.best_p);
         ("outputs", outputs_to_json t.outputs);
@@ -128,7 +183,7 @@ let of_json json =
     let known =
       [
         "id"; "circuit"; "backend"; "scheduler"; "d"; "seed"; "threshold_p";
-        "initial"; "optimize"; "best_p"; "outputs";
+        "initial"; "backend_options"; "optimize"; "best_p"; "outputs";
       ]
     in
     let* () =
@@ -185,6 +240,21 @@ let of_json json =
       let* s = str "initial" (initial_to_string default.initial) in
       initial_of_string s
     in
+    let* backend_options =
+      match field "backend_options" with
+      | None -> Ok []
+      | Some (Json.Obj pairs) ->
+        Result.map List.rev
+          (List.fold_left
+             (fun acc (k, v) ->
+               let* acc = acc in
+               match value_of_json v with
+               | Ok v -> Ok ((k, v) :: acc)
+               | Error e ->
+                 Error (Printf.sprintf "backend_options %S: %s" k e))
+             (Ok []) pairs)
+      | Some _ -> Error "field \"backend_options\" must be an object"
+    in
     let* optimize = bool "optimize" default.optimize in
     let* best_p = bool "best_p" default.best_p in
     let* outputs =
@@ -214,6 +284,7 @@ let of_json json =
         seed;
         threshold_p;
         initial;
+        backend_options;
         optimize;
         best_p;
         outputs;

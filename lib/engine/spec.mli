@@ -29,8 +29,20 @@ type t = {
   scheduler : scheduler_kind;
   d : int;  (** surface code distance *)
   seed : int;
-  threshold_p : float;  (** layout-optimizer trigger, in [0, 1) *)
+  threshold_p : float;
+      (** layout-optimizer trigger, in [0, 1). {b Deprecated} spelling of
+          the braid backend's [threshold_p] option — kept so pre-redesign
+          manifests decode unchanged; an explicit entry in
+          [backend_options] wins over it. *)
   initial : Autobraid.Initial_layout.method_;
+  backend_options : (string * Autobraid.Comm_backend.Options.value) list;
+      (** backend-specific knobs, decoded strictly against the backend's
+          declared {!Autobraid.Comm_backend.Options} spec (JSON object
+          [backend_options] in manifests; omitted from {!to_json} when
+          empty). The legacy [scheduler]/[threshold_p] fields are merged
+          underneath as braid's [variant]/[threshold_p] defaults, so old
+          manifests keep their meaning while explicit options override
+          them. *)
   optimize : bool;  (** peephole-optimize before scheduling *)
   best_p : bool;  (** sweep thresholds and keep the best (braid+Full) *)
   outputs : outputs;
@@ -43,10 +55,13 @@ val default : t
 
 val validate : t -> (unit, string) result
 (** Static checks that need no circuit: non-empty [circuit], registered
-    [backend] ({!Autobraid.Comm_backend.of_name}), [d >= 1],
-    [threshold_p] in [0, 1), [scheduler]/[backend]/[best_p]
-    compatibility, [outputs.certificate] only on traced runs (neither
-    [Baseline] nor [best_p]). *)
+    [backend] ({!Autobraid.Comm_backend.of_name} — the error lists the
+    registered names), [d >= 1], [threshold_p] in [0, 1),
+    [scheduler]/[backend]/[best_p] compatibility, [outputs.certificate]
+    only on traced runs (neither [Baseline] nor [best_p]), and a strict
+    [backend_options] decode against the owning backend's declared spec
+    ({!Gp_baseline.options_spec} for the baseline scheduler) followed by
+    its semantic validator. *)
 
 val initial_to_string : Autobraid.Initial_layout.method_ -> string
 (** ["identity" | "bisect" | "metis" | "anneal"] — the CLI's names. *)

@@ -14,7 +14,7 @@ let classify key =
   | "swap_layers" | "swaps_inserted" | "critical_path_cycles"
   | "placements_computed" ->
     Some (Lower_better, Cycle)
-  | "speedup" -> Some (Higher_better, Cycle)
+  | "speedup" | "lookahead_speedup" -> Some (Higher_better, Cycle)
   (* Verify section: counts of certified schedules / checked invariants /
      killed mutations are exact functions of the bench circuit set and
      Qec_verify's registries, so they gate at cycle tolerance. *)

@@ -5,7 +5,8 @@
     key name. {e Cycle} metrics (deterministic compiler outputs:
     [total_cycles], [rounds], [comm_rounds], [braid_rounds],
     [swap_layers], [swaps_inserted], [critical_path_cycles],
-    [placements_computed], and the cycle-ratio [speedup]) are checked
+    [placements_computed], and the cycle ratios [speedup] /
+    [lookahead_speedup]) are checked
     against [tolerance]. {e Wall} metrics (host timings: keys ending in
     [_s], plus the wall-derived [speedup_memory] / [speedup_disk] /
     [checks_per_s]) are checked against the looser [wall_tolerance].

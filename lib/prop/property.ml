@@ -144,50 +144,63 @@ let diff_backends =
   {
     name = "diff/backends";
     description =
-      "braid, surgery, and the greedy MICRO'17 baseline schedule the same \
-       lowered gate set, with check-clean traces and latencies at or above \
-       each one's critical-path lower bound";
+      "braid, surgery, lookahead, and the greedy MICRO'17 baseline \
+       schedule the same lowered gate set, with check-clean traces and \
+       latencies at or above each one's critical-path lower bound";
     check =
       Circuit
         (guard (fun c ->
              let braid = (CB.braid ()).CB.run timing c in
              let surgery = (Qec_surgery.Backend.make ()).CB.run timing c in
+             let lookahead = (Qec_lookahead.Backend.make ()).CB.run timing c in
              let baseline = Gp_baseline.run timing c in
              let check_clean (o : CB.outcome) =
                match first_violation o.CB.trace with
                | Some msg -> Some (Printf.sprintf "%s: %s" o.CB.backend msg)
                | None -> None
              in
-             match (check_clean braid, check_clean surgery) with
-             | Some msg, _ | _, Some msg -> Fail msg
-             | None, None ->
+             match
+               List.find_map check_clean [ braid; surgery; lookahead ]
+             with
+             | Some msg -> Fail msg
+             | None ->
                let ids_b = CB.scheduled_gate_ids braid.CB.trace in
                let ids_s = CB.scheduled_gate_ids surgery.CB.trace in
+               let ids_l = CB.scheduled_gate_ids lookahead.CB.trace in
                let rb = braid.CB.result
                and rs = surgery.CB.result
+               and rl = lookahead.CB.result
                and rg = baseline in
                if ids_b <> ids_s then
                  failf
                    "braid and surgery scheduled different gate sets (%d vs \
                     %d gates)"
                    (List.length ids_b) (List.length ids_s)
+               else if ids_b <> ids_l then
+                 failf
+                   "braid and lookahead scheduled different gate sets (%d \
+                    vs %d gates)"
+                   (List.length ids_b) (List.length ids_l)
                else if List.length ids_b <> rb.S.num_gates then
                  failf "braid scheduled %d of %d lowered gates"
                    (List.length ids_b) rb.S.num_gates
                else if
                  rb.S.num_gates <> rs.S.num_gates
+                 || rb.S.num_gates <> rl.S.num_gates
                  || rb.S.num_gates <> rg.S.num_gates
                then
                  failf "lowered gate counts diverge: braid %d surgery %d \
-                        baseline %d"
-                   rb.S.num_gates rs.S.num_gates rg.S.num_gates
+                        lookahead %d baseline %d"
+                   rb.S.num_gates rs.S.num_gates rl.S.num_gates rg.S.num_gates
                else if
                  rb.S.num_two_qubit <> rs.S.num_two_qubit
+                 || rb.S.num_two_qubit <> rl.S.num_two_qubit
                  || rb.S.num_two_qubit <> rg.S.num_two_qubit
                then
                  failf "two-qubit counts diverge: braid %d surgery %d \
-                        baseline %d"
-                   rb.S.num_two_qubit rs.S.num_two_qubit rg.S.num_two_qubit
+                        lookahead %d baseline %d"
+                   rb.S.num_two_qubit rs.S.num_two_qubit rl.S.num_two_qubit
+                   rg.S.num_two_qubit
                else begin
                  let below_cp name (r : S.result) =
                    if r.S.total_cycles < r.S.critical_path_cycles then
@@ -202,12 +215,47 @@ let diff_backends =
                      [
                        below_cp "braid" rb;
                        below_cp "surgery" rs;
+                       below_cp "lookahead" rl;
                        below_cp "baseline" rg;
                      ]
                  with
                  | msg :: _ -> Fail msg
                  | [] -> Pass
                end));
+  }
+
+(* ---------------- lookahead guarantee ---------------- *)
+
+let lookahead_never_worse =
+  {
+    name = "lookahead/never-worse";
+    description =
+      "the lookahead backend's total cycles never exceed the plain braid \
+       schedule with identical options, its trace is check-clean, and its \
+       reported greedy_cycles stat matches the braid run it raced";
+    check =
+      Circuit
+        (guard (fun c ->
+             let module L = Qec_lookahead.Lookahead_scheduler in
+             let result, trace, stats = L.run_traced timing c in
+             let greedy = S.run timing c in
+             match first_violation trace with
+             | Some msg -> failf "lookahead trace: %s" msg
+             | None ->
+               if result.S.total_cycles > greedy.S.total_cycles then
+                 failf "lookahead worse than greedy: %d > %d cycles"
+                   result.S.total_cycles greedy.S.total_cycles
+               else if stats.L.greedy_cycles <> greedy.S.total_cycles then
+                 failf
+                   "reported greedy_cycles %d disagree with the braid run %d"
+                   stats.L.greedy_cycles greedy.S.total_cycles
+               else if
+                 stats.L.chose_lookahead
+                 && stats.L.lookahead_cycles <> result.S.total_cycles
+               then
+                 failf "chose lookahead but returned %d cycles, not %d"
+                   result.S.total_cycles stats.L.lookahead_cycles
+               else Pass));
   }
 
 (* ---------------- certification ---------------- *)
@@ -605,6 +653,7 @@ let all () =
     trace_surgery;
     surgery_pipeline_bounds;
     diff_backends;
+    lookahead_never_worse;
     verify_certify;
     engine_spec_identity;
     engine_cache_identity;

@@ -17,15 +17,45 @@ let make ?(options = Surgery_scheduler.default_options) () =
         });
   }
 
+let options_spec =
+  let open Comm_backend.Options in
+  [
+    {
+      key = "retry";
+      kind = TBool;
+      default = Bool Surgery_scheduler.default_options.Surgery_scheduler.retry;
+      doc = "failed-first retry pass when ordering merges within a round";
+    };
+    {
+      key = "ripup";
+      kind = TBool;
+      default = Bool Surgery_scheduler.default_options.Surgery_scheduler.ripup;
+      doc = "rip up committed corridors to rescue blocked merges";
+    };
+    {
+      key = "pipeline_splits";
+      kind = TBool;
+      default =
+        Bool Surgery_scheduler.default_options.Surgery_scheduler.pipeline_splits;
+      doc =
+        "overlap the split phase with the next round's merges when it is \
+         never worse";
+    };
+  ]
+
 let register () =
   Comm_backend.register ~name:"surgery"
     ~description:"lattice surgery (merge-split CX over ancilla corridors)"
-    (fun cfg ->
+    ~options:options_spec
+    (fun cfg opts ->
+      let open Comm_backend.Options in
       make
         ~options:
           {
-            Surgery_scheduler.default_options with
-            initial = cfg.Comm_backend.initial;
+            Surgery_scheduler.initial = cfg.Comm_backend.initial;
+            retry = get_bool opts "retry";
+            ripup = get_bool opts "ripup";
+            pipeline_splits = get_bool opts "pipeline_splits";
             seed = cfg.Comm_backend.seed;
             placement_override = cfg.Comm_backend.placement;
           }

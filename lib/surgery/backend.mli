@@ -8,6 +8,11 @@
 val make : ?options:Surgery_scheduler.options -> unit -> Autobraid.Comm_backend.t
 (** Backend named ["surgery"]. *)
 
+val options_spec : Autobraid.Comm_backend.Options.spec list
+(** The surgery backend's declared options: [retry], [ripup] and
+    [pipeline_splits], all booleans defaulting to
+    {!Surgery_scheduler.default_options}'. *)
+
 val register : unit -> unit
 (** Enter ["surgery"] into {!Autobraid.Comm_backend}'s name registry
     (mapping a {!Autobraid.Comm_backend.config} onto surgery options).

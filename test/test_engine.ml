@@ -122,6 +122,18 @@ let gen_spec : Spec.t QCheck.Gen.t =
   let* initial =
     oneofl [ IL.Identity; IL.Bisected; IL.Partitioned; IL.Annealed ]
   in
+  let* backend_options =
+    oneofl
+      [
+        [];
+        [ ("variant", CB.Options.String "sp") ];
+        [
+          ("variant", CB.Options.String "full");
+          ("threshold_p", CB.Options.Float 0.25);
+        ];
+        [ ("window", CB.Options.Int 6); ("flag", CB.Options.Bool true) ];
+      ]
+  in
   let* optimize = bool in
   let* best_p = bool in
   let* trace = bool in
@@ -136,6 +148,7 @@ let gen_spec : Spec.t QCheck.Gen.t =
     seed;
     threshold_p;
     initial;
+    backend_options;
     optimize;
     best_p;
     outputs = { Spec.trace; reliability; certificate };
@@ -210,7 +223,82 @@ let test_spec_validate () =
        });
   check_bool "best_p on surgery invalid" false
     (ok
-       { Spec.default with circuit = "x"; backend = "surgery"; best_p = true })
+       { Spec.default with circuit = "x"; backend = "surgery"; best_p = true });
+  check_bool "valid backend option" true
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         backend_options = [ ("variant", CB.Options.String "sp") ];
+       });
+  check_bool "unknown option key invalid" false
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         backend_options = [ ("frobnicate", CB.Options.Bool true) ];
+       });
+  check_bool "option type mismatch invalid" false
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         backend_options = [ ("variant", CB.Options.Int 3) ];
+       });
+  check_bool "enum case checked" false
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         backend_options = [ ("variant", CB.Options.String "quantum") ];
+       });
+  check_bool "surgery owns its options" true
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         backend = "surgery";
+         backend_options = [ ("ripup", CB.Options.Bool false) ];
+       });
+  check_bool "braid option rejected on surgery" false
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         backend = "surgery";
+         backend_options = [ ("variant", CB.Options.String "sp") ];
+       });
+  check_bool "semantic validator runs" false
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         backend_options = [ ("threshold_p", CB.Options.Float 1.5) ];
+       });
+  check_bool "best_p excludes backend_options" false
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         best_p = true;
+         backend_options = [ ("variant", CB.Options.String "full") ];
+       });
+  check_bool "baseline options decode via gp_baseline" true
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         scheduler = Spec.Baseline;
+         backend_options = [ ("router", CB.Options.String "astar") ];
+       });
+  check_bool "baseline rejects braid keys" false
+    (ok
+       {
+         Spec.default with
+         circuit = "x";
+         scheduler = Spec.Baseline;
+         backend_options = [ ("variant", CB.Options.String "sp") ];
+       })
 
 let test_manifest_forms () =
   let one = {|{"circuit": "qft9"}|} in
@@ -233,11 +321,138 @@ let test_manifest_forms () =
 let test_registry () =
   check_bool "braid registered" true (CB.of_name "braid" <> None);
   check_bool "surgery registered" true (CB.of_name "surgery" <> None);
+  check_bool "lookahead registered" true (CB.of_name "lookahead" <> None);
   check_bool "unknown" true (CB.of_name "warp" = None);
-  let names = List.map fst (CB.all ()) in
+  let names = CB.names () in
   check_bool "all sorted" true (names = List.sort compare names);
-  check_bool "all lists braid" true (List.mem "braid" names);
-  check_bool "all lists surgery" true (List.mem "surgery" names)
+  check_bool "names match entries" true
+    (names = List.map (fun (e : CB.entry) -> e.CB.name) (CB.all ()));
+  List.iter
+    (fun b -> check_bool ("names list " ^ b) true (List.mem b names))
+    [ "braid"; "surgery"; "lookahead" ]
+
+(* register replaces by name: the latest registration wins, and the
+   registry stays sorted and duplicate-free *)
+let test_registry_replacement () =
+  let dummy desc =
+    CB.register ~name:"zz-test-dummy" ~description:desc (fun _ _ ->
+        CB.braid ())
+  in
+  dummy "first";
+  dummy "second";
+  (match CB.of_name "zz-test-dummy" with
+  | None -> Alcotest.fail "dummy not registered"
+  | Some e -> check_string "latest registration wins" "second" e.CB.description);
+  let names = CB.names () in
+  check_int "no duplicate entry" 1
+    (List.length (List.filter (( = ) "zz-test-dummy") names));
+  check_bool "still sorted" true (names = List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* Options codec                                                        *)
+
+let braid_specs =
+  match CB.of_name "braid" with
+  | Some e -> e.CB.options
+  | None -> Alcotest.fail "braid not registered"
+
+let test_options_codec () =
+  let open CB.Options in
+  (* defaults: every declared key, declaration order *)
+  let d = defaults braid_specs in
+  check_bool "defaults complete" true
+    (List.map fst d = List.map (fun s -> s.key) braid_specs);
+  check_string "variant default" "full" (get_string d "variant");
+  (* strict decode: overrides land, unknown keys and mismatches error *)
+  (match decode braid_specs [ ("variant", String "sp") ] with
+  | Ok o ->
+    check_string "override lands" "sp" (get_string o "variant");
+    check_bool "untouched key keeps default" true
+      (get_float o "threshold_p" = get_float d "threshold_p")
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (match decode braid_specs [ ("frobnicate", Bool true) ] with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error e -> check_bool "unknown key named" true (contains e "frobnicate"));
+  (match decode braid_specs [ ("variant", Int 3) ] with
+  | Ok _ -> Alcotest.fail "type mismatch accepted"
+  | Error e -> check_bool "mismatch names key" true (contains e "variant"));
+  (* TFloat widens ints *)
+  (match decode braid_specs [ ("threshold_p", Int 0) ] with
+  | Ok o -> check_bool "int widened to float" true (get_float o "threshold_p" = 0.)
+  | Error e -> Alcotest.failf "widening failed: %s" e);
+  (* later duplicates win *)
+  (match
+     decode braid_specs [ ("variant", String "sp"); ("variant", String "full") ]
+   with
+  | Ok o -> check_string "later duplicate wins" "full" (get_string o "variant")
+  | Error e -> Alcotest.failf "duplicate decode failed: %s" e)
+
+let test_options_parse_kv () =
+  let open CB.Options in
+  (match parse_kv braid_specs "variant=sp" with
+  | Ok kv -> check_bool "enum parses" true (kv = ("variant", String "sp"))
+  | Error e -> Alcotest.failf "parse_kv failed: %s" e);
+  (match parse_kv braid_specs "threshold_p=0.4" with
+  | Ok kv -> check_bool "float parses" true (kv = ("threshold_p", Float 0.4))
+  | Error e -> Alcotest.failf "parse_kv failed: %s" e);
+  check_bool "missing '=' rejected" true
+    (Result.is_error (parse_kv braid_specs "variant"));
+  check_bool "unknown key rejected" true
+    (Result.is_error (parse_kv braid_specs "nope=1"));
+  check_bool "bad enum case rejected" true
+    (Result.is_error (parse_kv braid_specs "variant=quantum"))
+
+(* The legacy scheduler/threshold_p spec fields are merged beneath
+   backend_options: a pre-redesign spec and its options-API spelling
+   produce the same schedule, and an explicit option overrides the
+   legacy field. *)
+let test_legacy_shim_equivalence () =
+  let cycles s =
+    match Engine.run_spec s with
+    | Ok p -> p.Engine.result.Autobraid.Scheduler.total_cycles
+    | Error e -> Alcotest.failf "run_spec failed: %s" e.Engine.message
+  in
+  let base = { Spec.default with circuit = "qaoa12" } in
+  let legacy_sp = cycles { base with scheduler = Spec.Sp } in
+  let option_sp =
+    cycles
+      { base with backend_options = [ ("variant", CB.Options.String "sp") ] }
+  in
+  check_int "legacy sp = option sp" legacy_sp option_sp;
+  (* explicit option wins over the legacy field *)
+  let full = cycles base in
+  let overridden =
+    cycles
+      {
+        base with
+        scheduler = Spec.Sp;
+        backend_options = [ ("variant", CB.Options.String "full") ];
+      }
+  in
+  check_int "explicit option overrides legacy field" full overridden
+
+(* Pre-redesign manifests decode unchanged: no job in the committed
+   fixture acquires backend_options, and re-encoding emits no
+   backend_options key. *)
+let test_fixture_manifest_compat () =
+  let path =
+    List.find Sys.file_exists
+      [ "../fixtures/batch_manifest.json"; "fixtures/batch_manifest.json" ]
+  in
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Spec.manifest_of_string text with
+  | Error e -> Alcotest.failf "fixture manifest failed to decode: %s" e
+  | Ok specs ->
+    check_int "all jobs decode" 6 (List.length specs);
+    List.iter
+      (fun s ->
+        check_bool "no backend_options acquired" true
+          (s.Spec.backend_options = []);
+        check_bool "re-encoding omits backend_options" false
+          (contains (Json.to_string (Spec.to_json s)) "backend_options"))
+      specs
 
 (* ------------------------------------------------------------------ *)
 (* Placement cache                                                      *)
@@ -626,7 +841,15 @@ let () =
           Alcotest.test_case "manifest forms" `Quick test_manifest_forms;
         ] );
       ( "registry",
-        [ Alcotest.test_case "of_name/all" `Quick test_registry ] );
+        [
+          Alcotest.test_case "of_name/all" `Quick test_registry;
+          Alcotest.test_case "replacement" `Quick test_registry_replacement;
+          Alcotest.test_case "options codec" `Quick test_options_codec;
+          Alcotest.test_case "options parse_kv" `Quick test_options_parse_kv;
+          Alcotest.test_case "legacy shim" `Quick test_legacy_shim_equivalence;
+          Alcotest.test_case "fixture manifest compat" `Quick
+            test_fixture_manifest_compat;
+        ] );
       ( "placement_cache",
         [
           Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
