@@ -91,33 +91,77 @@ let two_qubit_layer_histogram t =
 module Frontier = struct
   type dag = t
 
+  (* Pre-rewrite Int_set implementation, kept verbatim as the differential
+     oracle for the bitset frontier below (see test_dag.ml and the
+     sched/incremental-frontier property). Scheduled for deletion once the
+     bitset frontier has survived a release. *)
+  module Reference = struct
+    type nonrec t = {
+      dag : dag;
+      indegree : int array;
+      mutable ready_set : Int_set.t;
+      mutable left : int;
+    }
+
+    let create dag =
+      let n = num_gates dag in
+      let indegree = Array.init n (fun i -> List.length dag.preds.(i)) in
+      let ready_set = ref Int_set.empty in
+      for i = 0 to n - 1 do
+        if indegree.(i) = 0 then ready_set := Int_set.add i !ready_set
+      done;
+      { dag; indegree; ready_set = !ready_set; left = n }
+
+    let ready t = Int_set.elements t.ready_set
+
+    let complete t i =
+      if not (Int_set.mem i t.ready_set) then
+        invalid_arg (Printf.sprintf "Frontier.complete: gate %d not ready" i);
+      t.ready_set <- Int_set.remove i t.ready_set;
+      t.left <- t.left - 1;
+      List.iter
+        (fun s ->
+          t.indegree.(s) <- t.indegree.(s) - 1;
+          if t.indegree.(s) = 0 then t.ready_set <- Int_set.add s t.ready_set)
+        t.dag.succs.(i)
+
+    let is_done t = t.left = 0
+    let remaining t = t.left
+  end
+
+  (* Bitset-backed frontier: the ready set is one bit per gate, updated in
+     place as gates complete. [ready]/[iter_ready] visit members in
+     ascending id order — exactly [Int_set.elements] of the reference —
+     without the per-round tree rebalancing or list churn. *)
   type nonrec t = {
     dag : dag;
     indegree : int array;
-    mutable ready_set : Int_set.t;
+    ready_bits : Qec_util.Bitset.t;
     mutable left : int;
   }
 
   let create dag =
     let n = num_gates dag in
     let indegree = Array.init n (fun i -> List.length dag.preds.(i)) in
-    let ready_set = ref Int_set.empty in
+    let ready_bits = Qec_util.Bitset.create n in
     for i = 0 to n - 1 do
-      if indegree.(i) = 0 then ready_set := Int_set.add i !ready_set
+      if indegree.(i) = 0 then Qec_util.Bitset.add ready_bits i
     done;
-    { dag; indegree; ready_set = !ready_set; left = n }
+    { dag; indegree; ready_bits; left = n }
 
-  let ready t = Int_set.elements t.ready_set
+  let ready t = Qec_util.Bitset.to_list t.ready_bits
+
+  let iter_ready f t = Qec_util.Bitset.iter f t.ready_bits
 
   let complete t i =
-    if not (Int_set.mem i t.ready_set) then
+    if not (Qec_util.Bitset.mem t.ready_bits i) then
       invalid_arg (Printf.sprintf "Frontier.complete: gate %d not ready" i);
-    t.ready_set <- Int_set.remove i t.ready_set;
+    Qec_util.Bitset.remove t.ready_bits i;
     t.left <- t.left - 1;
     List.iter
       (fun s ->
         t.indegree.(s) <- t.indegree.(s) - 1;
-        if t.indegree.(s) = 0 then t.ready_set <- Int_set.add s t.ready_set)
+        if t.indegree.(s) = 0 then Qec_util.Bitset.add t.ready_bits s)
       t.dag.succs.(i)
 
   let is_done t = t.left = 0

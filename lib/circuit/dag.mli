@@ -40,7 +40,10 @@ val two_qubit_layer_histogram : t -> (int * int) list
 
 (** {2 Frontier}
 
-    Mutable ready-set tracking for round-based schedulers. *)
+    Mutable ready-set tracking for round-based schedulers. The ready set
+    is a bitset over gate ids, updated in place as gates complete; its
+    observable behavior is pinned to {!Frontier.Reference} by differential
+    tests and the [sched/incremental-frontier] fuzz property. *)
 
 module Frontier : sig
   type dag := t
@@ -52,6 +55,9 @@ module Frontier : sig
   val ready : t -> int list
   (** Ids of gates whose predecessors have all completed, ascending. *)
 
+  val iter_ready : (int -> unit) -> t -> unit
+  (** Visit ready gate ids in ascending order without building a list. *)
+
   val complete : t -> int -> unit
   (** Mark a ready gate as executed, unlocking successors. Raises
       [Invalid_argument] if the gate is not currently ready. *)
@@ -60,4 +66,17 @@ module Frontier : sig
 
   val remaining : t -> int
   (** Gates not yet completed. *)
+
+  (** The pre-rewrite [Set.Make (Int)] frontier, kept as the differential
+      oracle for the bitset implementation (see test_dag.ml). Scheduled
+      for deletion once the bitset frontier has survived a release. *)
+  module Reference : sig
+    type t
+
+    val create : dag -> t
+    val ready : t -> int list
+    val complete : t -> int -> unit
+    val is_done : t -> bool
+    val remaining : t -> int
+  end
 end

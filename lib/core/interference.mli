@@ -3,7 +3,13 @@
     One node per pending CX gate; an edge joins two gates whose bounding
     boxes intersect (§3.3.2), i.e. whose braiding paths are likely to
     contend. The stack-based path finder peels maximum-degree nodes off
-    this graph. Mutable: nodes can be removed, updating degrees. *)
+    this graph. Mutable: nodes can be removed, updating degrees.
+
+    The graph is rebuilt every routing round, so the representation is
+    packed flat: adjacency as bit words over dense node indices with a
+    maintained degree array — no per-edge allocation, O(words) neighbor
+    iteration. Observable behavior (edge sets, degrees, orderings) is
+    pinned byte-identical to {!Legacy} by differential tests. *)
 
 type t
 
@@ -35,3 +41,22 @@ val remove : t -> int -> unit
     Raises [Not_found] if absent. *)
 
 val mem : t -> int -> bool
+
+(** The pre-rewrite hashtable-of-sets implementation, kept as the
+    differential-testing oracle for the packed representation (see
+    test_interference.ml). Scheduled for deletion once the packed graph
+    has survived a release. *)
+module Legacy : sig
+  type t
+
+  val build : Qec_lattice.Placement.t -> Task.t list -> t
+  val original_count : t -> int
+  val node_count : t -> int
+  val nodes : t -> Task.t list
+  val degree : t -> int -> int
+  val max_degree : t -> int
+  val max_degree_nodes : t -> Task.t list
+  val neighbors : t -> int -> Task.t list
+  val remove : t -> int -> unit
+  val mem : t -> int -> bool
+end

@@ -123,6 +123,13 @@ let run_impl ?route ~record ~options timing circuit =
     end
   in
   let frontier = Dag.Frontier.create dag in
+  (* Tasks are immutable, so derive each gate's once up front. A CX whose
+     route keeps failing stays in the frontier for many rounds; rebuilding
+     its task every round was a quadratic rescan at paper scale. *)
+  let task_of =
+    Array.init (Circuit.length circuit) (fun i ->
+        Task.of_gate i (Circuit.gate circuit i))
+  in
   let router = Router.create grid in
   let occ = Occupancy.create grid in
   let cycles = ref 0 in
@@ -139,17 +146,14 @@ let run_impl ?route ~record ~options timing circuit =
   let emit round = if record then trace_rounds := round :: !trace_rounds in
   Tel.span_open "routing_rounds";
   while not (Dag.Frontier.is_done frontier) do
-    let ready = Dag.Frontier.ready frontier in
-    let singles, cx_tasks =
-      List.fold_left
-        (fun (singles, cxs) id ->
-          let g = Circuit.gate circuit id in
-          match Task.of_gate id g with
-          | Some t -> (singles, t :: cxs)
-          | None -> (id :: singles, cxs))
-        ([], []) ready
-    in
-    let singles = List.rev singles and cx_tasks = List.rev cx_tasks in
+    let rev_singles = ref [] and rev_cx = ref [] in
+    Dag.Frontier.iter_ready
+      (fun id ->
+        match task_of.(id) with
+        | Some t -> rev_cx := t :: !rev_cx
+        | None -> rev_singles := id :: !rev_singles)
+      frontier;
+    let singles = List.rev !rev_singles and cx_tasks = List.rev !rev_cx in
     if cx_tasks = [] then begin
       (* Purely local round. *)
       List.iter (Dag.Frontier.complete frontier) singles;

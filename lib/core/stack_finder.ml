@@ -33,9 +33,12 @@ let route_in_order ?bounds_of router occ placement order =
     order;
   (List.rev !routed, List.rev !failed)
 
-(* Peel max-degree (> 2) nodes onto the stack; ties prefer the largest
-   bounding-box area, then the lowest gate id for determinism. *)
-let peel_stack placement ig =
+(* Pre-rewrite ordering kept verbatim as the differential oracle for
+   [planned_order] below (see test_stack_finder.ml): it re-derives every
+   bounding box inside the peel loop and the sort comparator. Scheduled
+   for deletion once the precomputed-area path has survived a release. *)
+let planned_order_reference ?priority_of placement tasks =
+  let ig = Interference.build placement tasks in
   let stack = ref [] in
   let continue = ref true in
   while !continue do
@@ -52,6 +55,44 @@ let peel_stack placement ig =
             first candidates
         in
         stack := best :: !stack;
+        Interference.remove ig best.Task.id
+      end
+  done;
+  let stack = !stack in
+  let remaining =
+    Interference.nodes ig
+    |> List.sort (fun a b ->
+           let pa, pb =
+             match priority_of with
+             | None -> (0, 0)
+             | Some f -> (f a, f b)
+           in
+           if pa <> pb then compare pb pa
+           else
+             let ka = Bbox.area (Task.bbox placement a)
+             and kb = Bbox.area (Task.bbox placement b) in
+             if ka <> kb then compare ka kb else compare a.Task.id b.Task.id)
+  in
+  remaining @ stack
+
+(* Peel max-degree (> 2) nodes onto the stack; ties prefer the largest
+   bounding-box area, then the lowest gate id for determinism. [area]
+   must agree with [Bbox.area (Task.bbox placement t)]. *)
+let peel_stack ~area ig =
+  let stack = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Interference.max_degree_nodes ig with
+    | [] -> continue := false
+    | (first :: _ as candidates) ->
+      if Interference.degree ig first.Task.id <= 2 then continue := false
+      else begin
+        let best =
+          List.fold_left
+            (fun acc t -> if area t > area acc then t else acc)
+            first candidates
+        in
+        stack := best :: !stack;
         Tel.count "stack_finder.stack_pushes";
         Interference.remove ig best.Task.id
       end
@@ -59,8 +100,18 @@ let peel_stack placement ig =
   !stack (* head = last pushed: already LIFO pop order *)
 
 let planned_order ?priority_of placement tasks =
+  (* Boxes are fixed for the round's placement: compute each task's area
+     once up front instead of per comparison — the sort re-derived the
+     box O(k log k) times per round at paper scale. Output is pinned to
+     [planned_order_reference] by differential tests. *)
+  let areas = Hashtbl.create 64 in
+  List.iter
+    (fun (t : Task.t) ->
+      Hashtbl.replace areas t.id (Bbox.area (Task.bbox placement t)))
+    tasks;
+  let area (t : Task.t) = Hashtbl.find areas t.Task.id in
   let ig = Interference.build placement tasks in
-  let stack = peel_stack placement ig in
+  let stack = peel_stack ~area ig in
   let remaining =
     Interference.nodes ig
     |> List.sort (fun a b ->
@@ -73,8 +124,7 @@ let planned_order ?priority_of placement tasks =
            in
            if pa <> pb then compare pb pa
            else
-             let ka = Bbox.area (Task.bbox placement a)
-             and kb = Bbox.area (Task.bbox placement b) in
+             let ka = area a and kb = area b in
              if ka <> kb then compare ka kb else compare a.Task.id b.Task.id)
   in
   remaining @ stack

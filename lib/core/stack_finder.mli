@@ -46,6 +46,26 @@ val find :
     contain foreign reservations (they are treated as obstacles and never
     released). *)
 
+val planned_order :
+  ?priority_of:(Task.t -> int) ->
+  Qec_lattice.Placement.t ->
+  Task.t list ->
+  Task.t list
+(** The full routing order of one round before any path is searched:
+    low-interference gates sorted smallest-box-first, then the peeled
+    stack LIFO. Uses a per-round precomputed area table; pinned to
+    {!planned_order_reference} by differential tests. Exposed for tests. *)
+
+val planned_order_reference :
+  ?priority_of:(Task.t -> int) ->
+  Qec_lattice.Placement.t ->
+  Task.t list ->
+  Task.t list
+(** The pre-rewrite ordering that re-derives every bounding box inside the
+    peel loop and sort comparator — the differential oracle for
+    {!planned_order}. Scheduled for deletion once the precomputed-area
+    path has survived a release. *)
+
 val route_in_order :
   ?bounds_of:(Task.t -> Qec_lattice.Bbox.t option) ->
   Qec_lattice.Router.t ->

@@ -2,24 +2,36 @@ module Tel = Qec_telemetry.Telemetry
 
 type t = {
   grid : Grid.t;
+  vside : int; (* Grid.side + 1, for inline vertex coordinate math *)
   gen : int array; (* generation stamp per vertex *)
   gscore : int array;
   came_from : int array;
   closed : bool array;
   mutable generation : int;
-  open_list : int Qec_util.Heap.t;
+  open_list : int Qec_util.Heap.t; (* reference implementation's open list *)
+  pq : Qec_util.Heap.Int_pq.t; (* arena implementation's open list *)
+  goal_ids : int array; (* up to 4 usable target corners *)
+  goal_x : int array;
+  goal_y : int array;
+  mutable n_goals : int;
 }
 
 let create grid =
   let n = Grid.num_vertices grid in
   {
     grid;
+    vside = Grid.side grid + 1;
     gen = Array.make n 0;
     gscore = Array.make n 0;
     came_from = Array.make n (-1);
     closed = Array.make n false;
     generation = 0;
     open_list = Qec_util.Heap.create ();
+    pq = Qec_util.Heap.Int_pq.create ~capacity:64 ();
+    goal_ids = Array.make 4 (-1);
+    goal_x = Array.make 4 0;
+    goal_y = Array.make 4 0;
+    n_goals = 0;
   }
 
 let grid t = t.grid
@@ -39,7 +51,12 @@ let in_bounds grid bounds v =
     let x, y = Grid.vertex_xy grid v in
     b.x0 <= x && x <= b.x1 + 1 && b.y0 <= y && y <= b.y1 + 1
 
-let route ?bounds t occ ~src_cell ~dst_cell =
+(* Pre-rewrite closure-and-list A* kept verbatim as the differential
+   oracle for the arena implementation below (see test_router.ml); it
+   shares the generation-stamped scratch arrays, so interleaving the two
+   is safe. Scheduled for deletion once the arena path has survived a
+   release. *)
+let route_reference ?bounds t occ ~src_cell ~dst_cell =
   if src_cell = dst_cell then invalid_arg "Router.route: same cell";
   if Occupancy.grid occ != t.grid then
     invalid_arg "Router.route: occupancy grid mismatch";
@@ -105,6 +122,129 @@ let route ?bounds t occ ~src_cell ~dst_cell =
       in
       Some (Path.of_vertices t.grid (walk reached []))
   end
+  in
+  if Tel.enabled () then begin
+    Tel.count "router.routes";
+    Tel.count ~by:!expansions "router.expansions";
+    match result with
+    | Some p -> Tel.sample "router.path_length" (float_of_int (Path.length p))
+    | None -> Tel.count "router.route_failures"
+  end;
+  result
+
+(* Arena A*: same search as [route_reference] — multi-source multi-target,
+   FIFO tie-breaks, identical expansion order — but the inner loop touches
+   only preallocated flat arrays: goals live in fixed 4-slot arrays,
+   neighbors are enumerated by index arithmetic (no list), the open list
+   is the packed-key Int_pq (no node allocation), and heuristic /
+   bounds checks use inline coordinate math (no tuples). The only
+   allocation on a successful route is the returned path. *)
+let route ?bounds t occ ~src_cell ~dst_cell =
+  if src_cell = dst_cell then invalid_arg "Router.route: same cell";
+  if Occupancy.grid occ != t.grid then
+    invalid_arg "Router.route: occupancy grid mismatch";
+  t.generation <- t.generation + 1;
+  Qec_util.Heap.Int_pq.clear t.pq;
+  let vside = t.vside in
+  (* Bounds as inclusive vertex-coordinate ranges (whole grid if none). *)
+  let bx0, bx1, by0, by1 =
+    match bounds with
+    | None -> (0, vside - 1, 0, vside - 1)
+    | Some (b : Bbox.t) -> (b.x0, b.x1 + 1, b.y0, b.y1 + 1)
+  in
+  let usable v =
+    Occupancy.is_free occ v
+    &&
+    let x = v mod vside and y = v / vside in
+    bx0 <= x && x <= bx1 && by0 <= y && y <= by1
+  in
+  let expansions = ref 0 in
+  t.n_goals <- 0;
+  Array.iter
+    (fun v ->
+      if usable v then begin
+        t.goal_ids.(t.n_goals) <- v;
+        t.goal_x.(t.n_goals) <- v mod vside;
+        t.goal_y.(t.n_goals) <- v / vside;
+        t.n_goals <- t.n_goals + 1
+      end)
+    (Grid.cell_corners t.grid dst_cell);
+  let result =
+    if t.n_goals = 0 then None
+    else begin
+      let heuristic v =
+        let x = v mod vside and y = v / vside in
+        let best = ref max_int in
+        for i = 0 to t.n_goals - 1 do
+          let d = abs (x - t.goal_x.(i)) + abs (y - t.goal_y.(i)) in
+          if d < !best then best := d
+        done;
+        !best
+      in
+      let is_goal v =
+        let rec go i =
+          i < t.n_goals && (t.goal_ids.(i) = v || go (i + 1))
+        in
+        go 0
+      in
+      Array.iter
+        (fun v ->
+          if usable v then begin
+            fresh t v;
+            if t.gscore.(v) > 0 then begin
+              t.gscore.(v) <- 0;
+              Qec_util.Heap.Int_pq.push t.pq ~priority:(heuristic v) v
+            end
+          end)
+        (Grid.cell_corners t.grid src_cell);
+      let reached = ref (-1) in
+      let continue = ref true in
+      while !continue do
+        let v = Qec_util.Heap.Int_pq.pop_min t.pq in
+        if v < 0 then continue := false
+        else begin
+          fresh t v;
+          if not t.closed.(v) then begin
+            if is_goal v then begin
+              reached := v;
+              continue := false
+            end
+            else begin
+              t.closed.(v) <- true;
+              incr expansions;
+              let g' = t.gscore.(v) + 1 in
+              let x = v mod vside and y = v / vside in
+              (* Ascending vertex-id order, exactly the reference's
+                 neighbor list: y-1, x-1, x+1, y+1. *)
+              let expand nb =
+                if usable nb then begin
+                  fresh t nb;
+                  if (not t.closed.(nb)) && g' < t.gscore.(nb) then begin
+                    t.gscore.(nb) <- g';
+                    t.came_from.(nb) <- v;
+                    Qec_util.Heap.Int_pq.push t.pq
+                      ~priority:(g' + heuristic nb)
+                      nb
+                  end
+                end
+              in
+              if y > 0 then expand (v - vside);
+              if x > 0 then expand (v - 1);
+              if x + 1 < vside then expand (v + 1);
+              if y + 1 < vside then expand (v + vside)
+            end
+          end
+        end
+      done;
+      if !reached < 0 then None
+      else begin
+        let rec walk v acc =
+          if t.came_from.(v) = -1 then v :: acc
+          else walk t.came_from.(v) (v :: acc)
+        in
+        Some (Path.of_vertices t.grid (walk !reached []))
+      end
+    end
   in
   if Tel.enabled () then begin
     Tel.count "router.routes";

@@ -29,6 +29,18 @@ val route :
     the result may be a single-vertex path. Raises [Invalid_argument] if
     [src_cell = dst_cell] or the occupancy's grid differs. *)
 
+val route_reference :
+  ?bounds:Bbox.t ->
+  t ->
+  Occupancy.t ->
+  src_cell:int ->
+  dst_cell:int ->
+  Path.t option
+(** The pre-rewrite closure-and-list A*, kept verbatim as the differential
+    oracle for {!route} (see test_router.ml): identical arguments,
+    identical results, byte-identical expansion order. Scheduled for
+    deletion once the arena implementation has survived a release. *)
+
 val route_and_reserve :
   ?bounds:Bbox.t ->
   t ->

@@ -15,6 +15,9 @@ let classify key =
   | "placements_computed" ->
     Some (Lower_better, Cycle)
   | "speedup" | "lookahead_speedup" -> Some (Higher_better, Cycle)
+  (* Scale section: the paper's Table-2 headline ratio is a pure cycle
+     quotient (greedy / braid), deterministic like its inputs. *)
+  | "braid_vs_greedy_speedup" -> Some (Higher_better, Cycle)
   (* Verify section: counts of certified schedules / checked invariants /
      killed mutations are exact functions of the bench circuit set and
      Qec_verify's registries, so they gate at cycle tolerance. *)
@@ -28,8 +31,14 @@ let classify key =
   | "certificates_per_s" | "requests_per_s" | "warm_speedup" ->
     Some (Higher_better, Wall)
   | _ ->
+    (* Explicit *_wall_s spellings (scale section's qftN_wall_s keys) and
+       any other _s-suffixed leaf are host timings: lower is better, wall
+       tolerance. *)
     let n = String.length key in
-    if n > 2 && String.sub key (n - 2) 2 = "_s" then Some (Lower_better, Wall)
+    if n > 7 && String.sub key (n - 7) 7 = "_wall_s" then
+      Some (Lower_better, Wall)
+    else if n > 2 && String.sub key (n - 2) 2 = "_s" then
+      Some (Lower_better, Wall)
     else None
 
 type finding = {

@@ -138,6 +138,89 @@ let surgery_pipeline_bounds =
              else Pass));
   }
 
+(* ---------------- incremental frontier ---------------- *)
+
+let sched_incremental_frontier =
+  {
+    name = "sched/incremental-frontier";
+    description =
+      "the bitset scheduling frontier agrees with the Int_set reference \
+       at every round of a real braid schedule — same ready lists, \
+       remaining counts, and done flags under the trace's completion \
+       order";
+    check =
+      Circuit
+        (guard (fun c ->
+             let module Dag = Qec_circuit.Dag in
+             let module Task = Autobraid.Task in
+             let lowered = Qec_circuit.Decompose.to_scheduler_gates c in
+             let dag = Dag.of_circuit lowered in
+             let f = Dag.Frontier.create dag in
+             let r = Dag.Frontier.Reference.create dag in
+             let compare_states step =
+               let rf = Dag.Frontier.ready f
+               and rr = Dag.Frontier.Reference.ready r in
+               if rf <> rr then
+                 Some
+                   (failf "%s: ready lists diverge (%d vs %d entries)" step
+                      (List.length rf) (List.length rr))
+               else if
+                 Dag.Frontier.remaining f <> Dag.Frontier.Reference.remaining r
+               then
+                 Some
+                   (failf "%s: remaining diverge: %d vs %d" step
+                      (Dag.Frontier.remaining f)
+                      (Dag.Frontier.Reference.remaining r))
+               else if
+                 Dag.Frontier.is_done f <> Dag.Frontier.Reference.is_done r
+               then Some (failf "%s: done flags diverge" step)
+               else None
+             in
+             let _, trace = S.run_traced timing lowered in
+             let rec replay round_no = function
+               | [] ->
+                 if not (Dag.Frontier.is_done f) then
+                   failf "frontier not drained after replay (%d left)"
+                     (Dag.Frontier.remaining f)
+                 else Pass
+               | round :: rest -> (
+                 let completed =
+                   match round with
+                   | Trace.Local { gates } -> gates
+                   | Trace.Braid { braids; locals } ->
+                     List.map (fun ((t : Task.t), _) -> t.Task.id) braids
+                     @ locals
+                   | Trace.Merge { merges; locals; _ } ->
+                     List.map (fun ((t : Task.t), _) -> t.Task.id) merges
+                     @ locals
+                   | Trace.Swap_layer _ -> []
+                 in
+                 match
+                   List.find_map
+                     (fun id ->
+                       match Dag.Frontier.complete f id with
+                       | () ->
+                         Dag.Frontier.Reference.complete r id;
+                         None
+                       | exception Invalid_argument msg ->
+                         Some
+                           (failf "round %d: bitset frontier rejected %d: %s"
+                              round_no id msg))
+                     completed
+                 with
+                 | Some fail -> fail
+                 | None -> (
+                   match
+                     compare_states (Printf.sprintf "round %d" round_no)
+                   with
+                   | Some fail -> fail
+                   | None -> replay (round_no + 1) rest))
+             in
+             match compare_states "initial" with
+             | Some fail -> fail
+             | None -> replay 0 trace.Trace.rounds));
+  }
+
 (* ---------------- differential oracle ---------------- *)
 
 let diff_backends =
@@ -652,6 +735,7 @@ let all () =
     trace_braid_swappy;
     trace_surgery;
     surgery_pipeline_bounds;
+    sched_incremental_frontier;
     diff_backends;
     lookahead_never_worse;
     verify_certify;

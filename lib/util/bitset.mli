@@ -37,3 +37,8 @@ val inter_cardinal : t -> t -> int
 
 val to_list : t -> int list
 (** Members in ascending order. *)
+
+val ntz : int -> int
+(** Trailing-zero count of a nonzero machine word: the bit index of its
+    lowest set bit. Exposed for packed-bit-word iteration elsewhere (the
+    interference graph's adjacency rows). Raises [Invalid_argument] on 0. *)

@@ -26,3 +26,27 @@ val peek_min : 'a t -> 'a option
 
 val clear : 'a t -> unit
 (** Remove all elements (keeps the backing storage). *)
+
+(** Min-heap specialized to non-negative int values, with priority and
+    insertion stamp packed into one key word — no allocation per push.
+    Ordering is identical to the polymorphic heap: smallest priority
+    first, FIFO among equal priorities. Used as the A* open list. *)
+module Int_pq : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val push : t -> priority:int -> int -> unit
+  (** Raises [Invalid_argument] if [priority] is negative or exceeds
+      [2^31 - 1], or after [2^31] pushes without a {!clear}. *)
+
+  val pop_min : t -> int
+  (** Remove and return the minimum, or [-1] when empty (values are node
+      ids, never negative). *)
+
+  val clear : t -> unit
+end

@@ -152,6 +152,44 @@ let prop_frontier_respects_program_order =
         c;
       !ok)
 
+(* Differential: the bitset frontier must expose byte-identical ready
+   lists to the Int_set reference at every step, whichever completion
+   order the scheduler picks. *)
+let prop_frontier_matches_reference =
+  QCheck.Test.make ~name:"bitset frontier = reference frontier" ~count:200
+    QCheck.(pair arbitrary_circuit (list small_nat))
+    (fun (c, picks) ->
+      let d = Dag.of_circuit c in
+      let f = Dag.Frontier.create d in
+      let r = Dag.Frontier.Reference.create d in
+      let same () =
+        Dag.Frontier.ready f = Dag.Frontier.Reference.ready r
+        && Dag.Frontier.remaining f = Dag.Frontier.Reference.remaining r
+        && Dag.Frontier.is_done f = Dag.Frontier.Reference.is_done r
+      in
+      let iter_ready_agrees () =
+        let acc = ref [] in
+        Dag.Frontier.iter_ready (fun i -> acc := i :: !acc) f;
+        List.rev !acc = Dag.Frontier.ready f
+      in
+      let picks = ref picks in
+      let next_pick n =
+        match !picks with
+        | p :: rest ->
+          picks := rest;
+          p mod n
+        | [] -> 0
+      in
+      let ok = ref (same () && iter_ready_agrees ()) in
+      while !ok && not (Dag.Frontier.is_done f) do
+        let ready = Dag.Frontier.ready f in
+        let g = List.nth ready (next_pick (List.length ready)) in
+        Dag.Frontier.complete f g;
+        Dag.Frontier.Reference.complete r g;
+        ok := same () && iter_ready_agrees ()
+      done;
+      !ok)
+
 let prop_critical_path_bounds =
   QCheck.Test.make ~name:"depth <= CP <= sum of costs" ~count:200
     arbitrary_circuit (fun c ->
@@ -181,6 +219,7 @@ let () =
           Alcotest.test_case "not ready" `Quick test_frontier_not_ready;
           QCheck_alcotest.to_alcotest prop_frontier_schedules_all;
           QCheck_alcotest.to_alcotest prop_frontier_respects_program_order;
+          QCheck_alcotest.to_alcotest prop_frontier_matches_reference;
           QCheck_alcotest.to_alcotest prop_critical_path_bounds;
         ] );
     ]

@@ -102,6 +102,97 @@ let prop_degrees_symmetric =
                (I.neighbors ig i))
            (List.init k (fun i -> i)))
 
+(* Differential: the packed bit-word graph must expose byte-identical
+   observable state to the Legacy hashtable-of-sets oracle — after build
+   and after every removal, in every query. *)
+
+let ids ts = List.map (fun t -> t.Task.id) ts
+
+let check_same_state msg ig lg =
+  let present = ids (I.Legacy.nodes lg) in
+  Alcotest.(check int) (msg ^ ": node_count") (I.Legacy.node_count lg)
+    (I.node_count ig);
+  Alcotest.(check int) (msg ^ ": original") (I.Legacy.original_count lg)
+    (I.original_count ig);
+  Alcotest.(check (list int)) (msg ^ ": nodes") present (ids (I.nodes ig));
+  Alcotest.(check int) (msg ^ ": max_degree") (I.Legacy.max_degree lg)
+    (I.max_degree ig);
+  Alcotest.(check (list int))
+    (msg ^ ": max_degree_nodes")
+    (ids (I.Legacy.max_degree_nodes lg))
+    (ids (I.max_degree_nodes ig));
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: degree %d" msg i)
+        (I.Legacy.degree lg i) (I.degree ig i);
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: neighbors %d" msg i)
+        (ids (I.Legacy.neighbors lg i))
+        (ids (I.neighbors ig i)))
+    present
+
+let test_differential_removals () =
+  let p =
+    placement_at 10
+      [ (0, 0); (3, 3); (1, 1); (4, 4); (2, 2); (5, 5); (0, 3); (3, 0);
+        (8, 8); (9, 9) ]
+  in
+  let ts = tasks 5 in
+  let ig = I.build p ts and lg = I.Legacy.build p ts in
+  check_same_state "after build" ig lg;
+  (* peel in max-degree order, exactly like the stack finder *)
+  let rec peel () =
+    match I.Legacy.max_degree_nodes lg with
+    | [] -> ()
+    | t :: _ ->
+      I.remove ig t.Task.id;
+      I.Legacy.remove lg t.Task.id;
+      check_same_state (Printf.sprintf "after remove %d" t.Task.id) ig lg;
+      peel ()
+  in
+  peel ()
+
+let prop_matches_legacy =
+  QCheck.Test.make ~name:"packed graph = legacy graph under removals"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 10)
+           (pair (pair (int_bound 7) (int_bound 7))
+              (pair (int_bound 7) (int_bound 7))))
+        (list_of_size (Gen.int_range 0 10) (int_bound 9)))
+    (fun (coords, removals) ->
+      let flat =
+        List.concat_map (fun ((a, b), (c, d)) -> [ (a, b); (c, d) ]) coords
+      in
+      let distinct = List.sort_uniq compare flat in
+      QCheck.assume (List.length distinct = List.length flat);
+      let p = placement_at 8 flat in
+      let k = List.length coords in
+      let ts = tasks k in
+      let ig = I.build p ts and lg = I.Legacy.build p ts in
+      let same () =
+        ids (I.nodes ig) = ids (I.Legacy.nodes lg)
+        && I.max_degree ig = I.Legacy.max_degree lg
+        && ids (I.max_degree_nodes ig) = ids (I.Legacy.max_degree_nodes lg)
+        && List.for_all
+             (fun t ->
+               I.degree ig t.Task.id = I.Legacy.degree lg t.Task.id
+               && ids (I.neighbors ig t.Task.id)
+                  = ids (I.Legacy.neighbors lg t.Task.id))
+             (I.Legacy.nodes lg)
+      in
+      same ()
+      && List.for_all
+           (fun i ->
+             if i < k && I.mem ig i then begin
+               I.remove ig i;
+               I.Legacy.remove lg i
+             end;
+             same ())
+           removals)
+
 let () =
   Alcotest.run "interference"
     [
@@ -114,5 +205,11 @@ let () =
           Alcotest.test_case "empty" `Quick test_empty;
           Alcotest.test_case "clique" `Quick test_clique;
           QCheck_alcotest.to_alcotest prop_degrees_symmetric;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "peel sequence: packed = legacy" `Quick
+            test_differential_removals;
+          QCheck_alcotest.to_alcotest prop_matches_legacy;
         ] );
     ]

@@ -105,7 +105,8 @@ let test_registry_complete () =
       if not (List.mem expected names) then
         Alcotest.failf "property %s missing from registry" expected)
     [ "trace/braid"; "trace/braid-swappy"; "trace/surgery";
-      "surgery/pipeline-bounds"; "diff/backends"; "lookahead/never-worse";
+      "surgery/pipeline-bounds"; "sched/incremental-frontier";
+      "diff/backends"; "lookahead/never-worse";
       "engine/spec-identity";
       "engine/cache-identity"; "engine/batch-identity"; "qasm/roundtrip";
       "lint/stable-codes"; "qasm/crash" ];

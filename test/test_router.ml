@@ -202,6 +202,67 @@ let prop_reserved_paths_disjoint =
       in
       all_disjoint paths)
 
+(* Differential: the arena A* must be byte-identical to the pre-rewrite
+   reference — same Some/None outcome and the same vertex sequence, since
+   both must expand in the same order under FIFO tie-breaking. *)
+
+let verts = function None -> None | Some p -> Some (Path.vertices p)
+
+let test_differential_fixtures () =
+  let queries occ =
+    List.iter
+      (fun (src, dst, bounds) ->
+        Alcotest.(check (option (list int)))
+          "arena = reference"
+          (verts (Router.route_reference ?bounds router occ ~src_cell:src ~dst_cell:dst))
+          (verts (Router.route ?bounds router occ ~src_cell:src ~dst_cell:dst)))
+      [
+        (cell 0 0, cell 5 5, None);
+        (cell 0 0, cell 1 0, None);
+        (cell 2 3, cell 3 2, None);
+        (cell 0 0, cell 2 0, Some (Bbox.of_cells (0, 0) (2, 0)));
+        (cell 0 0, cell 4 4, Some (Bbox.of_cells (0, 0) (3, 3)));
+      ]
+  in
+  queries (fresh_occ ());
+  (* congested fixture: the detour wall from test_route_detours *)
+  let occ = fresh_occ () in
+  for y = 0 to 5 do
+    Occupancy.reserve_path occ (Path.of_vertices grid [ vid 3 y ])
+  done;
+  queries occ;
+  (* fully blocked *)
+  let occ = fresh_occ () in
+  wall occ 3;
+  queries occ
+
+let prop_route_matches_reference =
+  QCheck.Test.make
+    ~name:"arena A* = reference A* (random occupancy, random bounds)"
+    ~count:500
+    QCheck.(
+      triple
+        (quad (int_bound 5) (int_bound 5) (int_bound 5) (int_bound 5))
+        (list_of_size (Gen.int_range 0 20) (int_bound 48))
+        (option
+           (quad (int_bound 5) (int_bound 5) (int_bound 5) (int_bound 5))))
+    (fun ((x1, y1, x2, y2), blocked, bounds) ->
+      QCheck.assume ((x1, y1) <> (x2, y2));
+      let occ = fresh_occ () in
+      List.iter
+        (fun v -> if Occupancy.is_free occ v then
+            Occupancy.reserve_path occ (Path.of_vertices grid [ v ]))
+        blocked;
+      let bounds =
+        Option.map
+          (fun (bx1, by1, bx2, by2) ->
+            Bbox.of_cells (min bx1 bx2, min by1 by2) (max bx1 bx2, max by1 by2))
+          bounds
+      in
+      let src_cell = cell x1 y1 and dst_cell = cell x2 y2 in
+      verts (Router.route ?bounds router occ ~src_cell ~dst_cell)
+      = verts (Router.route_reference ?bounds router occ ~src_cell ~dst_cell))
+
 let () =
   Alcotest.run "router"
     [
@@ -218,6 +279,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_route_valid;
           QCheck_alcotest.to_alcotest prop_route_shortest_on_empty;
           QCheck_alcotest.to_alcotest prop_reserved_paths_disjoint;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fixtures: arena = reference" `Quick
+            test_differential_fixtures;
+          QCheck_alcotest.to_alcotest prop_route_matches_reference;
         ] );
       ( "dimension ordered",
         [

@@ -200,6 +200,45 @@ let prop_retry_no_worse =
       let without = SF.find ~retry:false router occ2 p (tasks k) in
       List.length with_retry.SF.routed >= List.length without.SF.routed)
 
+(* Differential: the precomputed-area planned_order must emit exactly the
+   ordering of the pre-rewrite reference (which re-derives every box
+   inside the comparators), with and without a lookahead priority. *)
+
+let test_planned_order_matches_reference () =
+  let p =
+    placement_at 9
+      [
+        (0, 1); (8, 1);
+        (1, 0); (2, 2);
+        (3, 0); (4, 2);
+        (5, 0); (6, 2);
+        (7, 0); (8, 2);
+      ]
+  in
+  let ts = tasks 5 in
+  let ids o = List.map (fun t -> t.Task.id) o in
+  Alcotest.(check (list int))
+    "fig8 order" (ids (SF.planned_order_reference p ts))
+    (ids (SF.planned_order p ts));
+  let priority_of (t : Task.t) = t.Task.id mod 3 in
+  Alcotest.(check (list int))
+    "fig8 order with lookahead"
+    (ids (SF.planned_order_reference ~priority_of p ts))
+    (ids (SF.planned_order ~priority_of p ts))
+
+let prop_planned_order_matches_reference =
+  QCheck.Test.make ~name:"planned_order = reference (random rounds)"
+    ~count:300 (QCheck.make any_gen) (fun (k, coords) ->
+      let distinct = List.sort_uniq compare coords in
+      QCheck.assume (List.length distinct = 2 * k);
+      let p = placement_at 8 coords in
+      let ts = tasks k in
+      let ids o = List.map (fun t -> t.Task.id) o in
+      let priority_of (t : Task.t) = t.Task.id mod 3 in
+      ids (SF.planned_order p ts) = ids (SF.planned_order_reference p ts)
+      && ids (SF.planned_order ~priority_of p ts)
+         = ids (SF.planned_order_reference ~priority_of p ts))
+
 let () =
   Alcotest.run "stack_finder"
     [
@@ -220,5 +259,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_theorem2;
           QCheck_alcotest.to_alcotest prop_routed_paths_safe;
           QCheck_alcotest.to_alcotest prop_retry_no_worse;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "planned_order = reference" `Quick
+            test_planned_order_matches_reference;
+          QCheck_alcotest.to_alcotest prop_planned_order_matches_reference;
         ] );
     ]
